@@ -1,0 +1,65 @@
+// Extension bench (paper §VIII, future work): feature quantization to
+// relieve PCIe pressure.
+//
+// The paper identifies its one unsolved bottleneck: "HyScale-GNN did not
+// provide an effective solution if the performance is bottlenecked by
+// the Data Transfer stage (i.e., limited by PCIe bandwidth)" and names
+// data quantization as the planned fix.  This bench implements it:
+// fp32 / fp16 / int8 wire formats on the PCIe-bound configuration the
+// paper calls out (GCN on ogbn-products, CPU-FPGA), plus the
+// accuracy-neutrality check for int8.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+#include "device/spec.hpp"
+#include "runtime/hybrid_trainer.hpp"
+#include "tensor/quantize.hpp"
+
+using namespace hyscale;
+
+int main() {
+  bench::header("Extension (§VIII)", "feature quantization for PCIe-bound configurations");
+
+  const std::vector<int> widths = {18, 6, 8, 14, 14, 10};
+  bench::row({"Dataset", "Model", "wire", "TTran(ms)", "epoch(s)", "speedup"}, widths);
+  for (const auto& name : bench::dataset_names()) {
+    const Dataset& ds = bench::scaled_dataset(name);
+    for (GnnKind kind : {GnnKind::kGcn}) {
+      double fp32_epoch = 0.0;
+      for (TransferPrecision precision :
+           {TransferPrecision::kFp32, TransferPrecision::kFp16, TransferPrecision::kInt8}) {
+        HybridTrainerConfig config = bench::sim_config(kind);
+        config.transfer_precision = precision;
+        HybridTrainer trainer(ds, cpu_fpga_platform(4), config);
+        const EpochReport report = bench::settled_epoch(trainer);
+        if (precision == TransferPrecision::kFp32) fp32_epoch = report.epoch_time;
+        bench::row({name, gnn_kind_name(kind), transfer_precision_name(precision),
+                    format_double(report.mean_times.transfer * 1e3, 2),
+                    format_double(report.epoch_time, 2),
+                    format_double(fp32_epoch / report.epoch_time, 2) + "x"},
+                   widths);
+      }
+    }
+  }
+
+  // Accuracy neutrality of int8 transfers: train the learnable community
+  // dataset with and without quantization.
+  std::printf("\nint8 accuracy-neutrality check (community dataset, GraphSAGE):\n");
+  for (TransferPrecision precision : {TransferPrecision::kFp32, TransferPrecision::kInt8}) {
+    const Dataset ds = make_community_dataset(4, 128, 16, 11);
+    HybridTrainerConfig config;
+    config.model_kind = GnnKind::kSage;
+    config.fanouts = {10, 5};
+    config.learning_rate = 0.3;
+    config.real_batch_total = 128;
+    config.real_iterations_cap = 40;
+    config.per_trainer_batch = 256;
+    config.transfer_precision = precision;
+    HybridTrainer trainer(ds, cpu_fpga_platform(2), config);
+    for (int e = 0; e < 6; ++e) trainer.train_epoch();
+    std::printf("  %s transfers: final train accuracy %.3f\n",
+                transfer_precision_name(precision), trainer.evaluate_accuracy());
+  }
+  return 0;
+}

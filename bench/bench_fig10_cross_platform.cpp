@@ -1,0 +1,67 @@
+// Regenerates Fig. 10: cross-platform epoch-time comparison —
+// multi-GPU PyG baseline vs hybrid CPU+GPU vs hybrid CPU+FPGA,
+// three datasets x two models, 4 accelerators each.
+//
+// Paper headline numbers: CPU+GPU up to 2.08x over the PyG baseline;
+// CPU+FPGA 8.87x-12.6x.
+#include <cstdio>
+
+#include "baselines/pyg.hpp"
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+#include "device/spec.hpp"
+#include "runtime/hybrid_trainer.hpp"
+
+using namespace hyscale;
+
+namespace {
+
+struct PaperSpeedups {
+  double cpu_gpu;
+  double cpu_fpga;
+};
+
+// Fig. 10's annotated speedups, for side-by-side reporting.
+PaperSpeedups paper_reference(const std::string& dataset, GnnKind kind) {
+  if (dataset == "ogbn-products") return kind == GnnKind::kGcn ? PaperSpeedups{1.79, 8.87}
+                                                               : PaperSpeedups{1.87, 9.98};
+  if (dataset == "ogbn-papers100M") return kind == GnnKind::kGcn ? PaperSpeedups{2.08, 12.6}
+                                                                 : PaperSpeedups{2.01, 10.5};
+  return kind == GnnKind::kGcn ? PaperSpeedups{1.45, 11.5} : PaperSpeedups{1.48, 9.46};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 10", "cross-platform comparison (4 accelerators)");
+  const std::vector<int> widths = {18, 6, 12, 12, 12, 14, 14};
+  bench::row({"Dataset", "Model", "MultiGPU(s)", "CPU+GPU(s)", "CPU+FPGA(s)", "spdup(GPU)",
+              "spdup(FPGA)"},
+             widths);
+
+  PygMultiGpuBaseline pyg(cpu_gpu_platform(4));
+  for (const auto& name : bench::dataset_names()) {
+    const Dataset& ds = bench::scaled_dataset(name);
+    for (GnnKind kind : bench::model_kinds()) {
+      BaselineWorkload workload;
+      workload.dataset = ds.info;
+      workload.model = kind;
+      const Seconds t_pyg = pyg.evaluate(workload).epoch_time;
+
+      HybridTrainer gpu_trainer(ds, cpu_gpu_platform(4), bench::sim_config(kind));
+      const Seconds t_gpu = bench::settled_epoch(gpu_trainer).epoch_time;
+
+      HybridTrainer fpga_trainer(ds, cpu_fpga_platform(4), bench::sim_config(kind));
+      const Seconds t_fpga = bench::settled_epoch(fpga_trainer).epoch_time;
+
+      const PaperSpeedups ref = paper_reference(name, kind);
+      bench::row({name, gnn_kind_name(kind), format_double(t_pyg, 2), format_double(t_gpu, 2),
+                  format_double(t_fpga, 2),
+                  format_double(t_pyg / t_gpu, 2) + "x (" + format_double(ref.cpu_gpu, 2) + ")",
+                  format_double(t_pyg / t_fpga, 2) + "x (" + format_double(ref.cpu_fpga, 2) + ")"},
+                 widths);
+    }
+  }
+  std::printf("\n(parenthesised values: the paper's reported speedups)\n");
+  return 0;
+}

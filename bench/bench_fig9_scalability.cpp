@@ -1,0 +1,41 @@
+// Regenerates Fig. 9: scalability of the hybrid training system — epoch
+// speedup (normalised to 1 accelerator) for 1/2/4/8/16 FPGAs on the
+// three datasets x two models.
+//
+// Expected shape (§VI-D): good scaling to ~12 accelerators, then the CPU
+// memory bandwidth saturates (the Feature Loader serves every
+// accelerator's X' from host DRAM); products-GCN scales worst because it
+// is PCIe-transfer-bound, which caps how much work can be offloaded.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+#include "device/spec.hpp"
+#include "runtime/hybrid_trainer.hpp"
+
+using namespace hyscale;
+
+int main() {
+  bench::header("Figure 9", "scalability: normalised speedup vs number of FPGAs");
+  const std::vector<int> accel_counts = {1, 2, 4, 8, 16};
+
+  std::vector<int> widths = {18, 6, 8, 8, 8, 8, 8};
+  bench::row({"Dataset", "Model", "1", "2", "4", "8", "16"}, widths);
+  for (const auto& name : bench::dataset_names()) {
+    const Dataset& ds = bench::scaled_dataset(name);
+    for (GnnKind kind : bench::model_kinds()) {
+      std::vector<std::string> cells = {name, gnn_kind_name(kind)};
+      double base_epoch = 0.0;
+      for (int k : accel_counts) {
+        HybridTrainer trainer(ds, cpu_fpga_platform(k), bench::sim_config(kind));
+        const EpochReport report = bench::settled_epoch(trainer);
+        if (k == 1) base_epoch = report.epoch_time;
+        cells.push_back(format_double(base_epoch / report.epoch_time, 2) + "x");
+      }
+      bench::row(cells, widths);
+    }
+  }
+  std::printf("\n(paper: near-linear to ~12 accelerators; CPU memory saturates\n"
+              " beyond; products-GCN lowest due to PCIe-bound transfers)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates Table IV: FPGA hardware parameters and resource
+// utilisation, plus a design-space sweep around the paper's point
+// (an ablation of the n/m parallelism choice, §IV-C).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+#include "device/fpga_model.hpp"
+
+using namespace hyscale;
+
+int main() {
+  bench::header("Table IV", "hardware parameters and resource utilisation (Alveo U250)");
+  const std::vector<int> widths = {16, 8, 8, 8, 8};
+  bench::row({"Parallelism(n,m)", "LUTs", "DSPs", "URAM", "BRAM"}, widths);
+
+  const FpgaDesign paper_point{8, 2048};
+  const FpgaUtilization u = estimate_utilization(paper_point);
+  bench::row({"(8, 2048)", format_double(u.lut_fraction * 100, 0) + "%",
+              format_double(u.dsp_fraction * 100, 0) + "%",
+              format_double(u.uram_fraction * 100, 0) + "%",
+              format_double(u.bram_fraction * 100, 0) + "%"},
+             widths);
+  std::printf("  (paper reports: LUT 72%%  DSP 90%%  URAM 48%%  BRAM 40%%)\n");
+
+  std::printf("\nDesign-space sweep (largest power-of-two m that fits per n):\n\n");
+  bench::row({"n (S-PEs)", "max m", "LUT", "DSP", "fits"}, {10, 8, 8, 8, 6});
+  for (int n : {2, 4, 8, 16, 32}) {
+    const int m = max_mac_units(n);
+    const FpgaUtilization util = estimate_utilization({n, m > 0 ? m : 1});
+    bench::row({std::to_string(n), std::to_string(m),
+                format_double(util.lut_fraction * 100, 0) + "%",
+                format_double(util.dsp_fraction * 100, 0) + "%",
+                util.fits() ? "yes" : "no"},
+               {10, 8, 8, 8, 6});
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Regenerates Table VII: epoch time normalised by platform peak
+// performance (seconds x TFLOPS) — the paper's design-efficiency metric.
+// HyScale's platform is 2x EPYC 7763 + 4x U250 = 9.6 TFLOPS.
+#include <cstdio>
+
+#include "baselines/distdgl.hpp"
+#include "baselines/p3.hpp"
+#include "baselines/pagraph.hpp"
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+#include "device/spec.hpp"
+#include "runtime/hybrid_trainer.hpp"
+
+using namespace hyscale;
+
+namespace {
+
+Seconds hyscale_epoch(const std::string& dataset, GnnKind kind, const std::vector<int>& fanouts,
+                      int hidden) {
+  Dataset ds = bench::scaled_dataset(dataset);
+  ds.info.f1 = hidden;
+  HybridTrainerConfig config = bench::sim_config(kind);
+  config.fanouts = fanouts;
+  HybridTrainer trainer(ds, cpu_fpga_platform(4), config);
+  return bench::settled_epoch(trainer).epoch_time;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table VII", "normalised epoch time (s x TFLOPS) vs state-of-the-art");
+  const double ours_tflops = cpu_fpga_platform(4).total_tflops();
+  std::printf("This Work platform: %.1f TFLOPS\n", ours_tflops);
+
+  const std::vector<int> widths = {12, 20, 14, 14, 14};
+  bench::row({"Dataset", "System", "base(sxTF)", "ours(sxTF)", "norm speedup"}, widths);
+
+  struct Case {
+    const char* system;
+    const char* ds;
+    GnnKind kind;
+    std::vector<int> fanouts;
+    int hidden;
+    double paper_norm_speedup;
+  };
+  PaGraphBaseline pagraph;
+  P3Baseline p3;
+  DistDglBaseline distdgl;
+
+  const std::vector<Case> cases = {
+      {"PaGraph", "ogbn-products", GnnKind::kGcn, {25, 10}, 256, 52.2},
+      {"PaGraph", "ogbn-papers100M", GnnKind::kGcn, {25, 10}, 256, 82.5},
+      {"P3", "ogbn-products", GnnKind::kSage, {25, 10}, 32, 68.0},
+      {"P3", "ogbn-papers100M", GnnKind::kSage, {25, 10}, 32, 81.8},
+      {"DistDGLv2", "ogbn-products", GnnKind::kSage, {15, 10, 5}, 256, 10.1},
+      {"DistDGLv2", "ogbn-papers100M", GnnKind::kSage, {15, 10, 5}, 256, 64.2},
+  };
+  for (const Case& c : cases) {
+    BaselineWorkload w;
+    w.dataset = dataset_info(c.ds);
+    w.model = c.kind;
+    w.fanouts = c.fanouts;
+    w.hidden_dim = c.hidden;
+    BaselineResult base;
+    if (std::string(c.system) == "PaGraph") base = pagraph.evaluate(w);
+    else if (std::string(c.system) == "P3") base = p3.evaluate(w);
+    else base = distdgl.evaluate(w);
+
+    const Seconds ours = hyscale_epoch(c.ds, c.kind, c.fanouts, c.hidden);
+    const double ours_norm = ours * ours_tflops;
+    bench::row({c.ds, c.system, format_double(base.normalized_epoch(), 1),
+                format_double(ours_norm, 1),
+                format_double(base.normalized_epoch() / ours_norm, 1) + "x (paper ~" +
+                    format_double(c.paper_norm_speedup, 0) + "x)"},
+               widths);
+  }
+  std::printf("\n(paper: 21x-71x geo-mean normalised speedup across systems)\n");
+  return 0;
+}

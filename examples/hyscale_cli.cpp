@@ -1,0 +1,174 @@
+// hyscale_cli — command-line driver for the library, the binary a
+// downstream user actually runs.
+//
+//   $ ./example_hyscale_cli --dataset ogbn-products --model sage \
+//        --platform fpga --accels 4 --epochs 3 --fanouts 25,10 \
+//        [--no-hybrid] [--no-drm] [--no-tfp] [--int8] [--trace out.json]
+//
+// Prints per-epoch reports and (optionally) a chrome://tracing JSON of
+// the pipeline schedule.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strutil.hpp"
+#include "core/hyscale.hpp"
+
+using namespace hyscale;
+
+namespace {
+
+struct CliOptions {
+  std::string dataset = "ogbn-products";
+  std::string model = "sage";
+  std::string platform = "fpga";
+  int accels = 4;
+  int epochs = 2;
+  std::vector<int> fanouts = {25, 10};
+  bool hybrid = true;
+  bool drm = true;
+  bool tfp = true;
+  bool int8 = false;
+  std::string trace_path;
+  VertexId scale = 1 << 11;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--dataset NAME] [--model gcn|sage|gat] [--platform gpu|fpga]\n"
+      "          [--accels K] [--epochs N] [--fanouts a,b,...] [--scale V]\n"
+      "          [--no-hybrid] [--no-drm] [--no-tfp] [--int8] [--trace FILE]\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--dataset") {
+      const char* v = next();
+      if (!v) return false;
+      options.dataset = v;
+    } else if (arg == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      options.model = v;
+    } else if (arg == "--platform") {
+      const char* v = next();
+      if (!v) return false;
+      options.platform = v;
+    } else if (arg == "--accels") {
+      const char* v = next();
+      if (!v) return false;
+      options.accels = std::atoi(v);
+    } else if (arg == "--epochs") {
+      const char* v = next();
+      if (!v) return false;
+      options.epochs = std::atoi(v);
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v) return false;
+      options.scale = std::atoll(v);
+    } else if (arg == "--fanouts") {
+      const char* v = next();
+      if (!v) return false;
+      options.fanouts.clear();
+      for (const std::string& tok : split(v, ',')) {
+        options.fanouts.push_back(std::atoi(tok.c_str()));
+      }
+    } else if (arg == "--no-hybrid") {
+      options.hybrid = false;
+    } else if (arg == "--no-drm") {
+      options.drm = false;
+    } else if (arg == "--no-tfp") {
+      options.tfp = false;
+    } else if (arg == "--int8") {
+      options.int8 = true;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      options.trace_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  MaterializeOptions materialize;
+  materialize.target_vertices = options.scale;
+  Dataset dataset;
+  try {
+    dataset = materialize_dataset(options.dataset, materialize);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown dataset '%s'; known datasets:\n", options.dataset.c_str());
+    for (const auto& info : paper_datasets()) std::fprintf(stderr, "  %s\n", info.name.c_str());
+    return 2;
+  }
+
+  const PlatformSpec platform = options.platform == "gpu"
+                                    ? cpu_gpu_platform(options.accels)
+                                    : cpu_fpga_platform(options.accels);
+
+  HybridTrainerConfig config;
+  config.model_kind = parse_gnn_kind(options.model);
+  config.fanouts = options.fanouts;
+  config.hybrid = options.hybrid;
+  config.drm = options.drm;
+  config.pipeline = options.tfp ? PipelineMode::kTwoStagePrefetch
+                                : PipelineMode::kSinglePrefetch;
+  config.transfer_precision =
+      options.int8 ? TransferPrecision::kInt8 : TransferPrecision::kFp32;
+  config.trajectory_cap = options.trace_path.empty() ? 0 : 256;
+
+  std::printf("dataset:  %s (paper scale: %llu vertices / %llu edges)\n",
+              dataset.info.name.c_str(),
+              static_cast<unsigned long long>(dataset.info.num_vertices),
+              static_cast<unsigned long long>(dataset.info.num_edges));
+  std::printf("platform: %s\n", platform.name.c_str());
+  std::printf("model:    %s, fanouts", gnn_kind_name(config.model_kind));
+  for (int f : config.fanouts) std::printf(" %d", f);
+  std::printf(", hybrid=%d drm=%d tfp=%d wire=%s\n\n", config.hybrid, config.drm, options.tfp,
+              transfer_precision_name(config.transfer_precision));
+
+  HybridTrainer trainer(dataset, platform, config);
+  std::printf("initial mapping: %s\n", trainer.workload().to_string().c_str());
+  std::printf("predicted epoch: %.3f s\n\n", trainer.predicted_epoch_time());
+
+  EpochReport last;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    last = trainer.train_epoch();
+    std::printf("epoch %2d: %8.3f s  %7.0f MTEPS  loss %.4f  acc %.3f\n", epoch,
+                last.epoch_time, last.mteps, last.loss, last.train_accuracy);
+  }
+  std::printf("\nfinal workload: %s\n", last.final_workload.to_string().c_str());
+  std::printf("mean stage times: %s\n", last.mean_times.to_string().c_str());
+
+  if (!options.trace_path.empty()) {
+    write_chrome_trace(last, config.pipeline, options.trace_path);
+    std::printf("pipeline trace written to %s (open in chrome://tracing)\n",
+                options.trace_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "baselines/baseline.hpp"
+
+namespace hyscale {
+
+ModelConfig baseline_model_config(const BaselineWorkload& workload) {
+  ModelConfig config;
+  config.kind = workload.model;
+  const int num_layers = static_cast<int>(workload.fanouts.size());
+  config.dims.clear();
+  config.dims.push_back(workload.dataset.f0);
+  for (int l = 1; l < num_layers; ++l) config.dims.push_back(workload.hidden_dim);
+  config.dims.push_back(workload.dataset.f2);
+  return config;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,61 @@
+// Common interface for the comparison systems of §VI-E.
+//
+// HyScale-GNN is compared against four systems the authors did not ship:
+// a PyTorch-Geometric multi-GPU baseline (their own), PaGraph, P3 and
+// DistDGLv2.  None of these can be run here (no GPUs, no clusters), so
+// each is reproduced as an *architectural epoch-time model*: the
+// components that dominate each system in the paper's analysis (PyG's
+// serialized Python pipeline, PaGraph's cache misses over PCIe, P3's and
+// DistDGL's inter-node traffic) are modelled explicitly from the same
+// device specs and dataset statistics that drive the HyScale simulator.
+// Calibration constants are documented at their definitions; the
+// reproduction criterion is the *shape* of Tables VI/VII and Fig. 10,
+// not absolute seconds.
+#pragma once
+
+#include <string>
+
+#include "common/timer.hpp"
+#include "graph/datasets.hpp"
+#include "nn/model.hpp"
+
+namespace hyscale {
+
+struct BaselineBreakdown {
+  Seconds sample = 0.0;
+  Seconds load = 0.0;
+  Seconds transfer = 0.0;       ///< PCIe (features and/or gradients)
+  Seconds network = 0.0;        ///< inter-node traffic (distributed systems)
+  Seconds train = 0.0;
+  Seconds framework = 0.0;      ///< per-iteration framework overhead
+  Seconds sync = 0.0;
+
+  Seconds iteration() const {
+    return sample + load + transfer + network + train + framework + sync;
+  }
+};
+
+struct BaselineResult {
+  std::string system;
+  Seconds epoch_time = 0.0;
+  long iterations = 0;
+  BaselineBreakdown per_iteration;
+  double platform_tflops = 0.0;  ///< for the Table VII normalisation
+
+  /// Table VII metric: epoch time x platform peak TFLOPS.
+  double normalized_epoch() const { return epoch_time * platform_tflops; }
+};
+
+/// Workload description shared by every baseline evaluation.
+struct BaselineWorkload {
+  DatasetInfo dataset;
+  GnnKind model = GnnKind::kSage;
+  std::vector<int> fanouts = {25, 10};
+  int hidden_dim = 256;
+  std::int64_t batch_per_device = 1024;
+};
+
+/// Builds the ModelConfig a baseline trains (dims from dataset + hidden).
+ModelConfig baseline_model_config(const BaselineWorkload& workload);
+
+}  // namespace hyscale

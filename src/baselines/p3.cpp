@@ -1,0 +1,78 @@
+#include "baselines/p3.hpp"
+
+#include <algorithm>
+
+#include "device/cost_model.hpp"
+#include "device/link.hpp"
+#include "runtime/perf_model.hpp"
+#include "sampling/neighbor_sampler.hpp"
+
+namespace hyscale {
+
+P3Baseline::P3Baseline() {
+  platform_.name = "4 nodes x (Xeon E5-2690 + 4x P100) (P3)";
+  platform_.cpu = {"Intel Xeon E5-2690", DeviceKind::kCpu, 0.7, 68.0, 35.0, 2.6, 0.0};
+  platform_.num_sockets = 1;
+  platform_.cpu_threads = 28;
+  platform_.accelerators.assign(4, p100_spec());
+  platform_.pcie_bw_gbps = 12.0;
+  platform_.cpu_mem_bw_gbps = 68.0;
+}
+
+BaselineResult P3Baseline::evaluate(const BaselineWorkload& workload) const {
+  const int nodes = num_nodes();
+  const int gpus_per_node = platform_.num_accelerators();
+  const int total_gpus = nodes * gpus_per_node;
+  const ModelConfig model = baseline_model_config(workload);
+  const BatchStats stats = NeighborSampler::expected_stats(
+      workload.batch_per_device, workload.fanouts, workload.dataset.mean_degree(),
+      workload.dataset.num_vertices);
+
+  BaselineResult result;
+  result.system = "P3";
+  result.platform_tflops = platform_.total_tflops() * nodes;
+
+  result.per_iteration.sample =
+      static_cast<double>(stats.total_edges()) / kSamplerEdgesPerSec;
+
+  // Push-pull: layer-1 partial activations (|V^1| x hidden) are
+  // all-to-all'd; each node keeps 1/nodes and ships (nodes-1)/nodes.
+  const double v1 = static_cast<double>(
+      stats.vertices_per_layer.size() > 1 ? stats.vertices_per_layer[1] : 0);
+  const double activation_bytes = v1 * workload.hidden_dim * 4.0;
+  const double shipped = activation_bytes * static_cast<double>(nodes - 1) / nodes;
+  const double net_bw = kNetworkGbps * 1e9;
+  result.per_iteration.network = kNetworkLatency + shipped / net_bw;
+
+  // Local feature read (only the owned partition's slice) + PCIe.
+  const double feat_bytes =
+      static_cast<double>(stats.input_vertices()) * workload.dataset.f0 * 4.0 / nodes;
+  HostMemoryChannel host(platform_.cpu_mem_bw_gbps);
+  result.per_iteration.load = host.load_time(feat_bytes, platform_.cpu_threads / 2);
+  PcieLink pcie(platform_.pcie_bw_gbps);
+  result.per_iteration.transfer = pcie.transfer_time(feat_bytes / gpus_per_node);
+
+  GpuTrainerModel gpu(platform_.accelerators.front());
+  result.per_iteration.train = gpu.propagation_time(stats, model);
+
+  // Gradient all-reduce across the cluster (ring over 10 GbE).
+  result.per_iteration.sync =
+      kNetworkLatency + 2.0 * model_param_bytes(model) / net_bw;
+  result.per_iteration.framework = kFrameworkOverhead;
+
+  const std::int64_t total_batch = workload.batch_per_device * total_gpus;
+  result.iterations = static_cast<long>(
+      (workload.dataset.train_count + static_cast<std::uint64_t>(total_batch) - 1) /
+      static_cast<std::uint64_t>(total_batch));
+  // P3 pipelines its phases but the network all-to-all and the gradient
+  // sync sit on the critical path.
+  const Seconds iteration =
+      std::max({result.per_iteration.sample,
+                result.per_iteration.load + result.per_iteration.transfer,
+                result.per_iteration.train + result.per_iteration.network}) +
+      result.per_iteration.sync + result.per_iteration.framework;
+  result.epoch_time = iteration * static_cast<double>(result.iterations);
+  return result;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,40 @@
+// P3 (Gandhi & Iyer, OSDI'21) — distributed GNN training with intra-layer
+// model/data hybrid parallelism (Table V: 4 nodes x (1 Xeon E5-2690 +
+// 4 P100), sample (25,10), hidden 32).
+//
+// Architectural characteristics the model captures (§VI-E2):
+//   * the graph AND features are hash-partitioned across nodes; P3 avoids
+//     shipping raw features by pushing layer-1 *partial activations*
+//     instead (its "push-pull parallelism"), so inter-node traffic scales
+//     with |V^1| x hidden rather than |V^0| x f0 — that is why P3 runs
+//     with hidden = 16/32;
+//   * every iteration still all-to-alls those partial activations across
+//     the cluster network, the overhead HyScale's single node avoids;
+//   * gradient synchronisation crosses the network every iteration.
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "device/spec.hpp"
+
+namespace hyscale {
+
+class P3Baseline {
+ public:
+  P3Baseline();
+
+  BaselineResult evaluate(const BaselineWorkload& workload) const;
+
+  /// Cluster interconnect effective bandwidth per node (10 GbE testbed).
+  static constexpr double kNetworkGbps = 1.1;
+  static constexpr Seconds kNetworkLatency = 50e-6;
+  static constexpr Seconds kFrameworkOverhead = 10e-3;
+  static constexpr double kSamplerEdgesPerSec = 10e6;
+
+  const PlatformSpec& platform() const { return platform_; }
+  int num_nodes() const { return 4; }
+
+ private:
+  PlatformSpec platform_;  ///< one node
+};
+
+}  // namespace hyscale

@@ -1,0 +1,44 @@
+// PaGraph (Lin et al., SoCC'20) — single-node multi-GPU training with
+// computation-aware static feature caching (Table V: 2x Xeon Platinum
+// 8163 + 8x V100, sample (25,10), hidden 256).
+//
+// Architectural characteristics the model captures (§VI-E2):
+//   * the hot vertices' features are cached in spare GPU memory; hits
+//     are served at GDDR speed, misses cross PCIe;
+//   * on graphs whose features exceed the cache (ogbn-papers100M), the
+//     miss traffic dominates — "the PCIe communication overhead becomes
+//     large ... since cache miss occurs frequently";
+//   * no hybrid training: the host CPUs only sample and fill misses.
+// The cache hit-rate model assumes degree-proportional access frequency
+// (PaGraph caches by out-degree) over a Zipf-like degree distribution,
+// which is what its own evaluation reports (~80-90% hit with 20% cached).
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "device/spec.hpp"
+
+namespace hyscale {
+
+class PaGraphBaseline {
+ public:
+  PaGraphBaseline();
+
+  BaselineResult evaluate(const BaselineWorkload& workload) const;
+
+  /// Fraction of each V100's 32 GB left for the feature cache after
+  /// model, activations and workspace.
+  static constexpr double kCacheFractionOfDeviceMem = 0.5;
+  /// Hit-rate skew exponent: hit_rate = cached_fraction^kSkew captures
+  /// that caching the top-degree d% of vertices covers far more than d%
+  /// of accesses on power-law graphs (kSkew < 1).
+  static constexpr double kHitRateSkew = 0.25;
+  static constexpr Seconds kFrameworkOverhead = 12e-3;
+  static constexpr double kSamplerEdgesPerSec = 12e6;  ///< its parallel sampler
+
+  const PlatformSpec& platform() const { return platform_; }
+
+ private:
+  PlatformSpec platform_;
+};
+
+}  // namespace hyscale

@@ -1,0 +1,67 @@
+#include "baselines/pyg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "device/cost_model.hpp"
+#include "device/link.hpp"
+#include "runtime/perf_model.hpp"
+#include "sampling/neighbor_sampler.hpp"
+
+namespace hyscale {
+
+PygMultiGpuBaseline::PygMultiGpuBaseline(PlatformSpec platform)
+    : platform_(std::move(platform)) {
+  if (platform_.num_accelerators() == 0 ||
+      platform_.accelerators.front().kind != DeviceKind::kGpu)
+    throw std::invalid_argument("PygMultiGpuBaseline: platform needs GPUs");
+}
+
+BaselineResult PygMultiGpuBaseline::evaluate(const BaselineWorkload& workload) const {
+  const int num_gpus = platform_.num_accelerators();
+  const ModelConfig model = baseline_model_config(workload);
+  const BatchStats stats = NeighborSampler::expected_stats(
+      workload.batch_per_device, workload.fanouts, workload.dataset.mean_degree(),
+      workload.dataset.num_vertices);
+
+  BaselineResult result;
+  result.system = "PyG multi-GPU";
+  result.platform_tflops = platform_.total_tflops();
+
+  // Each GPU has its own DataLoader with kWorkersPerGpu workers sampling
+  // its batch concurrently with the other GPUs' loaders.
+  const double edges = static_cast<double>(stats.total_edges());
+  result.per_iteration.sample =
+      edges / (kSamplerEdgesPerSecPerWorker * kWorkersPerGpu);
+
+  // Feature gather happens inside the worker processes: same host DRAM
+  // channel as HyScale's loader but with only the workers' threads.
+  HostMemoryChannel host(platform_.cpu_mem_bw_gbps);
+  const double feat_bytes =
+      static_cast<double>(stats.input_vertices()) * workload.dataset.f0 * 4.0;
+  result.per_iteration.load =
+      host.load_time(feat_bytes * num_gpus, kWorkersPerGpu * num_gpus);
+
+  // Blocking host->device copy (no prefetch overlap).
+  PcieLink pcie(platform_.pcie_bw_gbps);
+  const double topo_bytes = static_cast<double>(stats.total_edges()) * 8.0;
+  result.per_iteration.transfer = pcie.transfer_time(feat_bytes + topo_bytes);
+
+  // GPU propagation (all GPUs run in parallel on their own batch).
+  GpuTrainerModel gpu(platform_.accelerators.front());
+  result.per_iteration.train = gpu.propagation_time(stats, model);
+
+  // Gradient all-reduce (DDP over PCIe).
+  result.per_iteration.sync = pcie.allreduce_time(model_param_bytes(model));
+
+  result.per_iteration.framework = kFrameworkOverhead;
+
+  const std::int64_t total_batch = workload.batch_per_device * num_gpus;
+  result.iterations = static_cast<long>(
+      (workload.dataset.train_count + static_cast<std::uint64_t>(total_batch) - 1) /
+      static_cast<std::uint64_t>(total_batch));
+  result.epoch_time = result.per_iteration.iteration() * static_cast<double>(result.iterations);
+  return result;
+}
+
+}  // namespace hyscale

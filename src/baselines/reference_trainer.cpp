@@ -1,0 +1,86 @@
+#include "baselines/reference_trainer.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+
+namespace hyscale {
+
+ReferenceTrainer::ReferenceTrainer(const Dataset& dataset, ReferenceTrainerConfig config)
+    : dataset_(dataset), config_(std::move(config)) {
+  ModelConfig model_config;
+  model_config.kind = config_.model_kind;
+  model_config.dims = {dataset_.info.f0, dataset_.info.f1, dataset_.info.f2};
+  while (static_cast<int>(model_config.dims.size()) - 1 <
+         static_cast<int>(config_.fanouts.size())) {
+    model_config.dims.insert(model_config.dims.begin() + 1, dataset_.info.f1);
+  }
+  model_config.seed = config_.seed;
+  model_ = std::make_unique<GnnModel>(model_config);
+  optimizer_ = std::make_unique<SgdOptimizer>(config_.learning_rate);
+  sampler_ = std::make_unique<NeighborSampler>(dataset_.graph, config_.fanouts, config_.seed);
+  loader_ = std::make_unique<FeatureLoader>(dataset_.features);
+}
+
+double ReferenceTrainer::train_on_seeds(const std::vector<VertexId>& seeds) {
+  MiniBatch batch = sampler_->sample(seeds);
+  Tensor x;
+  loader_->load(batch, x);
+  model_->zero_grad();
+  const Tensor logits = model_->forward(batch, x);
+  std::vector<int> labels(batch.seeds.size());
+  for (std::size_t i = 0; i < batch.seeds.size(); ++i) {
+    labels[i] = dataset_.labels[static_cast<std::size_t>(batch.seeds[i])];
+  }
+  LossResult loss = softmax_cross_entropy(logits, labels);
+  model_->backward(batch, loss.d_logits);
+  auto params = model_->parameters();
+  optimizer_->step(params);
+  return loss.loss;
+}
+
+ReferenceEpochReport ReferenceTrainer::train_epoch() {
+  ReferenceEpochReport report;
+  std::vector<VertexId> order = dataset_.train_ids;
+  Xoshiro256 rng(config_.seed + 5150 + (shuffle_round_++));
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  for (std::size_t start = 0; start < order.size();
+       start += static_cast<std::size_t>(config_.batch_size)) {
+    const std::size_t end =
+        std::min(order.size(), start + static_cast<std::size_t>(config_.batch_size));
+    std::vector<VertexId> seeds(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                order.begin() + static_cast<std::ptrdiff_t>(end));
+    loss_sum += train_on_seeds(seeds);
+    ++report.iterations;
+  }
+  report.loss = report.iterations ? loss_sum / static_cast<double>(report.iterations) : 0.0;
+  report.train_accuracy = evaluate_accuracy();
+  (void)acc_sum;
+  return report;
+}
+
+double ReferenceTrainer::evaluate_accuracy(std::int64_t max_seeds) {
+  const auto count = std::min<std::int64_t>(
+      max_seeds, static_cast<std::int64_t>(dataset_.train_ids.size()));
+  std::vector<VertexId> seeds(dataset_.train_ids.begin(),
+                              dataset_.train_ids.begin() + static_cast<std::ptrdiff_t>(count));
+  MiniBatch batch = sampler_->sample(seeds);
+  Tensor x;
+  loader_->load(batch, x);
+  const Tensor logits = model_->forward(batch, x);
+  std::vector<int> labels(batch.seeds.size());
+  for (std::size_t i = 0; i < batch.seeds.size(); ++i) {
+    labels[i] = dataset_.labels[static_cast<std::size_t>(batch.seeds[i])];
+  }
+  return accuracy(logits, labels);
+}
+
+}  // namespace hyscale

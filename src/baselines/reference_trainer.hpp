@@ -1,0 +1,62 @@
+// Single-device reference trainer: plain sequential mini-batch SGD with
+// real numerics — no hybrid split, no simulation.
+//
+// Serves two purposes:
+//   * ground truth for the §II-B equivalence property ("training on 4
+//     GPUs with mini-batch size 1024 is equivalent to training on 1 GPU
+//     with mini-batch size 4096"): tests drive HybridTrainer and
+//     ReferenceTrainer with the same seeds and compare weights;
+//   * a convergence harness for the examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "runtime/feature_loader.hpp"
+#include "sampling/neighbor_sampler.hpp"
+
+namespace hyscale {
+
+struct ReferenceTrainerConfig {
+  GnnKind model_kind = GnnKind::kSage;
+  std::vector<int> fanouts = {25, 10};
+  std::int64_t batch_size = 256;
+  double learning_rate = 0.1;
+  std::uint64_t seed = 1;
+};
+
+struct ReferenceEpochReport {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  long iterations = 0;
+};
+
+class ReferenceTrainer {
+ public:
+  ReferenceTrainer(const Dataset& dataset, ReferenceTrainerConfig config);
+
+  /// One pass over the shuffled training set.
+  ReferenceEpochReport train_epoch();
+
+  /// Runs one iteration on explicit seeds (for equivalence tests);
+  /// returns the loss.
+  double train_on_seeds(const std::vector<VertexId>& seeds);
+
+  GnnModel& model() { return *model_; }
+  double evaluate_accuracy(std::int64_t max_seeds = 512);
+
+ private:
+  const Dataset& dataset_;
+  ReferenceTrainerConfig config_;
+  std::unique_ptr<GnnModel> model_;
+  std::unique_ptr<SgdOptimizer> optimizer_;
+  std::unique_ptr<NeighborSampler> sampler_;
+  std::unique_ptr<FeatureLoader> loader_;
+  std::uint64_t shuffle_round_ = 0;
+};
+
+}  // namespace hyscale

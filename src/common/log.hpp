@@ -1,0 +1,55 @@
+// Minimal leveled logger for the HyScale-GNN runtime.
+//
+// The runtime, DRM engine, and benchmark harnesses use this to report
+// stage timings and workload re-assignments.  Logging is opt-in per
+// severity and thread-safe (a single global mutex serialises sinks);
+// hot paths should cache `Logger::enabled(level)` before formatting.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hyscale {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global logger singleton.  Writes to stderr.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return static_cast<int>(level) >= static_cast<int>(level_); }
+
+  /// Thread-safe write of one formatted record.
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+inline void log_stream_append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void log_stream_append(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  log_stream_append(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: HYSCALE_LOG(kInfo, "drm", "moved ", n, " threads").
+template <typename... Args>
+void log_message(LogLevel level, std::string_view component, const Args&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  detail::log_stream_append(os, args...);
+  logger.write(level, component, os.str());
+}
+
+}  // namespace hyscale

@@ -1,0 +1,55 @@
+#include "common/strutil.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hyscale {
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return format_double(bytes, 1) + " " + kUnits[unit];
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string token;
+  while (std::getline(ss, token, delim)) out.push_back(token);
+  if (!s.empty() && s.back() == delim) out.emplace_back();
+  return out;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,28 @@
+// Small string/format helpers (gcc 12 lacks a complete <format>).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyscale {
+
+/// Formats a double with fixed precision, e.g. format_double(3.14159, 2) == "3.14".
+std::string format_double(double value, int precision);
+
+/// Human-readable byte count: "1.5 GB", "202.0 GB", "512.0 MB".
+std::string format_bytes(double bytes);
+
+/// Comma-grouped integer: 1615685872 -> "1,615,685,872".
+std::string format_count(std::uint64_t value);
+
+/// Left-pads `s` with spaces to `width`.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads `s` with spaces to `width`.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Splits on a single-character delimiter; empty tokens preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+}  // namespace hyscale

@@ -1,0 +1,69 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// The paper implements its Runtime with Pthreads (Listing 1); we use the
+// same building blocks (std::thread + condition variables) wrapped in an
+// RAII pool.  The pool backs:
+//   * the Feature Loader's threaded row gather (§III-B stage 2),
+//   * the CPU GNN Trainer's threaded GEMM and aggregation,
+//   * the Mini-batch Sampler's per-batch parallelism.
+// DRM's balance_thread re-partitions *logical* thread shares between
+// stages (see runtime/drm.hpp); the pool itself stays fixed-size.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hyscale {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).  A pool of size 1 still runs
+  /// tasks on the worker thread, preserving concurrency semantics on
+  /// single-core hosts.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task.  Fire-and-forget; use parallel_for for
+  /// joinable data-parallel loops.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  /// Splits [begin, end) into roughly `chunks` contiguous ranges and runs
+  /// `body(lo, hi)` on the pool, blocking until all complete.  `chunks`
+  /// defaults to the pool size.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t chunks = 0);
+
+  /// Process-wide default pool sized to the hardware concurrency (min 1).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace hyscale

@@ -1,0 +1,8 @@
+#include "core/hyscale.hpp"
+
+// Facade is header-only; this translation unit exists to type-check the
+// umbrella header in isolation and to anchor the library version symbol.
+
+namespace hyscale {
+static_assert(kVersion[0] == '1', "version anchor");
+}  // namespace hyscale

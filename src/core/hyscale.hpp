@@ -1,0 +1,73 @@
+// HyScale-GNN public API.
+//
+// Umbrella header plus a small facade for the common workflow:
+//
+//   #include "core/hyscale.hpp"
+//
+//   auto dataset = hyscale::materialize_dataset("ogbn-products");
+//   hyscale::HyScale system(dataset, hyscale::cpu_fpga_platform(4));
+//   auto reports = system.train(/*epochs=*/3);
+//
+// Lower-level pieces (samplers, cost models, DRM, baselines) are all
+// reachable through the headers re-exported here.
+#pragma once
+
+#include "baselines/distdgl.hpp"
+#include "baselines/p3.hpp"
+#include "baselines/pagraph.hpp"
+#include "baselines/pyg.hpp"
+#include "baselines/reference_trainer.hpp"
+#include "device/cost_model.hpp"
+#include "device/fpga_model.hpp"
+#include "device/link.hpp"
+#include "device/sampler_model.hpp"
+#include "device/spec.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generator.hpp"
+#include "graph/io.hpp"
+#include "graph/partition.hpp"
+#include "graph/reorder.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "runtime/drm.hpp"
+#include "runtime/feature_cache.hpp"
+#include "runtime/feature_loader.hpp"
+#include "runtime/hybrid_trainer.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/protocol.hpp"
+#include "runtime/stage_times.hpp"
+#include "runtime/sync.hpp"
+#include "runtime/task_mapper.hpp"
+#include "runtime/trace.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "sampling/saint_sampler.hpp"
+#include "sampling/sorted_edges.hpp"
+#include "tensor/quantize.hpp"
+
+namespace hyscale {
+
+/// Library version.
+inline constexpr const char* kVersion = "1.0.0";
+
+/// Facade: dataset + platform + config -> trained model and reports.
+class HyScale {
+ public:
+  HyScale(const Dataset& dataset, PlatformSpec platform, HybridTrainerConfig config = {})
+      : trainer_(dataset, std::move(platform), std::move(config)) {}
+
+  std::vector<EpochReport> train(int epochs) { return trainer_.train(epochs); }
+  EpochReport train_epoch() { return trainer_.train_epoch(); }
+
+  HybridTrainer& runtime() { return trainer_; }
+  GnnModel& model() { return trainer_.model(); }
+
+ private:
+  HybridTrainer trainer_;
+};
+
+}  // namespace hyscale

@@ -1,0 +1,59 @@
+#include "device/fpga_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strutil.hpp"
+
+namespace hyscale {
+
+namespace {
+// Affine cost coefficients fitted to the paper's (8, 2048) design point:
+//   LUT:  base (platform shell + runtime) + per-PE routing + per-MAC glue
+//   DSP:  ~5.4 DSP48E2 per fp32 MAC (mul + add + alignment)
+//   URAM: feature buffers per S-PE + weight/result buffers per MAC column
+//   BRAM: routing-network FIFOs per PE + systolic-edge buffers
+constexpr double kLutBase = 200000.0, kLutPerPe = 40000.0, kLutPerMac = 350.0;
+constexpr double kDspPerMac = 5.4;
+constexpr double kUramBase = 100.0, kUramPerPe = 16.0, kUramPerMac = 0.188;
+constexpr double kBramBase = 200.0, kBramPerPe = 40.0, kBramPerMac = 0.27;
+}  // namespace
+
+double FpgaUtilization::max_fraction() const {
+  return std::max({lut_fraction, dsp_fraction, uram_fraction, bram_fraction});
+}
+
+std::string FpgaUtilization::to_string() const {
+  return "LUT " + format_double(lut_fraction * 100.0, 0) + "%  DSP " +
+         format_double(dsp_fraction * 100.0, 0) + "%  URAM " +
+         format_double(uram_fraction * 100.0, 0) + "%  BRAM " +
+         format_double(bram_fraction * 100.0, 0) + "%";
+}
+
+FpgaUtilization estimate_utilization(const FpgaDesign& design, const FpgaResources& resources) {
+  if (design.n <= 0 || design.m <= 0)
+    throw std::invalid_argument("estimate_utilization: n, m must be positive");
+  FpgaUtilization utilization;
+  utilization.lut_fraction =
+      (kLutBase + kLutPerPe * design.n + kLutPerMac * design.m) / resources.luts;
+  utilization.dsp_fraction = kDspPerMac * design.m / resources.dsps;
+  utilization.uram_fraction =
+      (kUramBase + kUramPerPe * design.n + kUramPerMac * design.m) / resources.urams;
+  utilization.bram_fraction =
+      (kBramBase + kBramPerPe * design.n + kBramPerMac * design.m) / resources.brams;
+  return utilization;
+}
+
+int max_mac_units(int n, const FpgaResources& resources) {
+  int best = 0;
+  for (int m = 1; m <= (1 << 20); m *= 2) {
+    if (estimate_utilization({n, m}, resources).fits()) {
+      best = m;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,52 @@
+// FPGA design-space model: resource utilisation as a function of the
+// kernel parallelism (n scatter-gather PEs, m MAC units) — Table IV.
+//
+// The paper reports one design point, (n=8, m=2048) on the Alveo U250 at
+// 72% LUT / 90% DSP / 48% URAM / 40% BRAM.  We model utilisation as an
+// affine function of (n, m) with coefficients fitted to that point and to
+// standard Vitis HLS costs (fp32 MAC ~= 5 DSP48E2; per-PE routing and
+// buffering in LUTs/URAM).  This lets benches and tests explore the
+// design space and reject configurations that do not fit the part.
+#pragma once
+
+#include <string>
+
+namespace hyscale {
+
+/// Available resources of a Xilinx Alveo U250.
+struct FpgaResources {
+  double luts = 1728000.0;
+  double dsps = 12288.0;
+  double urams = 1280.0;
+  double brams = 2688.0;  ///< 36 Kb blocks
+};
+
+struct FpgaDesign {
+  int n = 8;      ///< scatter-gather PE pairs (edges processed in parallel)
+  int m = 2048;   ///< MAC units in the systolic update array
+};
+
+struct FpgaUtilization {
+  double lut_fraction = 0.0;
+  double dsp_fraction = 0.0;
+  double uram_fraction = 0.0;
+  double bram_fraction = 0.0;
+
+  bool fits() const {
+    return lut_fraction <= 1.0 && dsp_fraction <= 1.0 && uram_fraction <= 1.0 &&
+           bram_fraction <= 1.0;
+  }
+  /// The binding resource (max fraction).
+  double max_fraction() const;
+  std::string to_string() const;
+};
+
+/// Estimated utilisation of `design` on `resources`.
+FpgaUtilization estimate_utilization(const FpgaDesign& design,
+                                     const FpgaResources& resources = {});
+
+/// Largest m (power of two) that fits alongside `n` PEs; 0 if even m=1
+/// does not fit.
+int max_mac_units(int n, const FpgaResources& resources = {});
+
+}  // namespace hyscale

@@ -1,0 +1,43 @@
+#include "device/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyscale {
+
+PcieLink::PcieLink(double bw_gbps, Seconds latency) : bw_(bw_gbps * 1e9), latency_(latency) {
+  if (bw_gbps <= 0.0) throw std::invalid_argument("PcieLink: bandwidth must be positive");
+}
+
+Seconds PcieLink::transfer_time(double bytes) const {
+  if (bytes < 0.0) throw std::invalid_argument("PcieLink::transfer_time: negative bytes");
+  return latency_ + bytes / bw_;
+}
+
+Seconds PcieLink::allreduce_time(double model_bytes) const {
+  // Eq. 13: gather + broadcast = the model crosses the link twice.
+  return 2.0 * transfer_time(model_bytes);
+}
+
+HostMemoryChannel::HostMemoryChannel(double total_bw_gbps, double per_thread_gbps,
+                                     double saturation_fraction)
+    : total_bw_(total_bw_gbps * 1e9),
+      per_thread_bw_(per_thread_gbps * 1e9),
+      saturation_(saturation_fraction) {
+  if (total_bw_gbps <= 0.0 || per_thread_gbps <= 0.0 || saturation_fraction <= 0.0)
+    throw std::invalid_argument("HostMemoryChannel: parameters must be positive");
+}
+
+double HostMemoryChannel::effective_bandwidth(int threads) const {
+  if (threads <= 0) return 0.0;
+  return std::min(static_cast<double>(threads) * per_thread_bw_, saturation_ * total_bw_);
+}
+
+Seconds HostMemoryChannel::load_time(double bytes, int threads) const {
+  if (bytes < 0.0) throw std::invalid_argument("HostMemoryChannel::load_time: negative bytes");
+  const double bw = effective_bandwidth(threads);
+  if (bw <= 0.0) return 1e9;  // no loader threads: stage stalls
+  return bytes / bw;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,53 @@
+// Interconnect models: PCIe links (host <-> accelerator) and the host
+// DRAM channel used by the Feature Loader.
+//
+// Implements Eqs. 7, 8 and 13 of the paper.  Bandwidths are effective
+// burst bandwidths; a small fixed latency per transaction models DMA
+// descriptor setup and doorbell overhead (part of the "extra latency not
+// formulated" the paper blames for its 5-14% prediction error, §VI-C).
+#pragma once
+
+#include <cstdint>
+
+#include "common/timer.hpp"
+
+namespace hyscale {
+
+class PcieLink {
+ public:
+  explicit PcieLink(double bw_gbps, Seconds latency = 10e-6);
+
+  /// Time to move `bytes` host->device or device->host (Eq. 8).
+  Seconds transfer_time(double bytes) const;
+
+  /// Gradient all-reduce over this link (Eq. 13): the model crosses PCIe
+  /// twice (gather then broadcast).
+  Seconds allreduce_time(double model_bytes) const;
+
+  double bandwidth() const { return bw_; }
+
+ private:
+  double bw_;       ///< bytes/s
+  Seconds latency_;
+};
+
+/// Host DRAM channel as seen by the Feature Loader.  Effective bandwidth
+/// scales with the number of loader threads until it saturates a cap of
+/// the socket bandwidth (random row gathers cannot reach streaming BW).
+class HostMemoryChannel {
+ public:
+  HostMemoryChannel(double total_bw_gbps, double per_thread_gbps = 4.0,
+                    double saturation_fraction = 0.8);
+
+  /// Eq. 7: time to gather `bytes` of features using `threads` threads.
+  Seconds load_time(double bytes, int threads) const;
+
+  double effective_bandwidth(int threads) const;
+
+ private:
+  double total_bw_;       ///< bytes/s
+  double per_thread_bw_;  ///< bytes/s each loader thread can move
+  double saturation_;     ///< cap as a fraction of total_bw_
+};
+
+}  // namespace hyscale

@@ -1,0 +1,44 @@
+// Sampling-stage cost model.
+//
+// The paper deliberately does *not* give a closed form for T_samp —
+// "we estimate T_samp by running the sampling algorithm under different
+// numbers of threads and different mini-batch sizes" (§V).  We mirror
+// that: the CPU rate below is a measured per-edge cost (traversal +
+// hash-dedup, DRAM-latency bound), and the runtime can re-calibrate it
+// from a real measurement of the repository's own NeighborSampler.
+#pragma once
+
+#include <cstdint>
+
+#include "common/timer.hpp"
+#include "device/spec.hpp"
+
+namespace hyscale {
+
+class SamplerModel {
+ public:
+  /// `cpu_edges_per_sec_per_thread`: uniform neighbor sampling rate of a
+  /// single host thread.  120 ns/edge is a typical measured figure for
+  /// fanout sampling with dedup on EPYC-class cores.
+  explicit SamplerModel(double cpu_edges_per_sec_per_thread = 1.0 / 120e-9);
+
+  /// Time for `threads` CPU threads to sample batches totalling
+  /// `total_edges` sampled edges.
+  Seconds cpu_sample_time(std::int64_t total_edges, int threads) const;
+
+  /// Accelerator-side sampling rate (edges/s) for a device; GPUs sample
+  /// fast once the topology fits their memory, FPGAs host a modest
+  /// sampler kernel, CPUs return 0 here (handled by cpu_sample_time).
+  static double accelerator_rate(const DeviceSpec& device);
+
+  Seconds accel_sample_time(std::int64_t total_edges, const DeviceSpec& device) const;
+
+  /// Replace the measured CPU rate (the design-phase "profiling run").
+  void calibrate_cpu_rate(double edges_per_sec_per_thread);
+  double cpu_rate() const { return cpu_rate_; }
+
+ private:
+  double cpu_rate_;
+};
+
+}  // namespace hyscale

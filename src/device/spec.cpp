@@ -1,0 +1,67 @@
+#include "device/spec.hpp"
+
+namespace hyscale {
+
+const char* device_kind_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu: return "CPU";
+    case DeviceKind::kGpu: return "GPU";
+    case DeviceKind::kFpga: return "FPGA";
+  }
+  return "?";
+}
+
+DeviceSpec epyc7763_spec() {
+  // Table II: 2.45 GHz, 3.6 TFLOPS, 256 MB L3, 205 GB/s (per socket pair
+  // the paper reports 205 GB/s aggregate; per-socket peak flops is 3.6).
+  return {"AMD EPYC 7763", DeviceKind::kCpu, 3.6, 205.0, 256.0, 2.45, 0.0};
+}
+
+DeviceSpec a5000_spec() {
+  // Table II: 27.8 TFLOPS, 6 MB L2, 768 GB/s, 2.0 GHz, 24 GB GDDR6.
+  return {"NVIDIA RTX A5000", DeviceKind::kGpu, 27.8, 768.0, 6.0, 2.0, 24.0};
+}
+
+DeviceSpec u250_spec() {
+  // Table II: 0.6 TFLOPS, 54 MB on-chip, 77 GB/s, 300 MHz, 64 GB DDR4.
+  return {"Xilinx Alveo U250", DeviceKind::kFpga, 0.6, 77.0, 54.0, 0.3, 64.0};
+}
+
+DeviceSpec v100_spec() { return {"NVIDIA V100", DeviceKind::kGpu, 15.7, 900.0, 6.0, 1.53, 32.0}; }
+DeviceSpec p100_spec() { return {"NVIDIA P100", DeviceKind::kGpu, 9.3, 732.0, 4.0, 1.48, 16.0}; }
+DeviceSpec t4_spec() { return {"NVIDIA T4", DeviceKind::kGpu, 8.1, 300.0, 4.0, 1.59, 16.0}; }
+DeviceSpec xeon8163_spec() {
+  return {"Intel Xeon Platinum 8163", DeviceKind::kCpu, 1.9, 119.0, 33.0, 2.5, 0.0};
+}
+
+double PlatformSpec::total_tflops() const {
+  double total = cpu.peak_tflops * num_sockets;
+  for (const auto& accel : accelerators) total += accel.peak_tflops;
+  return total;
+}
+
+PlatformSpec cpu_gpu_platform(int num_gpus) {
+  PlatformSpec platform;
+  platform.name = "2x EPYC 7763 + " + std::to_string(num_gpus) + "x RTX A5000";
+  platform.cpu = epyc7763_spec();
+  platform.num_sockets = 2;
+  platform.cpu_threads = 128;
+  platform.accelerators.assign(static_cast<std::size_t>(num_gpus), a5000_spec());
+  platform.pcie_bw_gbps = 25.0;  // PCIe 4.0 x16, effective burst
+  platform.cpu_mem_bw_gbps = 205.0;
+  return platform;
+}
+
+PlatformSpec cpu_fpga_platform(int num_fpgas) {
+  PlatformSpec platform;
+  platform.name = "2x EPYC 7763 + " + std::to_string(num_fpgas) + "x Alveo U250";
+  platform.cpu = epyc7763_spec();
+  platform.num_sockets = 2;
+  platform.cpu_threads = 128;
+  platform.accelerators.assign(static_cast<std::size_t>(num_fpgas), u250_spec());
+  platform.pcie_bw_gbps = 25.0;  // Alveo U250 also negotiates a x16 link
+  platform.cpu_mem_bw_gbps = 205.0;
+  return platform;
+}
+
+}  // namespace hyscale

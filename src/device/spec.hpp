@@ -1,0 +1,68 @@
+// Platform specifications — Table II of the paper plus the interconnect
+// parameters the performance model needs.
+//
+// All bandwidths are *effective* burst bandwidths, not peak (the paper is
+// explicit about this below Eq. 8).  The two heterogeneous testbeds are
+// reconstructed as factory functions:
+//   * cpu_gpu_platform(k):  2x EPYC 7763 + k x NVIDIA RTX A5000
+//   * cpu_fpga_platform(k): 2x EPYC 7763 + k x Xilinx Alveo U250
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hyscale {
+
+enum class DeviceKind { kCpu, kGpu, kFpga };
+
+const char* device_kind_name(DeviceKind kind);
+
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+  double peak_tflops = 0.0;     ///< single-precision peak
+  double mem_bw_gbps = 0.0;     ///< attached memory effective bandwidth (GB/s)
+  double onchip_mb = 0.0;       ///< L3 / L2 / URAM+BRAM capacity
+  double freq_ghz = 0.0;
+  double device_mem_gb = 0.0;   ///< global/DDR capacity (feature-cache budget)
+
+  double peak_flops() const { return peak_tflops * 1e12; }
+  double mem_bw() const { return mem_bw_gbps * 1e9; }
+};
+
+/// Table II rows.
+DeviceSpec epyc7763_spec();
+DeviceSpec a5000_spec();
+DeviceSpec u250_spec();
+
+/// Specs for the state-of-the-art comparison platforms (Table V).
+DeviceSpec v100_spec();
+DeviceSpec p100_spec();
+DeviceSpec t4_spec();
+DeviceSpec xeon8163_spec();
+
+struct PlatformSpec {
+  std::string name;
+  DeviceSpec cpu;               ///< one socket
+  int num_sockets = 2;
+  int cpu_threads = 128;        ///< total hardware threads usable by the runtime
+  std::vector<DeviceSpec> accelerators;
+  double pcie_bw_gbps = 25.0;   ///< effective per-accelerator PCIe bandwidth
+  double cpu_mem_bw_gbps = 205.0;  ///< aggregate CPU DRAM bandwidth (Table II)
+  double cpu_mem_gb = 1024.0;   ///< "several terabytes on high-end nodes"
+
+  int num_accelerators() const { return static_cast<int>(accelerators.size()); }
+  /// Aggregate platform compute, the Table VII normalisation factor.
+  double total_tflops() const;
+  double pcie_bw() const { return pcie_bw_gbps * 1e9; }
+  double cpu_mem_bw() const { return cpu_mem_bw_gbps * 1e9; }
+};
+
+/// The paper's CPU-GPU testbed: 2x EPYC 7763 + k x A5000 (PCIe 4.0 x16).
+PlatformSpec cpu_gpu_platform(int num_gpus);
+
+/// The paper's CPU-FPGA testbed: 2x EPYC 7763 + k x U250 (PCIe 3.0 x16,
+/// lower effective bandwidth than the GPU links).
+PlatformSpec cpu_fpga_platform(int num_fpgas);
+
+}  // namespace hyscale

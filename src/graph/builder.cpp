@@ -1,0 +1,47 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyscale {
+
+CsrGraph build_csr(VertexId num_vertices,
+                   std::vector<std::pair<VertexId, VertexId>> edges,
+                   const EdgeListOptions& options) {
+  if (num_vertices < 0) throw std::invalid_argument("build_csr: negative vertex count");
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= num_vertices || v < 0 || v >= num_vertices)
+      throw std::invalid_argument("build_csr: edge endpoint out of range");
+  }
+
+  if (options.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.emplace_back(edges[i].second, edges[i].first);
+    }
+  }
+  if (options.remove_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const auto& e) { return e.first == e.second; }),
+                edges.end());
+  }
+  std::sort(edges.begin(), edges.end());
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  std::vector<EdgeId> indptr(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    (void)v;
+    ++indptr[static_cast<std::size_t>(u) + 1];
+  }
+  for (std::size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
+
+  std::vector<VertexId> indices(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) indices[i] = edges[i].second;
+
+  return CsrGraph(std::move(indptr), std::move(indices));
+}
+
+}  // namespace hyscale

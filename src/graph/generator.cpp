@@ -1,0 +1,110 @@
+#include "graph/generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace hyscale {
+
+CsrGraph generate_rmat(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 30)
+    throw std::invalid_argument("generate_rmat: scale out of range [1,30]");
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (d < 0.0) throw std::invalid_argument("generate_rmat: a+b+c must be <= 1");
+
+  const VertexId n = VertexId{1} << params.scale;
+  const auto target = static_cast<std::size_t>(params.edge_factor * static_cast<double>(n));
+  Xoshiro256 rng(params.seed);
+
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(target);
+  for (std::size_t e = 0; e < target; ++e) {
+    VertexId u = 0, v = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  EdgeListOptions options;
+  options.symmetrize = params.symmetrize;
+  return build_csr(n, std::move(edges), options);
+}
+
+CsrGraph generate_sbm(const SbmParams& params) {
+  if (params.vertices_per_block <= 0 || params.num_blocks <= 0)
+    throw std::invalid_argument("generate_sbm: block sizes must be positive");
+  const VertexId n = params.vertices_per_block * params.num_blocks;
+  Xoshiro256 rng(params.seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  // Expected edge count for reservation.
+  const double per_block = 0.5 * static_cast<double>(params.vertices_per_block) *
+                           static_cast<double>(params.vertices_per_block) * params.p_intra;
+  edges.reserve(static_cast<std::size_t>(per_block * params.num_blocks * 1.5));
+
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId block_u = u / params.vertices_per_block;
+    for (VertexId v = u + 1; v < n; ++v) {
+      const VertexId block_v = v / params.vertices_per_block;
+      const double p = (block_u == block_v) ? params.p_intra : params.p_inter;
+      if (rng.uniform() < p) edges.emplace_back(u, v);
+    }
+  }
+  return build_csr(n, std::move(edges));
+}
+
+CsrGraph generate_erdos_renyi(VertexId num_vertices, double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("generate_erdos_renyi: p not in [0,1]");
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  if (p > 0.0 && num_vertices > 1) {
+    Xoshiro256 rng(seed);
+    const double log_1mp = std::log(1.0 - p);
+    // Geometric skipping over the upper triangle, O(E) expected time.
+    const auto total = static_cast<std::uint64_t>(num_vertices) *
+                       static_cast<std::uint64_t>(num_vertices - 1) / 2;
+    std::uint64_t position = 0;
+    auto advance = [&]() -> bool {
+      if (p >= 1.0) {
+        ++position;
+        return position <= total;
+      }
+      const double r = std::max(rng.uniform(), 1e-300);
+      position += 1 + static_cast<std::uint64_t>(std::floor(std::log(r) / log_1mp));
+      return position <= total;
+    };
+    while (advance()) {
+      // Decode linear index `position-1` in the strictly-upper triangle.
+      const std::uint64_t k = position - 1;
+      // Row search: u such that offset(u) <= k < offset(u+1) where
+      // offset(u) = u*n - u*(u+1)/2. Solve quadratically then correct.
+      const double nd = static_cast<double>(num_vertices);
+      double u_guess = nd - 0.5 - std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * static_cast<double>(k));
+      auto u = static_cast<std::uint64_t>(std::max(0.0, std::floor(u_guess)));
+      auto offset = [&](std::uint64_t row) {
+        return row * static_cast<std::uint64_t>(num_vertices) - row * (row + 1) / 2;
+      };
+      while (u + 1 < static_cast<std::uint64_t>(num_vertices) && offset(u + 1) <= k) ++u;
+      while (u > 0 && offset(u) > k) --u;
+      const std::uint64_t v = u + 1 + (k - offset(u));
+      edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  return build_csr(num_vertices, std::move(edges));
+}
+
+}  // namespace hyscale

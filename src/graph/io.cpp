@@ -1,0 +1,49 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace hyscale {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x48595343'53520001ULL;  // "HYSC" "SR" v1
+}
+
+void save_csr(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_csr: cannot open " + path);
+  const std::uint64_t magic = kMagic;
+  const std::uint64_t n = static_cast<std::uint64_t>(graph.num_vertices());
+  const std::uint64_t m = static_cast<std::uint64_t>(graph.num_edges());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(graph.indptr().data()),
+            static_cast<std::streamsize>(graph.indptr().size() * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(graph.indices().data()),
+            static_cast<std::streamsize>(graph.indices().size() * sizeof(VertexId)));
+  if (!out) throw std::runtime_error("save_csr: write failed for " + path);
+}
+
+CsrGraph load_csr(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_csr: cannot open " + path);
+  std::uint64_t magic = 0, n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in || magic != kMagic) throw std::runtime_error("load_csr: bad header in " + path);
+  std::vector<EdgeId> indptr(static_cast<std::size_t>(n) + 1);
+  std::vector<VertexId> indices(static_cast<std::size_t>(m));
+  in.read(reinterpret_cast<char*>(indptr.data()),
+          static_cast<std::streamsize>(indptr.size() * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(indices.data()),
+          static_cast<std::streamsize>(indices.size() * sizeof(VertexId)));
+  if (!in) throw std::runtime_error("load_csr: truncated file " + path);
+  CsrGraph graph(std::move(indptr), std::move(indices));
+  if (!graph.validate()) throw std::runtime_error("load_csr: corrupt graph in " + path);
+  return graph;
+}
+
+}  // namespace hyscale

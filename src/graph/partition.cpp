@@ -1,0 +1,129 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace hyscale {
+
+double Partition::imbalance() const {
+  if (part_sizes.empty()) return 1.0;
+  const VertexId max_size = *std::max_element(part_sizes.begin(), part_sizes.end());
+  VertexId total = 0;
+  for (VertexId s : part_sizes) total += s;
+  const double mean = static_cast<double>(total) / static_cast<double>(part_sizes.size());
+  return mean == 0.0 ? 1.0 : static_cast<double>(max_size) / mean;
+}
+
+Partition partition_hash(const CsrGraph& graph, int num_parts, std::uint64_t seed) {
+  if (num_parts <= 0) throw std::invalid_argument("partition_hash: num_parts must be positive");
+  Partition partition;
+  partition.num_parts = num_parts;
+  partition.assignment.resize(static_cast<std::size_t>(graph.num_vertices()));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    std::uint64_t h = seed ^ static_cast<std::uint64_t>(v);
+    partition.assignment[static_cast<std::size_t>(v)] =
+        static_cast<int>(splitmix64(h) % static_cast<std::uint64_t>(num_parts));
+  }
+  compute_partition_stats(graph, partition);
+  return partition;
+}
+
+Partition partition_bfs(const CsrGraph& graph, int num_parts, std::uint64_t seed) {
+  if (num_parts <= 0) throw std::invalid_argument("partition_bfs: num_parts must be positive");
+  const VertexId n = graph.num_vertices();
+  Partition partition;
+  partition.num_parts = num_parts;
+  partition.assignment.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) {
+    compute_partition_stats(graph, partition);
+    return partition;
+  }
+
+  const VertexId capacity = (n + num_parts - 1) / num_parts;
+  std::vector<VertexId> filled(static_cast<std::size_t>(num_parts), 0);
+  Xoshiro256 rng(seed);
+
+  std::deque<VertexId> frontier;
+  // Seed each part with a random unassigned vertex.
+  for (int p = 0; p < num_parts; ++p) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+      if (partition.assignment[static_cast<std::size_t>(v)] == -1) {
+        partition.assignment[static_cast<std::size_t>(v)] = p;
+        ++filled[static_cast<std::size_t>(p)];
+        frontier.push_back(v);
+        break;
+      }
+    }
+  }
+
+  std::vector<VertexId> votes(static_cast<std::size_t>(num_parts));
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    for (VertexId v : graph.neighbors(u)) {
+      if (partition.assignment[static_cast<std::size_t>(v)] != -1) continue;
+      // Majority vote of already-assigned neighbors, capacity-capped.
+      std::fill(votes.begin(), votes.end(), 0);
+      for (VertexId w : graph.neighbors(v)) {
+        const int part = partition.assignment[static_cast<std::size_t>(w)];
+        if (part >= 0) ++votes[static_cast<std::size_t>(part)];
+      }
+      int best = -1;
+      VertexId best_votes = -1;
+      for (int p = 0; p < num_parts; ++p) {
+        if (filled[static_cast<std::size_t>(p)] >= capacity) continue;
+        if (votes[static_cast<std::size_t>(p)] > best_votes) {
+          best_votes = votes[static_cast<std::size_t>(p)];
+          best = p;
+        }
+      }
+      if (best == -1) best = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(num_parts)));
+      partition.assignment[static_cast<std::size_t>(v)] = best;
+      ++filled[static_cast<std::size_t>(best)];
+      frontier.push_back(v);
+    }
+  }
+  // Isolated / unreachable vertices: round-robin into least-filled parts.
+  for (VertexId v = 0; v < n; ++v) {
+    if (partition.assignment[static_cast<std::size_t>(v)] == -1) {
+      const auto least = static_cast<int>(
+          std::min_element(filled.begin(), filled.end()) - filled.begin());
+      partition.assignment[static_cast<std::size_t>(v)] = least;
+      ++filled[static_cast<std::size_t>(least)];
+    }
+  }
+  compute_partition_stats(graph, partition);
+  return partition;
+}
+
+void compute_partition_stats(const CsrGraph& graph, Partition& partition) {
+  const VertexId n = graph.num_vertices();
+  partition.part_sizes.assign(static_cast<std::size_t>(partition.num_parts), 0);
+  partition.halo_sizes.assign(static_cast<std::size_t>(partition.num_parts), 0);
+  partition.edge_cut = 0;
+
+  std::vector<std::unordered_set<VertexId>> halos(
+      static_cast<std::size_t>(partition.num_parts));
+  for (VertexId v = 0; v < n; ++v) {
+    const int part_v = partition.assignment[static_cast<std::size_t>(v)];
+    ++partition.part_sizes[static_cast<std::size_t>(part_v)];
+    for (VertexId u : graph.neighbors(v)) {
+      const int part_u = partition.assignment[static_cast<std::size_t>(u)];
+      if (part_u != part_v) {
+        ++partition.edge_cut;
+        halos[static_cast<std::size_t>(part_v)].insert(u);
+      }
+    }
+  }
+  for (int p = 0; p < partition.num_parts; ++p) {
+    partition.halo_sizes[static_cast<std::size_t>(p)] =
+        static_cast<VertexId>(halos[static_cast<std::size_t>(p)].size());
+  }
+}
+
+}  // namespace hyscale

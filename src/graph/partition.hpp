@@ -1,0 +1,47 @@
+// Graph partitioning for the distributed baselines.
+//
+// HyScale-GNN itself never partitions the graph — that is its central
+// argument against P3/DistDGL (§VII).  We implement partitioning so the
+// baseline models can quantify what HyScale avoids: edge cut drives the
+// halo/feature traffic that dominates P3 and DistDGLv2's inter-node
+// communication (§VI-E2).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hyscale {
+
+struct Partition {
+  int num_parts = 1;
+  std::vector<int> assignment;  ///< part id per vertex
+
+  /// Edges whose endpoints land in different parts.
+  EdgeId edge_cut = 0;
+  /// Per-part count of owned vertices.
+  std::vector<VertexId> part_sizes;
+  /// Per-part count of remote neighbors (halo vertices to fetch).
+  std::vector<VertexId> halo_sizes;
+
+  double edge_cut_fraction(EdgeId total_edges) const {
+    return total_edges == 0 ? 0.0
+                            : static_cast<double>(edge_cut) / static_cast<double>(total_edges);
+  }
+  /// Max/mean part size; 1.0 = perfectly balanced.
+  double imbalance() const;
+};
+
+/// Hash (random) partitioner — what DistDGL falls back to; high edge cut.
+Partition partition_hash(const CsrGraph& graph, int num_parts, std::uint64_t seed);
+
+/// Greedy BFS grower (Linear Deterministic Greedy flavour): grows parts
+/// from seeds, assigning each frontier vertex to the neighbor-majority
+/// part under a capacity cap.  Approximates the locality METIS-style
+/// partitioners give DistDGL.
+Partition partition_bfs(const CsrGraph& graph, int num_parts, std::uint64_t seed);
+
+/// Fills edge_cut / part_sizes / halo_sizes from `assignment`.
+void compute_partition_stats(const CsrGraph& graph, Partition& partition);
+
+}  // namespace hyscale

@@ -1,0 +1,53 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace hyscale {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x48595343'4B505401ULL;  // "HYSC" "KPT" v1
+}
+
+void save_checkpoint(const GnnModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  const auto params = model.parameters();
+  const std::uint64_t magic = kMagic;
+  const auto count = static_cast<std::uint64_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Param* param : params) {
+    const std::int64_t rows = param->value.rows();
+    const std::int64_t cols = param->value.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(param->value.data()),
+              static_cast<std::streamsize>(param->value.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(GnnModel& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  std::uint64_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) throw std::runtime_error("load_checkpoint: bad header in " + path);
+  auto params = model.parameters();
+  if (count != params.size())
+    throw std::runtime_error("load_checkpoint: parameter count mismatch in " + path);
+  for (Param* param : params) {
+    std::int64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in || rows != param->value.rows() || cols != param->value.cols())
+      throw std::runtime_error("load_checkpoint: shape mismatch in " + path);
+    in.read(reinterpret_cast<char*>(param->value.data()),
+            static_cast<std::streamsize>(param->value.size() * sizeof(float)));
+  }
+  if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+}
+
+}  // namespace hyscale

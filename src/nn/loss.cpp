@@ -1,0 +1,51 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hyscale {
+
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int> labels) {
+  if (static_cast<std::int64_t>(labels.size()) != logits.rows())
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  const std::int64_t n = logits.rows();
+  const std::int64_t c = logits.cols();
+  LossResult result;
+  result.d_logits.resize(n, c);
+  if (n == 0) return result;
+
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int label = labels[static_cast<std::size_t>(i)];
+    if (label < 0 || label >= c)
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    const float* row = logits.data() + i * c;
+    float* grad = result.d_logits.data() + i * c;
+
+    float max_logit = row[0];
+    std::int64_t argmax = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (row[j] > max_logit) {
+        max_logit = row[j];
+        argmax = j;
+      }
+    }
+    if (argmax == label) ++result.correct;
+
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) denom += std::exp(static_cast<double>(row[j] - max_logit));
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(row[label] - max_logit) - log_denom);
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::int64_t j = 0; j < c; ++j) {
+      const double p = std::exp(static_cast<double>(row[j] - max_logit)) / denom;
+      grad[j] = static_cast<float>((p - (j == label ? 1.0 : 0.0)) * inv_n);
+    }
+  }
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace hyscale

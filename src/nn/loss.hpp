@@ -1,0 +1,21 @@
+// Softmax cross-entropy loss over the seed vertices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace hyscale {
+
+struct LossResult {
+  double loss = 0.0;   ///< mean negative log-likelihood over the batch
+  Tensor d_logits;     ///< gradient of the mean loss w.r.t. logits
+  std::int64_t correct = 0;  ///< argmax == label count (for accuracy)
+};
+
+/// Numerically-stable softmax cross entropy.  `labels[i]` indexes the
+/// class of row i; out-of-range labels throw.
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace hyscale

@@ -1,0 +1,23 @@
+// Trainable parameter: value + gradient accumulator.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace hyscale {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, std::int64_t rows, std::int64_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.zero(); }
+  std::int64_t size() const { return value.size(); }
+};
+
+}  // namespace hyscale

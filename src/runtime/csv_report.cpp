@@ -1,0 +1,45 @@
+#include "runtime/csv_report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strutil.hpp"
+
+namespace hyscale {
+
+std::string csv_header() {
+  return "epoch,epoch_time_s,iterations,mteps,loss,train_accuracy,"
+         "t_sample_cpu_ms,t_load_ms,t_transfer_ms,t_train_cpu_ms,t_train_accel_ms,t_sync_ms,"
+         "cpu_batch,accel_batch,num_accelerators";
+}
+
+std::string csv_row(int epoch, const EpochReport& report) {
+  std::ostringstream out;
+  const StageTimes& t = report.mean_times;
+  out << epoch << ',' << format_double(report.epoch_time, 6) << ',' << report.iterations << ','
+      << format_double(report.mteps, 2) << ',' << format_double(report.loss, 6) << ','
+      << format_double(report.train_accuracy, 4) << ',' << format_double(t.sample_cpu * 1e3, 4)
+      << ',' << format_double(t.load * 1e3, 4) << ',' << format_double(t.transfer * 1e3, 4)
+      << ',' << format_double(t.train_cpu * 1e3, 4) << ','
+      << format_double(t.train_accel * 1e3, 4) << ',' << format_double(t.sync * 1e3, 4) << ','
+      << report.final_workload.cpu_batch << ',' << report.final_workload.accel_batch << ','
+      << report.final_workload.num_accelerators;
+  return out.str();
+}
+
+std::string to_csv(const std::vector<EpochReport>& reports) {
+  std::string out = csv_header() + "\n";
+  for (std::size_t e = 0; e < reports.size(); ++e) {
+    out += csv_row(static_cast<int>(e), reports[e]) + "\n";
+  }
+  return out;
+}
+
+void write_csv(const std::vector<EpochReport>& reports, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw std::runtime_error("write_csv: cannot open " + path);
+  file << to_csv(reports);
+  if (!file) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+}  // namespace hyscale

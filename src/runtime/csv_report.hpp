@@ -1,0 +1,25 @@
+// CSV export of epoch reports — the artifact format downstream analysis
+// scripts (pandas/gnuplot) consume from long training runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/hybrid_trainer.hpp"
+
+namespace hyscale {
+
+/// Header line matching csv_row()'s columns.
+std::string csv_header();
+
+/// One epoch as a CSV row: epoch index, simulated time, iterations,
+/// MTEPS, loss, accuracy, mean stage times, final workload split.
+std::string csv_row(int epoch, const EpochReport& report);
+
+/// Serialises a whole run (header + one row per report).
+std::string to_csv(const std::vector<EpochReport>& reports);
+
+/// Writes to a file; throws std::runtime_error on I/O failure.
+void write_csv(const std::vector<EpochReport>& reports, const std::string& path);
+
+}  // namespace hyscale

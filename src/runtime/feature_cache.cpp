@@ -1,0 +1,50 @@
+#include "runtime/feature_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/reorder.hpp"
+#include "tensor/ops.hpp"
+
+namespace hyscale {
+
+StaticFeatureCache::StaticFeatureCache(const CsrGraph& graph, const Tensor& features,
+                                       std::int64_t capacity_rows)
+    : features_(features) {
+  if (features.rows() != graph.num_vertices())
+    throw std::invalid_argument("StaticFeatureCache: features/graph size mismatch");
+  if (capacity_rows < 0)
+    throw std::invalid_argument("StaticFeatureCache: negative capacity");
+  capacity_ = std::min<std::int64_t>(capacity_rows, graph.num_vertices());
+  cached_.assign(static_cast<std::size_t>(graph.num_vertices()), false);
+  // Degree-ordered: PaGraph's "computation-aware" policy caches the
+  // vertices most likely to appear in sampled neighborhoods.
+  const std::vector<VertexId> order = degree_order(graph);
+  for (std::int64_t i = 0; i < capacity_; ++i) {
+    cached_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = true;
+  }
+}
+
+StaticFeatureCache::LoadStats StaticFeatureCache::load(const MiniBatch& batch, Tensor& out) {
+  const auto& nodes = batch.input_nodes();
+  gather_rows(features_, std::span<const std::int64_t>(nodes.data(), nodes.size()), out);
+
+  LoadStats stats;
+  const double row_bytes = static_cast<double>(features_.cols()) * 4.0;
+  for (VertexId v : nodes) {
+    if (cached_[static_cast<std::size_t>(v)]) {
+      ++stats.hits;
+      stats.device_bytes += row_bytes;
+    } else {
+      ++stats.misses;
+      stats.host_bytes += row_bytes;
+    }
+  }
+  totals_.hits += stats.hits;
+  totals_.misses += stats.misses;
+  totals_.device_bytes += stats.device_bytes;
+  totals_.host_bytes += stats.host_bytes;
+  return stats;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,58 @@
+// Static feature cache: device-resident copies of hot vertices' features.
+//
+// PaGraph-style degree-ordered caching (§VI-E2 discusses why this helps
+// and where it stops helping): the top-`capacity` vertices by degree are
+// pinned in device memory; a mini-batch load serves those rows from the
+// device and fetches the rest from host DRAM over PCIe.  HyScale-GNN
+// itself does not need this (it streams everything through the prefetch
+// pipeline), but the module lets the repository measure REAL hit rates
+// from its own sampler — which is what the PaGraph comparison's miss
+// traffic is all about — and quantifies the skew assumption behind the
+// baseline's analytic hit-rate model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sampling/minibatch.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hyscale {
+
+class StaticFeatureCache {
+ public:
+  /// Pins the features of the `capacity_rows` highest-degree vertices.
+  StaticFeatureCache(const CsrGraph& graph, const Tensor& features,
+                     std::int64_t capacity_rows);
+
+  struct LoadStats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    double device_bytes = 0.0;  ///< served from the cache
+    double host_bytes = 0.0;    ///< fetched from host (the PCIe traffic)
+
+    double hit_rate() const {
+      const std::int64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  /// Gathers X' for the batch's input vertices (numerically identical to
+  /// FeatureLoader::load) while attributing each row to cache or host.
+  LoadStats load(const MiniBatch& batch, Tensor& out);
+
+  bool cached(VertexId v) const { return cached_[static_cast<std::size_t>(v)]; }
+  std::int64_t capacity() const { return capacity_; }
+
+  /// Cumulative statistics across all load() calls.
+  const LoadStats& totals() const { return totals_; }
+
+ private:
+  const Tensor& features_;
+  std::vector<bool> cached_;
+  std::int64_t capacity_ = 0;
+  LoadStats totals_;
+};
+
+}  // namespace hyscale

@@ -1,0 +1,16 @@
+#include "runtime/feature_loader.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace hyscale {
+
+FeatureLoader::FeatureLoader(const Tensor& features) : features_(features) {}
+
+void FeatureLoader::load(const MiniBatch& batch, Tensor& out) {
+  const auto& nodes = batch.input_nodes();
+  gather_rows(features_, std::span<const std::int64_t>(nodes.data(), nodes.size()), out);
+  last_bytes_ = static_cast<double>(out.size()) * 4.0;
+  total_bytes_ += last_bytes_;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,37 @@
+// Feature Loader (§III-A): extracts the mini-batch feature matrix X'
+// from the host-resident feature matrix X.
+//
+// Runs only on the CPU because X for large-scale graphs lives in host
+// memory (§III-B stage 2).  The gather is threaded; `bytes_loaded`
+// accounting feeds the Eq. 7 stage-time bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/thread_pool.hpp"
+#include "sampling/minibatch.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hyscale {
+
+class FeatureLoader {
+ public:
+  explicit FeatureLoader(const Tensor& features);
+
+  /// Gathers X' for the batch's input vertices.  Thread-parallel over
+  /// rows via the global pool.
+  void load(const MiniBatch& batch, Tensor& out);
+
+  /// Bytes the most recent load() moved (|V^0| * f0 * 4).
+  double last_bytes() const { return last_bytes_; }
+  /// Cumulative bytes across all load() calls.
+  double total_bytes() const { return total_bytes_; }
+
+ private:
+  const Tensor& features_;
+  double last_bytes_ = 0.0;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace hyscale

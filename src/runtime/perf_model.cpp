@@ -1,0 +1,162 @@
+#include "runtime/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sampling/neighbor_sampler.hpp"
+
+namespace hyscale {
+
+double model_param_bytes(const ModelConfig& model) {
+  double params = 0.0;
+  for (int l = 1; l <= model.num_layers(); ++l) {
+    const double f_in = model.dims[static_cast<std::size_t>(l - 1)];
+    const double f_out = model.dims[static_cast<std::size_t>(l)];
+    const double f_agg = model.kind == GnnKind::kSage ? 2.0 * f_in : f_in;
+    params += f_agg * f_out + f_out;  // W + b
+    if (model.kind == GnnKind::kGat) params += 2.0 * f_out;  // a_l, a_r
+  }
+  return params * 4.0;
+}
+
+PerformanceModel::PerformanceModel(PlatformSpec platform, ModelConfig model, DatasetInfo dataset,
+                                   std::vector<int> fanouts)
+    : platform_(std::move(platform)),
+      model_(std::move(model)),
+      dataset_(std::move(dataset)),
+      fanouts_(std::move(fanouts)),
+      sampler_(),
+      pcie_(platform_.pcie_bw_gbps),
+      host_memory_(platform_.cpu_mem_bw_gbps) {
+  if (fanouts_.empty()) throw std::invalid_argument("PerformanceModel: fanouts empty");
+  if (static_cast<int>(fanouts_.size()) != model_.num_layers())
+    throw std::invalid_argument("PerformanceModel: fanouts/model layer mismatch");
+  cpu_trainer_ = std::make_unique<CpuTrainerModel>(platform_, platform_.cpu_threads / 2);
+  if (platform_.num_accelerators() > 0) {
+    accel_trainer_ = make_trainer_model(platform_, platform_.accelerators.front());
+  }
+}
+
+void PerformanceModel::set_transfer_bytes_per_element(double bytes) {
+  if (bytes <= 0.0 || bytes > 4.0)
+    throw std::invalid_argument("set_transfer_bytes_per_element: bytes must be in (0, 4]");
+  transfer_bytes_per_element_ = bytes;
+}
+
+BatchStats PerformanceModel::expected_stats(std::int64_t batch_size) const {
+  return NeighborSampler::expected_stats(batch_size, fanouts_, dataset_.mean_degree(),
+                                         dataset_.num_vertices);
+}
+
+namespace {
+
+double feature_bytes(const BatchStats& stats, int f0) {
+  return static_cast<double>(stats.input_vertices()) * f0 * 4.0;
+}
+
+double topology_bytes(const BatchStats& stats) {
+  // Each sampled edge is a (src, dst) pair of 32-bit local indices plus
+  // per-layer index pointers (small; folded into the 8 B/edge figure).
+  return static_cast<double>(stats.total_edges()) * 8.0;
+}
+
+}  // namespace
+
+StageTimes PerformanceModel::stage_times(const WorkloadAssignment& workload,
+                                         const BatchStats& cpu_stats,
+                                         const std::vector<BatchStats>& accel_stats) const {
+  StageTimes t;
+
+  // ---- Sampling (T_SC / T_SA): measured-rate model (§V: "we estimate
+  // T_samp by running the sampling algorithm...").
+  std::int64_t total_edges = cpu_stats.total_edges();
+  for (const auto& s : accel_stats) total_edges += s.total_edges();
+  const double accel_fraction =
+      workload.num_accelerators > 0 ? workload.accel_sample_fraction : 0.0;
+  const auto accel_edges = static_cast<std::int64_t>(accel_fraction * total_edges);
+  const std::int64_t cpu_edges = total_edges - accel_edges;
+  t.sample_cpu = cpu_edges > 0
+                     ? sampler_.cpu_sample_time(cpu_edges, workload.threads.sampler)
+                     : 0.0;
+  if (accel_edges > 0 && workload.num_accelerators > 0) {
+    t.sample_accel = sampler_.accel_sample_time(accel_edges / workload.num_accelerators,
+                                                platform_.accelerators.front());
+  }
+
+  // ---- Feature Loading (Eq. 7): ALL trainers' X' are gathered from the
+  // host feature matrix by the CPU-resident loader.
+  double load_bytes = workload.cpu_batch > 0 ? feature_bytes(cpu_stats, dataset_.f0) : 0.0;
+  for (const auto& s : accel_stats) load_bytes += feature_bytes(s, dataset_.f0);
+  t.load = host_memory_.load_time(load_bytes, workload.threads.loader);
+
+  // ---- Data Transfer (Eq. 8): each accelerator receives its own batch
+  // over its own PCIe link; the slowest (max) gates the stage.  Feature
+  // elements may be quantized down to 2 or 1 wire bytes (§VIII).
+  Seconds worst_transfer = 0.0;
+  for (const auto& s : accel_stats) {
+    const double wire_feature_bytes =
+        static_cast<double>(s.input_vertices()) * dataset_.f0 * transfer_bytes_per_element_;
+    worst_transfer =
+        std::max(worst_transfer, pcie_.transfer_time(wire_feature_bytes + topology_bytes(s)));
+  }
+  t.transfer = worst_transfer;
+
+  // ---- GNN Propagation (Eqs. 9-12).
+  cpu_trainer_->set_threads(workload.threads.trainer);
+  t.train_cpu = workload.cpu_batch > 0 ? cpu_trainer_->propagation_time(cpu_stats, model_) : 0.0;
+  Seconds worst_train = 0.0;
+  for (const auto& s : accel_stats) {
+    worst_train = std::max(worst_train, accel_trainer_->propagation_time(s, model_));
+  }
+  t.train_accel = worst_train;
+
+  // ---- Synchronisation (Eq. 13).
+  const int num_trainers = (workload.cpu_batch > 0 ? 1 : 0) + workload.num_accelerators;
+  t.sync = num_trainers > 1 ? pcie_.allreduce_time(model_param_bytes(model_)) : 0.0;
+  return t;
+}
+
+StageTimes PerformanceModel::stage_times(const WorkloadAssignment& workload) const {
+  const BatchStats cpu_stats =
+      workload.cpu_batch > 0 ? expected_stats(workload.cpu_batch) : BatchStats{};
+  std::vector<BatchStats> accel_stats;
+  if (workload.num_accelerators > 0 && workload.accel_batch > 0) {
+    accel_stats.assign(static_cast<std::size_t>(workload.num_accelerators),
+                       expected_stats(workload.accel_batch));
+  }
+  return stage_times(workload, cpu_stats, accel_stats);
+}
+
+Seconds PerformanceModel::predict_iteration(const WorkloadAssignment& workload,
+                                            PipelineMode mode) const {
+  return iteration_time(stage_times(workload), mode);
+}
+
+long PerformanceModel::iterations_per_epoch(const WorkloadAssignment& workload) const {
+  const std::int64_t total = workload.total_batch();
+  if (total <= 0) throw std::invalid_argument("iterations_per_epoch: empty workload");
+  return static_cast<long>((dataset_.train_count + static_cast<std::uint64_t>(total) - 1) /
+                           static_cast<std::uint64_t>(total));
+}
+
+Seconds PerformanceModel::predict_epoch(const WorkloadAssignment& workload,
+                                        PipelineMode mode) const {
+  return epoch_time(stage_times(workload), mode, iterations_per_epoch(workload));
+}
+
+double PerformanceModel::throughput_mteps(const WorkloadAssignment& workload,
+                                          PipelineMode mode) const {
+  // Eq. 5: edges traversed by all trainers in one iteration over the
+  // iteration time.
+  double edges = 0.0;
+  if (workload.cpu_batch > 0)
+    edges += static_cast<double>(expected_stats(workload.cpu_batch).total_edges());
+  if (workload.num_accelerators > 0 && workload.accel_batch > 0)
+    edges += static_cast<double>(expected_stats(workload.accel_batch).total_edges()) *
+             workload.num_accelerators;
+  const Seconds iter = predict_iteration(workload, mode);
+  return iter > 0.0 ? edges / iter / 1e6 : 0.0;
+}
+
+}  // namespace hyscale

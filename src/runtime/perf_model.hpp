@@ -1,0 +1,88 @@
+// Performance model — Section V of the paper (Eqs. 5-13).
+//
+// Predicts per-stage times, iteration time, epoch time and training
+// throughput (MTEPS) for a workload assignment on a platform, using only
+// algorithmic parameters (per-layer |V^l|, |E^l|, f^l) and platform
+// metadata (bandwidths, FLOPS).  Two uses, mirroring the paper:
+//   1. design-time: seed the coarse-grained task mapping (TaskMapper);
+//   2. evaluation: the "Predicted" series of Fig. 8 and the scalability
+//      study of Fig. 9.
+// The same stage-time composition is reused by the runtime simulator with
+// *measured* batch statistics substituted for the expected ones.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "device/cost_model.hpp"
+#include "device/link.hpp"
+#include "device/sampler_model.hpp"
+#include "device/spec.hpp"
+#include "graph/datasets.hpp"
+#include "nn/model.hpp"
+#include "runtime/stage_times.hpp"
+#include "runtime/workload.hpp"
+
+namespace hyscale {
+
+/// Total parameter bytes of a model config (the Eq. 13 numerator).
+double model_param_bytes(const ModelConfig& model);
+
+class PerformanceModel {
+ public:
+  PerformanceModel(PlatformSpec platform, ModelConfig model, DatasetInfo dataset,
+                   std::vector<int> fanouts);
+
+  /// Expected per-trainer batch statistics for a mini-batch of
+  /// `batch_size` seeds on the paper-scale dataset.
+  BatchStats expected_stats(std::int64_t batch_size) const;
+
+  /// Stage times for one iteration given explicit per-trainer stats.
+  /// `accel_stats` has one entry per accelerator (its own mini-batch).
+  StageTimes stage_times(const WorkloadAssignment& workload, const BatchStats& cpu_stats,
+                         const std::vector<BatchStats>& accel_stats) const;
+
+  /// Stage times using expected statistics (the pure model).
+  StageTimes stage_times(const WorkloadAssignment& workload) const;
+
+  Seconds predict_iteration(const WorkloadAssignment& workload, PipelineMode mode) const;
+  Seconds predict_epoch(const WorkloadAssignment& workload, PipelineMode mode) const;
+
+  /// ceil(train_count / total mini-batch) — iterations per epoch.
+  long iterations_per_epoch(const WorkloadAssignment& workload) const;
+
+  /// Eq. 5: million traversed edges per second at steady state.
+  double throughput_mteps(const WorkloadAssignment& workload, PipelineMode mode) const;
+
+  /// Future-work extension (§VIII): bytes per feature element on the
+  /// PCIe wire.  4 = fp32 (default), 2 = fp16, 1 = int8.  Affects only
+  /// the Data Transfer stage (Eq. 8); Feature Loading still moves fp32
+  /// rows out of host DRAM, and quantization happens before the hop.
+  void set_transfer_bytes_per_element(double bytes);
+  double transfer_bytes_per_element() const { return transfer_bytes_per_element_; }
+
+  const PlatformSpec& platform() const { return platform_; }
+  const ModelConfig& model() const { return model_; }
+  const DatasetInfo& dataset() const { return dataset_; }
+  const std::vector<int>& fanouts() const { return fanouts_; }
+  SamplerModel& sampler_model() { return sampler_; }
+
+  /// The CPU trainer cost model (thread count mutable by DRM).
+  CpuTrainerModel& cpu_trainer() { return *cpu_trainer_; }
+  const TrainerCostModel& accel_trainer() const { return *accel_trainer_; }
+
+ private:
+  PlatformSpec platform_;
+  ModelConfig model_;
+  DatasetInfo dataset_;
+  std::vector<int> fanouts_;
+
+  std::unique_ptr<CpuTrainerModel> cpu_trainer_;
+  std::unique_ptr<TrainerCostModel> accel_trainer_;  ///< per-accelerator (homogeneous)
+  SamplerModel sampler_;
+  PcieLink pcie_;
+  HostMemoryChannel host_memory_;
+  double transfer_bytes_per_element_ = 4.0;
+};
+
+}  // namespace hyscale

@@ -1,0 +1,67 @@
+#include "runtime/protocol.hpp"
+
+#include <stdexcept>
+
+namespace hyscale {
+
+TrainingProtocol::TrainingProtocol(int num_trainers) : num_trainers_(num_trainers) {
+  if (num_trainers <= 0)
+    throw std::invalid_argument("TrainingProtocol: need at least one trainer");
+}
+
+void TrainingProtocol::trainer_done() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // A trainer may race ahead into the next iteration while peers are
+  // still consuming the previous ACK; wait for the handshake to retire
+  // (ack_broadcast_ drops when the last ACK resets the generation).
+  cv_.wait(lock, [this] { return !ack_broadcast_; });
+  if (done_ >= num_trainers_)
+    throw std::logic_error("TrainingProtocol: more DONE signals than trainers");
+  ++done_;
+  cv_.notify_all();
+}
+
+void TrainingProtocol::wait_all_done() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_ == num_trainers_; });
+}
+
+std::int64_t TrainingProtocol::broadcast_ack() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (done_ != num_trainers_)
+    throw std::logic_error("TrainingProtocol: broadcast_ack before all trainers DONE");
+  ack_broadcast_ = true;
+  cv_.notify_all();
+  return generation_;
+}
+
+void TrainingProtocol::wait_ack() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::int64_t my_generation = generation_;
+  cv_.wait(lock, [this, my_generation] {
+    return ack_broadcast_ || generation_ != my_generation;
+  });
+  if (generation_ == my_generation) {
+    ++acked_;
+    if (acked_ == num_trainers_) {
+      // Last trainer out arms the next iteration.
+      done_ = 0;
+      acked_ = 0;
+      ack_broadcast_ = false;
+      ++generation_;
+    }
+    cv_.notify_all();
+  }
+}
+
+void TrainingProtocol::wait_iteration_complete(std::int64_t generation) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this, generation] { return generation_ > generation; });
+}
+
+std::int64_t TrainingProtocol::iteration() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+}  // namespace hyscale

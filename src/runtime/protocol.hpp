@@ -1,0 +1,61 @@
+// Processor-Accelerator Training Protocol — the handshake of §III-C /
+// Listing 1, implemented with the same primitives the paper uses
+// (mutex + condition variable + a DONE counter).
+//
+// Per iteration:
+//   1. every Trainer finishes propagation, deposits gradients, increments
+//      DONE and signals the Synchronizer;
+//   2. the Synchronizer waits until DONE == n, runs the all-reduce;
+//   3. the Synchronizer broadcasts ACK; every Trainer applies the
+//      averaged gradients, acknowledges, and the Runtime proceeds to the
+//      next iteration once all ACKs are in.
+// The object is reusable across iterations (reset happens on the
+// iteration-boundary transition), which is exactly the barrier-generation
+// pattern Pthreads programs use.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace hyscale {
+
+class TrainingProtocol {
+ public:
+  explicit TrainingProtocol(int num_trainers);
+
+  /// Trainer side, step 1: gradients are ready.
+  void trainer_done();
+
+  /// Synchronizer side, step 2: blocks until all trainers are DONE.
+  void wait_all_done();
+
+  /// Synchronizer side, step 3: releases the trainers.  Returns the
+  /// generation (iteration index) being retired — pass it to
+  /// wait_iteration_complete so completion cannot be missed even if all
+  /// trainers consume the ACK before the caller blocks.
+  std::int64_t broadcast_ack();
+
+  /// Trainer side: blocks until the Synchronizer's ACK for the current
+  /// iteration.
+  void wait_ack();
+
+  /// Runtime side: blocks until the handshake for `generation` has fully
+  /// retired (every trainer consumed the ACK).  Returns immediately when
+  /// that already happened.
+  void wait_iteration_complete(std::int64_t generation);
+
+  int num_trainers() const { return num_trainers_; }
+  std::int64_t iteration() const;
+
+ private:
+  const int num_trainers_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int done_ = 0;
+  int acked_ = 0;
+  bool ack_broadcast_ = false;
+  std::int64_t generation_ = 0;  ///< iteration counter / ABA guard
+};
+
+}  // namespace hyscale

@@ -1,0 +1,55 @@
+#include "runtime/sync.hpp"
+
+#include <stdexcept>
+
+namespace hyscale {
+
+void Synchronizer::allreduce(std::vector<GnnModel*>& replicas,
+                             const std::vector<std::int64_t>& weights) {
+  if (replicas.empty()) return;
+  if (weights.size() != replicas.size())
+    throw std::invalid_argument("Synchronizer: weight count mismatch");
+  double total_weight = 0.0;
+  for (std::int64_t w : weights) {
+    if (w < 0) throw std::invalid_argument("Synchronizer: negative weight");
+    total_weight += static_cast<double>(w);
+  }
+  if (total_weight == 0.0) return;
+
+  auto first_params = replicas.front()->parameters();
+  const std::size_t num_params = first_params.size();
+
+  // Gather + average into the first replica's grad buffers, then
+  // broadcast.  (The paper's Synchronizer runs on a CPU and does exactly
+  // this gather/average/scatter over PCIe; Eq. 13 charges the traffic.)
+  for (std::size_t p = 0; p < num_params; ++p) {
+    Tensor& accum = first_params[p]->grad;
+    const std::int64_t n = accum.size();
+    const double w0 = static_cast<double>(weights[0]) / total_weight;
+    float* acc = accum.data();
+    for (std::int64_t j = 0; j < n; ++j) acc[j] = static_cast<float>(acc[j] * w0);
+
+    for (std::size_t r = 1; r < replicas.size(); ++r) {
+      auto params = replicas[r]->parameters();
+      if (params.size() != num_params)
+        throw std::invalid_argument("Synchronizer: replica layer mismatch");
+      const Tensor& grad = params[p]->grad;
+      if (grad.size() != n) throw std::invalid_argument("Synchronizer: grad shape mismatch");
+      const double wr = static_cast<double>(weights[r]) / total_weight;
+      const float* g = grad.data();
+      for (std::int64_t j = 0; j < n; ++j) acc[j] += static_cast<float>(wr * g[j]);
+    }
+    // Broadcast.
+    for (std::size_t r = 1; r < replicas.size(); ++r) {
+      auto params = replicas[r]->parameters();
+      float* dst = params[p]->grad.data();
+      for (std::int64_t j = 0; j < n; ++j) dst[j] = acc[j];
+    }
+  }
+}
+
+void Synchronizer::allreduce(std::vector<GnnModel*>& replicas) {
+  allreduce(replicas, std::vector<std::int64_t>(replicas.size(), 1));
+}
+
+}  // namespace hyscale

@@ -1,0 +1,32 @@
+// Synchronizer: gradient all-reduce across trainer replicas (§III-A).
+//
+// Gathers the gradients from every trainer's model replica, forms the
+// *batch-size-weighted* average, and broadcasts it back.  With equal
+// batch sizes this is the plain average of synchronous SGD; the weights
+// make hybrid training with DRM-skewed batch sizes algorithmically
+// identical to single-device training on the concatenated batch (the
+// §II-B equivalence the paper relies on) — each trainer's loss is a mean
+// over its own seeds, so the global mean re-weights by seed count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace hyscale {
+
+class Synchronizer {
+ public:
+  /// Weighted all-reduce: every replica's .grad is replaced by
+  /// sum_i(w_i * grad_i) / sum_i(w_i).  Weights are typically the batch
+  /// sizes.  Replicas with weight 0 contribute nothing but still receive
+  /// the averaged gradients.
+  static void allreduce(std::vector<GnnModel*>& replicas,
+                        const std::vector<std::int64_t>& weights);
+
+  /// Convenience: uniform weights.
+  static void allreduce(std::vector<GnnModel*>& replicas);
+};
+
+}  // namespace hyscale

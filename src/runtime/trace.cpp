@@ -1,0 +1,88 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/strutil.hpp"
+
+namespace hyscale {
+
+namespace {
+
+struct StageRow {
+  const char* name;
+  int tid;
+};
+
+void append_event(std::ostringstream& out, bool& first, const char* name, int tid,
+                  double start_us, double duration_us, long iteration) {
+  if (!first) out << ",\n";
+  first = false;
+  out << R"(  {"name": ")" << name << R"(", "cat": "pipeline", "ph": "X", "pid": 1, "tid": )"
+      << tid << R"(, "ts": )" << format_double(start_us, 3) << R"(, "dur": )"
+      << format_double(duration_us, 3) << R"(, "args": {"iteration": )" << iteration << "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const EpochReport& report, PipelineMode mode) {
+  std::ostringstream out;
+  out << "{\n\"traceEvents\": [\n";
+  bool first = true;
+
+  // Steady-state pipelined layout: each stage row advances by the
+  // iteration time; a stage's start is the max of (its previous finish,
+  // the upstream stage's finish for this batch).
+  double sample_free = 0.0, load_free = 0.0, transfer_free = 0.0, train_free = 0.0;
+  for (const IterationRecord& record : report.trajectory) {
+    const StageTimes& t = record.times;
+    const double sample_start = sample_free;
+    const double sample_end = sample_start + t.sampling();
+    double load_start = 0.0, load_end = 0.0, transfer_start = 0.0, transfer_end = 0.0;
+    if (mode == PipelineMode::kTwoStagePrefetch) {
+      load_start = std::max(load_free, sample_end);
+      load_end = load_start + t.load;
+      transfer_start = std::max(transfer_free, load_end);
+      transfer_end = transfer_start + t.transfer;
+    } else {
+      // Fused (or sequential) prefetch: loading and transfer back to back.
+      load_start = std::max(load_free, sample_end);
+      load_end = load_start + t.load;
+      transfer_start = load_end;
+      transfer_end = transfer_start + t.transfer;
+    }
+    const double train_start = std::max(train_free, transfer_end);
+    const double train_end = train_start + t.propagation();
+
+    const double us = 1e6;
+    append_event(out, first, "Sampling", 0, sample_start * us, (sample_end - sample_start) * us,
+                 record.iteration);
+    append_event(out, first, "FeatureLoading", 1, load_start * us, (load_end - load_start) * us,
+                 record.iteration);
+    append_event(out, first, "DataTransfer", 2, transfer_start * us,
+                 (transfer_end - transfer_start) * us, record.iteration);
+    append_event(out, first, "GNNPropagation+Sync", 3, train_start * us,
+                 (train_end - train_start) * us, record.iteration);
+
+    sample_free = sample_end;
+    load_free = load_end;
+    transfer_free = transfer_end;
+    train_free = train_end;
+    if (mode == PipelineMode::kSequential) {
+      // No overlap at all: every stage of the next iteration waits.
+      sample_free = load_free = transfer_free = train_free = train_end;
+    }
+  }
+  out << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return out.str();
+}
+
+void write_chrome_trace(const EpochReport& report, PipelineMode mode, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  file << to_chrome_trace(report, mode);
+  if (!file) throw std::runtime_error("write_chrome_trace: write failed for " + path);
+}
+
+}  // namespace hyscale

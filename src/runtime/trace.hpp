@@ -1,0 +1,25 @@
+// Chrome-trace export of the pipeline execution.
+//
+// Converts an EpochReport's iteration trajectory into the Trace Event
+// Format (chrome://tracing, Perfetto): one timeline row per pipeline
+// stage, with the two-stage prefetch overlap visible exactly as in
+// Fig. 7 of the paper.  The timestamps are the *simulated* platform
+// times, so the trace shows what the paper's testbed would record.
+#pragma once
+
+#include <string>
+
+#include "runtime/hybrid_trainer.hpp"
+
+namespace hyscale {
+
+/// Serialises the report's trajectory to Trace Event JSON.
+/// `pipeline_depth` stages are laid out in steady-state overlap: stage k
+/// of iteration i starts when stage k of iteration i-1 finished.
+std::string to_chrome_trace(const EpochReport& report, PipelineMode mode);
+
+/// Writes the trace to a file; throws std::runtime_error on I/O failure.
+void write_chrome_trace(const EpochReport& report, PipelineMode mode,
+                        const std::string& path);
+
+}  // namespace hyscale

@@ -1,0 +1,20 @@
+#include "runtime/workload.hpp"
+
+#include "common/strutil.hpp"
+
+namespace hyscale {
+
+std::string ThreadAllocation::to_string() const {
+  return "threads{sampler=" + std::to_string(sampler) + ", loader=" + std::to_string(loader) +
+         ", trainer=" + std::to_string(trainer) + "/" + std::to_string(total) + "}";
+}
+
+std::string WorkloadAssignment::to_string() const {
+  return "workload{cpu_batch=" + std::to_string(cpu_batch) +
+         ", accel_batch=" + std::to_string(accel_batch) + "x" +
+         std::to_string(num_accelerators) +
+         ", accel_sample=" + format_double(accel_sample_fraction, 2) + ", " +
+         threads.to_string() + "}";
+}
+
+}  // namespace hyscale

@@ -1,0 +1,49 @@
+// Workload assignment: how the training work of one iteration is split
+// across the CPU trainer, the accelerator trainers, and the CPU-resident
+// pipeline stages' thread shares.  This is the state the performance
+// model seeds (coarse-grained mapping, design time) and the DRM engine
+// fine-tunes (runtime).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hyscale {
+
+struct ThreadAllocation {
+  int total = 128;    ///< hardware threads the runtime may use
+  int sampler = 32;
+  int loader = 32;
+  int trainer = 64;
+
+  int used() const { return sampler + loader + trainer; }
+  bool valid() const {
+    return sampler >= 0 && loader >= 0 && trainer >= 0 && used() <= total;
+  }
+  std::string to_string() const;
+};
+
+struct WorkloadAssignment {
+  /// Mini-batch size (seed vertices) assigned to the CPU trainer; 0 when
+  /// hybrid training is off.
+  std::int64_t cpu_batch = 0;
+  /// Mini-batch size assigned to EACH accelerator trainer.
+  std::int64_t accel_batch = 1024;
+  int num_accelerators = 0;
+  /// Fraction of the sampling work executed on the accelerators (TSA);
+  /// the rest runs on the CPU sampler (TSC).
+  double accel_sample_fraction = 0.0;
+
+  ThreadAllocation threads;
+
+  /// Total seeds processed per iteration — invariant under balance_work
+  /// ("the total mini-batch size executed on the hybrid system remains
+  /// the same after the re-assignment", §IV-A).
+  std::int64_t total_batch() const {
+    return cpu_batch + accel_batch * num_accelerators;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace hyscale

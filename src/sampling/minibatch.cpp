@@ -1,0 +1,79 @@
+#include "sampling/minibatch.hpp"
+
+namespace hyscale {
+
+bool LayerBlock::validate() const {
+  if (num_dst < 0 || num_dst > num_src()) return false;
+  if (indptr.size() != static_cast<std::size_t>(num_dst) + 1) return false;
+  if (!indptr.empty() && indptr.front() != 0) return false;
+  for (std::size_t i = 1; i < indptr.size(); ++i) {
+    if (indptr[i] < indptr[i - 1]) return false;
+  }
+  if (!indptr.empty() && indptr.back() != static_cast<EdgeId>(indices.size())) return false;
+  for (std::int64_t local : indices) {
+    if (local < 0 || local >= num_src()) return false;
+  }
+  if (!src_degrees.empty() &&
+      src_degrees.size() != static_cast<std::size_t>(num_src()))
+    return false;
+  return true;
+}
+
+std::int64_t BatchStats::total_edges() const {
+  std::int64_t total = 0;
+  for (std::int64_t e : edges_per_layer) total += e;
+  return total;
+}
+
+BatchStats BatchStats::sum(const std::vector<BatchStats>& parts) {
+  BatchStats out;
+  for (const auto& p : parts) {
+    if (out.vertices_per_layer.size() < p.vertices_per_layer.size())
+      out.vertices_per_layer.resize(p.vertices_per_layer.size(), 0);
+    if (out.edges_per_layer.size() < p.edges_per_layer.size())
+      out.edges_per_layer.resize(p.edges_per_layer.size(), 0);
+    for (std::size_t i = 0; i < p.vertices_per_layer.size(); ++i)
+      out.vertices_per_layer[i] += p.vertices_per_layer[i];
+    for (std::size_t i = 0; i < p.edges_per_layer.size(); ++i)
+      out.edges_per_layer[i] += p.edges_per_layer[i];
+  }
+  return out;
+}
+
+BatchStats MiniBatch::stats() const {
+  BatchStats s;
+  if (blocks.empty()) return s;
+  s.vertices_per_layer.reserve(blocks.size() + 1);
+  s.vertices_per_layer.push_back(blocks.front().num_src());  // V^0
+  for (const auto& block : blocks) {
+    s.vertices_per_layer.push_back(block.num_dst);  // V^l
+    s.edges_per_layer.push_back(block.num_edges());
+  }
+  return s;
+}
+
+bool MiniBatch::validate() const {
+  if (blocks.empty()) return false;
+  for (const auto& block : blocks) {
+    if (!block.validate()) return false;
+  }
+  // Layer chaining: block l's dst set must be the prefix of block l+1's
+  // src set (outputs of layer l are the inputs of layer l+1).
+  for (std::size_t l = 0; l + 1 < blocks.size(); ++l) {
+    const auto& lower = blocks[l];
+    const auto& upper = blocks[l + 1];
+    if (static_cast<std::int64_t>(upper.src_nodes.size()) > lower.num_dst) return false;
+    for (std::size_t i = 0; i < upper.src_nodes.size(); ++i) {
+      if (upper.src_nodes[i] != lower.src_nodes[i]) return false;
+    }
+  }
+  // Seeds are the dst prefix of the last block.
+  const auto& top = blocks.back();
+  if (static_cast<std::int64_t>(seeds.size()) != top.num_dst) return false;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (seeds[i] != top.src_nodes[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,76 @@
+// Mini-batch representation: one bipartite "block" per GNN layer.
+//
+// The Mini-batch Sampler (§III-A) extracts {G(V^l, E^l) : 1 <= l <= L}
+// from the input graph.  We store each layer as a bipartite CSR block,
+// following the message-flow-graph convention:
+//   * blocks[l-1] is the layer-l computation graph;
+//   * block.src_nodes are global vertex ids, ordered so the first
+//     `num_dst` entries are exactly the block's destination vertices —
+//     this lets layer outputs feed the next layer by simple row prefix;
+//   * block.indptr / block.indices form a CSR over *local* indices
+//     (dst i's sampled in-neighbors are local src positions).
+// blocks.front() consumes the input features X' (over input_nodes()),
+// blocks.back() produces embeddings for the seed (target) vertices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hyscale {
+
+struct LayerBlock {
+  std::int64_t num_dst = 0;
+  std::vector<VertexId> src_nodes;       ///< global ids; first num_dst are the dst set
+  std::vector<EdgeId> indptr;            ///< size num_dst + 1
+  std::vector<std::int64_t> indices;     ///< local src positions
+  /// TRUE graph degree of each src vertex (filled by the sampler).  GCN's
+  /// Eq. 3 normalisation uses D(v) of the original graph, not the
+  /// sampled degree; empty = fall back to block-local degrees (used by
+  /// hand-built blocks in tests).
+  std::vector<EdgeId> src_degrees;
+
+  std::int64_t num_src() const { return static_cast<std::int64_t>(src_nodes.size()); }
+  EdgeId num_edges() const { return indptr.empty() ? 0 : indptr.back(); }
+
+  /// Structural invariants; used by property tests.
+  bool validate() const;
+};
+
+/// Per-layer cardinalities |V^l|, |E^l| — the quantities the performance
+/// model (Eqs. 5-12) consumes.
+struct BatchStats {
+  std::vector<std::int64_t> vertices_per_layer;  ///< index 0 = V^0 (input nodes)
+  std::vector<std::int64_t> edges_per_layer;     ///< index l-1 = |E^l|
+
+  std::int64_t input_vertices() const {
+    return vertices_per_layer.empty() ? 0 : vertices_per_layer.front();
+  }
+  std::int64_t total_edges() const;
+
+  /// Element-wise sum; used to aggregate across the trainers of one
+  /// iteration (the Eq. 5 numerator).
+  static BatchStats sum(const std::vector<BatchStats>& parts);
+};
+
+struct MiniBatch {
+  std::vector<VertexId> seeds;      ///< target vertices V^L
+  std::vector<LayerBlock> blocks;   ///< blocks[0] = innermost layer
+
+  int num_layers() const { return static_cast<int>(blocks.size()); }
+  /// The vertices whose features the Feature Loader must gather (V^0).
+  const std::vector<VertexId>& input_nodes() const { return blocks.front().src_nodes; }
+
+  BatchStats stats() const;
+
+  /// Bytes of the feature sub-matrix X' for feature length f0.
+  double feature_bytes(int f0) const {
+    return blocks.empty() ? 0.0
+                          : static_cast<double>(blocks.front().src_nodes.size()) * f0 * 4.0;
+  }
+
+  bool validate() const;
+};
+
+}  // namespace hyscale

@@ -1,0 +1,62 @@
+#include "sampling/saint_sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace hyscale {
+
+SaintRandomWalkSampler::SaintRandomWalkSampler(const CsrGraph& graph, SaintConfig config)
+    : graph_(graph), config_(config), stream_(config.seed) {
+  if (config_.num_roots <= 0) throw std::invalid_argument("Saint: num_roots must be positive");
+  if (config_.walk_length < 0) throw std::invalid_argument("Saint: walk_length must be >= 0");
+  if (graph_.num_vertices() == 0) throw std::invalid_argument("Saint: empty graph");
+}
+
+Subgraph SaintRandomWalkSampler::sample() {
+  Xoshiro256 rng(splitmix64(stream_));
+  ++stream_;
+
+  std::unordered_map<VertexId, std::int64_t> local;
+  std::vector<VertexId> nodes;
+  auto touch = [&](VertexId v) {
+    auto [it, inserted] = local.try_emplace(v, static_cast<std::int64_t>(nodes.size()));
+    if (inserted) nodes.push_back(v);
+    return it->second;
+  };
+
+  const auto n = static_cast<std::uint64_t>(graph_.num_vertices());
+  for (std::int64_t r = 0; r < config_.num_roots; ++r) {
+    VertexId v = static_cast<VertexId>(rng.bounded(n));
+    touch(v);
+    for (int step = 0; step < config_.walk_length; ++step) {
+      const auto neighbors = graph_.neighbors(v);
+      if (neighbors.empty()) break;
+      v = neighbors[static_cast<std::size_t>(rng.bounded(neighbors.size()))];
+      touch(v);
+    }
+  }
+
+  // Induce the subgraph: keep edges with both endpoints sampled.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (VertexId u : graph_.neighbors(nodes[i])) {
+      auto it = local.find(u);
+      if (it != local.end()) {
+        edges.emplace_back(static_cast<VertexId>(i), it->second);
+      }
+    }
+  }
+  EdgeListOptions options;
+  options.symmetrize = false;       // the input is already symmetric
+  options.remove_self_loops = false;
+  Subgraph sub;
+  sub.adjacency = build_csr(static_cast<VertexId>(nodes.size()), std::move(edges), options);
+  sub.nodes = std::move(nodes);
+  return sub;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,47 @@
+// GraphSAINT-style random-walk subgraph sampler (Zeng et al., cited by
+// the paper as the second sampling algorithm its Sampler supports).
+//
+// Instead of layered neighbor expansion it samples a set of root
+// vertices, performs fixed-length random walks, and returns the induced
+// subgraph; all GNN layers then run on that one subgraph.  The runtime
+// exposes it to demonstrate that the Mini-batch Sampler component is
+// algorithm-agnostic (§III-A), and its empirically measured cost feeds
+// T_samp (the paper deliberately measures rather than models sampling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hyscale {
+
+struct SaintConfig {
+  std::int64_t num_roots = 256;
+  int walk_length = 2;
+  std::uint64_t seed = 1;
+};
+
+struct Subgraph {
+  std::vector<VertexId> nodes;  ///< global ids of the induced vertex set
+  CsrGraph adjacency;           ///< induced adjacency over local ids
+
+  std::int64_t num_nodes() const { return static_cast<std::int64_t>(nodes.size()); }
+};
+
+class SaintRandomWalkSampler {
+ public:
+  SaintRandomWalkSampler(const CsrGraph& graph, SaintConfig config);
+
+  /// Samples one induced subgraph; deterministic per (seed, call index).
+  Subgraph sample();
+
+  void reseed(std::uint64_t seed) { stream_ = seed; }
+
+ private:
+  const CsrGraph& graph_;
+  SaintConfig config_;
+  std::uint64_t stream_;
+};
+
+}  // namespace hyscale

@@ -1,0 +1,40 @@
+#include "sampling/sorted_edges.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hyscale {
+
+SortedEdgeBlock sort_edges_by_source(const LayerBlock& block) {
+  SortedEdgeBlock out;
+  const auto num_edges = static_cast<std::size_t>(block.num_edges());
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  edges.reserve(num_edges);
+  for (std::int64_t d = 0; d < block.num_dst; ++d) {
+    for (EdgeId e = block.indptr[static_cast<std::size_t>(d)];
+         e < block.indptr[static_cast<std::size_t>(d) + 1]; ++e) {
+      edges.emplace_back(block.indices[static_cast<std::size_t>(e)], d);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+
+  out.src.reserve(edges.size());
+  out.dst.reserve(edges.size());
+  std::int64_t run = 0;
+  std::int64_t previous = -1;
+  for (const auto& [s, d] : edges) {
+    out.src.push_back(s);
+    out.dst.push_back(d);
+    if (s != previous) {
+      ++out.unique_sources;
+      previous = s;
+      run = 1;
+    } else {
+      ++run;
+    }
+    out.max_run = std::max(out.max_run, run);
+  }
+  return out;
+}
+
+}  // namespace hyscale

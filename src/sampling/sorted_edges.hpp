@@ -1,0 +1,37 @@
+// Source-sorted edge view of a LayerBlock — the data layout the FPGA
+// scatter-gather kernel consumes (§IV-C).
+//
+// Sorting a block's edges by source vertex lets the Feature Duplicator
+// fetch each source feature exactly once and reuse it for every incident
+// edge, reducing aggregation input traffic from O(|E^l|) feature reads to
+// O(|V^{l-1}|).  `unique_sources` is exactly the number of feature
+// fetches the FPGA cost model charges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/minibatch.hpp"
+
+namespace hyscale {
+
+struct SortedEdgeBlock {
+  /// Edge list sorted by (src, dst), both local indices.
+  std::vector<std::int64_t> src;
+  std::vector<std::int64_t> dst;
+  /// Number of distinct source vertices among the edges.
+  std::int64_t unique_sources = 0;
+  /// Length of the longest same-source run (max feature reuse).
+  std::int64_t max_run = 0;
+
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(src.size()); }
+
+  /// Feature reads a gather kernel performs with / without duplication.
+  std::int64_t reads_with_reuse() const { return unique_sources; }
+  std::int64_t reads_without_reuse() const { return num_edges(); }
+};
+
+/// Builds the sorted edge view of one block.
+SortedEdgeBlock sort_edges_by_source(const LayerBlock& block);
+
+}  // namespace hyscale

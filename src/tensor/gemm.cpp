@@ -1,0 +1,91 @@
+#include "tensor/gemm.hpp"
+
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace hyscale {
+
+namespace {
+
+// Cache-blocked inner kernel over C[r0:r1). A is MxK, B is KxN (already
+// logically transposed via the index lambdas).
+template <typename AIdx, typename BIdx>
+void gemm_rows(std::int64_t r0, std::int64_t r1, std::int64_t n, std::int64_t k,
+               const float* a, AIdx a_at, const float* b, BIdx b_at, float* c,
+               std::int64_t ldc, float alpha, float beta) {
+  constexpr std::int64_t kBlockK = 128;
+  for (std::int64_t i = r0; i < r1; ++i) {
+    float* c_row = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+    for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+      const std::int64_t k_hi = std::min(kk + kBlockK, k);
+      for (std::int64_t p = kk; p < k_hi; ++p) {
+        const float a_ip = alpha * a[a_at(i, p)];
+        if (a_ip == 0.0f) continue;
+        const float* b_row = b;  // indexed through b_at
+        for (std::int64_t j = 0; j < n; ++j) {
+          c_row[j] += a_ip * b_row[b_at(p, j)];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha, float beta) {
+  const std::int64_t m = trans_a ? a.cols() : a.rows();
+  const std::int64_t k = trans_a ? a.rows() : a.cols();
+  const std::int64_t kb = trans_b ? b.cols() : b.rows();
+  const std::int64_t n = trans_b ? b.rows() : b.cols();
+  if (k != kb) throw std::invalid_argument("gemm: inner dimension mismatch");
+  if (c.rows() != m || c.cols() != n) throw std::invalid_argument("gemm: output shape mismatch");
+
+  const std::int64_t lda = a.cols();
+  const std::int64_t ldb = b.cols();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+
+  auto run = [&](std::size_t lo, std::size_t hi) {
+    const auto r0 = static_cast<std::int64_t>(lo);
+    const auto r1 = static_cast<std::int64_t>(hi);
+    if (!trans_a && !trans_b) {
+      gemm_rows(r0, r1, n, k, pa, [lda](std::int64_t i, std::int64_t p) { return i * lda + p; },
+                pb, [ldb](std::int64_t p, std::int64_t j) { return p * ldb + j; }, pc, n, alpha, beta);
+    } else if (trans_a && !trans_b) {
+      gemm_rows(r0, r1, n, k, pa, [lda](std::int64_t i, std::int64_t p) { return p * lda + i; },
+                pb, [ldb](std::int64_t p, std::int64_t j) { return p * ldb + j; }, pc, n, alpha, beta);
+    } else if (!trans_a && trans_b) {
+      gemm_rows(r0, r1, n, k, pa, [lda](std::int64_t i, std::int64_t p) { return i * lda + p; },
+                pb, [ldb](std::int64_t p, std::int64_t j) { return j * ldb + p; }, pc, n, alpha, beta);
+    } else {
+      gemm_rows(r0, r1, n, k, pa, [lda](std::int64_t i, std::int64_t p) { return p * lda + i; },
+                pb, [ldb](std::int64_t p, std::int64_t j) { return j * ldb + p; }, pc, n, alpha, beta);
+    }
+  };
+
+  // Only parallelise when the work amortises task overhead.
+  if (m * n * k > (64LL << 10)) {
+    parallel_for(0, static_cast<std::size_t>(m), run);
+  } else {
+    run(0, static_cast<std::size_t>(m));
+  }
+}
+
+void linear_forward(const Tensor& x, const Tensor& w, const Tensor& bias, Tensor& y) {
+  if (y.rows() != x.rows() || y.cols() != w.cols()) y.resize(x.rows(), w.cols());
+  gemm(x, false, w, false, y);
+  if (!bias.empty()) {
+    if (bias.cols() != w.cols()) throw std::invalid_argument("linear_forward: bias shape");
+    for (std::int64_t i = 0; i < y.rows(); ++i) {
+      float* row = y.data() + i * y.cols();
+      const float* b = bias.data();
+      for (std::int64_t j = 0; j < y.cols(); ++j) row[j] += b[j];
+    }
+  }
+}
+
+}  // namespace hyscale

@@ -1,0 +1,25 @@
+// Blocked, threaded single-precision GEMM.
+//
+// This is the feature-update kernel (Eq. 2 / Eq. 12 in the paper): the
+// MLP in every GNN layer is one GEMM per direction.  The paper maps it to
+// MKL on CPUs, cuBLAS-backed ops on GPUs, and a systolic array on FPGAs;
+// here the CPU reference implementation carries the real numerics while
+// the device cost models (device/cost_model.hpp) supply accelerator
+// timings.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace hyscale {
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// op(X) = X or X^T depending on the trans flags.  Shapes are validated.
+/// Parallelised over row blocks of C via the global thread pool.
+void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          Tensor& c, float alpha = 1.0f, float beta = 0.0f);
+
+/// y = x * W + broadcast(bias); the common forward-layer case.
+/// `bias` may be empty (no bias).
+void linear_forward(const Tensor& x, const Tensor& w, const Tensor& bias, Tensor& y);
+
+}  // namespace hyscale

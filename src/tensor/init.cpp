@@ -1,0 +1,26 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hyscale {
+
+void xavier_uniform(Tensor& w, std::uint64_t seed) {
+  const double fan_in = static_cast<double>(w.rows());
+  const double fan_out = static_cast<double>(w.cols());
+  const double s = std::sqrt(6.0 / (fan_in + fan_out));
+  uniform_init(w, static_cast<float>(-s), static_cast<float>(s), seed);
+}
+
+void uniform_init(Tensor& w, float lo, float hi, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void normal_init(Tensor& w, float stddev, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (float& v : w.flat()) v = static_cast<float>(rng.normal() * stddev);
+}
+
+}  // namespace hyscale

@@ -1,0 +1,19 @@
+// Deterministic weight initialisers.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace hyscale {
+
+/// Glorot/Xavier uniform: U(-s, s) with s = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& w, std::uint64_t seed);
+
+/// Uniform fill in [lo, hi).
+void uniform_init(Tensor& w, float lo, float hi, std::uint64_t seed);
+
+/// Standard-normal fill scaled by `stddev`.
+void normal_init(Tensor& w, float stddev, std::uint64_t seed);
+
+}  // namespace hyscale

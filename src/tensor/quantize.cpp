@@ -1,0 +1,58 @@
+#include "tensor/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyscale {
+
+const char* transfer_precision_name(TransferPrecision precision) {
+  switch (precision) {
+    case TransferPrecision::kFp32: return "fp32";
+    case TransferPrecision::kFp16: return "fp16";
+    case TransferPrecision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+QuantizedRows quantize_int8(const Tensor& x) {
+  QuantizedRows q;
+  q.rows = x.rows();
+  q.cols = x.cols();
+  q.values.resize(static_cast<std::size_t>(x.size()));
+  q.scales.resize(static_cast<std::size_t>(x.rows()));
+  for (std::int64_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.data() + i * x.cols();
+    float max_abs = 0.0f;
+    for (std::int64_t j = 0; j < x.cols(); ++j) max_abs = std::max(max_abs, std::abs(row[j]));
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    q.scales[static_cast<std::size_t>(i)] = scale;
+    std::int8_t* out = q.values.data() + i * x.cols();
+    for (std::int64_t j = 0; j < x.cols(); ++j) {
+      const float scaled = row[j] / scale;
+      out[j] = static_cast<std::int8_t>(
+          std::clamp(std::nearbyint(scaled), -127.0f, 127.0f));
+    }
+  }
+  return q;
+}
+
+void dequantize_int8(const QuantizedRows& q, Tensor& out) {
+  out.resize(q.rows, q.cols);
+  for (std::int64_t i = 0; i < q.rows; ++i) {
+    const float scale = q.scales[static_cast<std::size_t>(i)];
+    const std::int8_t* src = q.values.data() + i * q.cols;
+    float* dst = out.data() + i * q.cols;
+    for (std::int64_t j = 0; j < q.cols; ++j) dst[j] = static_cast<float>(src[j]) * scale;
+  }
+}
+
+double quantize_roundtrip_int8(Tensor& x) {
+  const QuantizedRows q = quantize_int8(x);
+  Tensor reconstructed;
+  dequantize_int8(q, reconstructed);
+  const double error = Tensor::max_abs_diff(x, reconstructed);
+  x = std::move(reconstructed);
+  return error;
+}
+
+}  // namespace hyscale

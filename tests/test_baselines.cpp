@@ -1,0 +1,135 @@
+// Tests for baselines/: each comparator model produces coherent results,
+// and the cross-system relations of Tables VI/VII hold in shape.
+#include <gtest/gtest.h>
+
+#include "baselines/distdgl.hpp"
+#include "baselines/p3.hpp"
+#include "baselines/pagraph.hpp"
+#include "baselines/pyg.hpp"
+#include "graph/datasets.hpp"
+
+namespace hyscale {
+namespace {
+
+BaselineWorkload products_sage() {
+  BaselineWorkload w;
+  w.dataset = dataset_info("ogbn-products");
+  w.model = GnnKind::kSage;
+  return w;
+}
+
+BaselineWorkload papers_gcn() {
+  BaselineWorkload w;
+  w.dataset = dataset_info("ogbn-papers100M");
+  w.model = GnnKind::kGcn;
+  return w;
+}
+
+TEST(Baselines, PygProducesPositiveBreakdown) {
+  PygMultiGpuBaseline pyg(cpu_gpu_platform(4));
+  const BaselineResult result = pyg.evaluate(papers_gcn());
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.per_iteration.sample, 0.0);
+  EXPECT_GT(result.per_iteration.load, 0.0);
+  EXPECT_GT(result.per_iteration.transfer, 0.0);
+  EXPECT_GT(result.per_iteration.train, 0.0);
+  EXPECT_GT(result.per_iteration.framework, 0.0);
+  EXPECT_GT(result.epoch_time, 0.0);
+  EXPECT_NEAR(result.platform_tflops, 118.4, 1e-6);
+}
+
+TEST(Baselines, PygEpochInPaperBallpark) {
+  // Fig. 10 reference bars: products ~4 s, papers100M ~20 s.  Require
+  // same order of magnitude (the criterion is shape, not seconds).
+  PygMultiGpuBaseline pyg(cpu_gpu_platform(4));
+  const Seconds products = pyg.evaluate(products_sage()).epoch_time;
+  const Seconds papers = pyg.evaluate(papers_gcn()).epoch_time;
+  EXPECT_GT(products, 1.0);
+  EXPECT_LT(products, 15.0);
+  EXPECT_GT(papers, 6.0);
+  EXPECT_LT(papers, 80.0);
+  EXPECT_GT(papers, products);  // bigger dataset, longer epoch
+}
+
+TEST(Baselines, PygRequiresGpus) {
+  EXPECT_THROW(PygMultiGpuBaseline{cpu_fpga_platform(4)}, std::invalid_argument);
+}
+
+TEST(Baselines, PaGraphCacheHelpsSmallGraphsMore) {
+  // products' features fit the V100 caches entirely; papers100M does not.
+  // PaGraph should therefore be much closer to compute-bound on products.
+  PaGraphBaseline pagraph;
+  const BaselineResult products = pagraph.evaluate(products_sage());
+  const BaselineResult papers = pagraph.evaluate(papers_gcn());
+  const double products_pcie_share =
+      (products.per_iteration.load + products.per_iteration.transfer) /
+      products.per_iteration.iteration();
+  const double papers_pcie_share =
+      (papers.per_iteration.load + papers.per_iteration.transfer) /
+      papers.per_iteration.iteration();
+  EXPECT_LT(products_pcie_share, papers_pcie_share);
+  EXPECT_GT(papers.epoch_time, products.epoch_time);
+}
+
+TEST(Baselines, P3NetworkBoundOnActivations) {
+  P3Baseline p3;
+  const BaselineResult result = p3.evaluate(papers_gcn());
+  EXPECT_GT(result.per_iteration.network, 0.0);
+  EXPECT_GT(result.epoch_time, 0.0);
+  // P3 runs hidden=32 in the paper precisely because activations are the
+  // traffic: verify hidden=256 costs more network time than hidden=32.
+  BaselineWorkload wide = papers_gcn();
+  wide.hidden_dim = 256;
+  BaselineWorkload narrow = papers_gcn();
+  narrow.hidden_dim = 32;
+  EXPECT_GT(p3.evaluate(wide).per_iteration.network,
+            p3.evaluate(narrow).per_iteration.network);
+}
+
+TEST(Baselines, DistDglScalesButPaysNetwork) {
+  DistDglBaseline distdgl;
+  BaselineWorkload w = products_sage();
+  w.fanouts = {15, 10, 5};  // its Table V configuration
+  const BaselineResult result = distdgl.evaluate(w);
+  EXPECT_GT(result.per_iteration.network, 0.0);
+  EXPECT_GT(result.epoch_time, 0.0);
+  // 64 GPUs: far fewer iterations per epoch than a 4-GPU system.
+  EXPECT_LT(result.iterations, 10);
+}
+
+TEST(Baselines, NormalizedMetricMatchesDefinition) {
+  PygMultiGpuBaseline pyg(cpu_gpu_platform(4));
+  const BaselineResult result = pyg.evaluate(products_sage());
+  EXPECT_DOUBLE_EQ(result.normalized_epoch(), result.epoch_time * result.platform_tflops);
+}
+
+TEST(Baselines, ModelConfigFollowsTableFive) {
+  BaselineWorkload w = papers_gcn();
+  w.hidden_dim = 32;
+  const ModelConfig two_layer = baseline_model_config(w);
+  ASSERT_EQ(two_layer.dims.size(), 3u);
+  EXPECT_EQ(two_layer.dims[0], 128);
+  EXPECT_EQ(two_layer.dims[1], 32);
+  EXPECT_EQ(two_layer.dims[2], 172);
+
+  w.fanouts = {15, 10, 5};
+  w.hidden_dim = 256;
+  const ModelConfig three_layer = baseline_model_config(w);
+  ASSERT_EQ(three_layer.dims.size(), 4u);
+  EXPECT_EQ(three_layer.dims[1], 256);
+  EXPECT_EQ(three_layer.dims[2], 256);
+}
+
+TEST(Baselines, PlatformTflopsMatchTableSeven) {
+  // Table VII's normalisation factors are recoverable from its ratios:
+  // PaGraph ~114, P3 ~149, DistDGL ~544 TFLOPS.
+  PaGraphBaseline pagraph;
+  EXPECT_NEAR(pagraph.evaluate(products_sage()).platform_tflops, 129.4, 5.0);
+  P3Baseline p3;
+  EXPECT_NEAR(p3.evaluate(products_sage()).platform_tflops, 151.6, 5.0);
+  DistDglBaseline distdgl;
+  EXPECT_NEAR(distdgl.evaluate(products_sage()).platform_tflops, 542.4, 25.0);
+}
+
+}  // namespace
+}  // namespace hyscale

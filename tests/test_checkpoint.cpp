@@ -1,0 +1,90 @@
+// Tests for nn/checkpoint and the feature loader's accounting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/datasets.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/model.hpp"
+#include "runtime/feature_loader.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "tensor/init.hpp"
+
+namespace hyscale {
+namespace {
+
+ModelConfig sage_config() {
+  ModelConfig config;
+  config.kind = GnnKind::kSage;
+  config.dims = {12, 16, 5};
+  config.seed = 3;
+  return config;
+}
+
+TEST(Checkpoint, RoundTripRestoresExactWeights) {
+  GnnModel model(sage_config());
+  const std::string path = "/tmp/hyscale_ckpt_test.bin";
+  save_checkpoint(model, path);
+
+  GnnModel other(sage_config());
+  // Perturb, then restore.
+  for (auto* p : other.parameters()) normal_init(p->value, 1.0f, 777);
+  load_checkpoint(other, path);
+
+  const auto a = model.parameters();
+  const auto b = other.parameters();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(Tensor::max_abs_diff(a[i]->value, b[i]->value), 0.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ArchitectureMismatchThrows) {
+  GnnModel model(sage_config());
+  const std::string path = "/tmp/hyscale_ckpt_mismatch.bin";
+  save_checkpoint(model, path);
+
+  ModelConfig different = sage_config();
+  different.dims = {12, 32, 5};  // wider hidden layer
+  GnnModel other(different);
+  EXPECT_THROW(load_checkpoint(other, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingAndCorruptFilesThrow) {
+  GnnModel model(sage_config());
+  EXPECT_THROW(load_checkpoint(model, "/tmp/does_not_exist_ckpt.bin"), std::runtime_error);
+  const std::string path = "/tmp/hyscale_ckpt_corrupt.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  EXPECT_THROW(load_checkpoint(model, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(FeatureLoader, GathersCorrectRowsAndCountsBytes) {
+  const Dataset ds = make_community_dataset(3, 32, 8, 2);
+  NeighborSampler sampler(ds.graph, {3, 3}, 1);
+  std::vector<VertexId> seeds = {0, 5, 40};
+  const MiniBatch batch = sampler.sample(seeds);
+
+  FeatureLoader loader(ds.features);
+  Tensor x;
+  loader.load(batch, x);
+  ASSERT_EQ(x.rows(), batch.blocks.front().num_src());
+  ASSERT_EQ(x.cols(), 8);
+  // Row i of X' is the feature row of input node i.
+  for (std::size_t i = 0; i < batch.input_nodes().size(); ++i) {
+    const VertexId v = batch.input_nodes()[i];
+    for (std::int64_t j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(x.at(static_cast<std::int64_t>(i), j), ds.features.at(v, j));
+    }
+  }
+  EXPECT_DOUBLE_EQ(loader.last_bytes(), static_cast<double>(x.size()) * 4.0);
+  const double first = loader.total_bytes();
+  loader.load(batch, x);
+  EXPECT_DOUBLE_EQ(loader.total_bytes(), first + loader.last_bytes());
+}
+
+}  // namespace
+}  // namespace hyscale

@@ -1,0 +1,106 @@
+// Tests for graph/datasets: Table III registry + synthetic materialisation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/datasets.hpp"
+
+namespace hyscale {
+namespace {
+
+TEST(Datasets, TableThreeRegistry) {
+  const auto& all = paper_datasets();
+  ASSERT_EQ(all.size(), 3u);
+
+  const DatasetInfo& products = dataset_info("ogbn-products");
+  EXPECT_EQ(products.num_vertices, 2449029ULL);
+  EXPECT_EQ(products.num_edges, 61859140ULL);
+  EXPECT_EQ(products.f0, 100);
+  EXPECT_EQ(products.f1, 256);
+  EXPECT_EQ(products.f2, 47);
+
+  const DatasetInfo& papers = dataset_info("ogbn-papers100M");
+  EXPECT_EQ(papers.num_vertices, 111059956ULL);
+  EXPECT_EQ(papers.num_edges, 1615685872ULL);
+  EXPECT_EQ(papers.f0, 128);
+  EXPECT_EQ(papers.f2, 172);
+
+  const DatasetInfo& mag = dataset_info("MAG240M (homo)");
+  EXPECT_EQ(mag.num_edges, 1297748926ULL);
+  EXPECT_EQ(mag.f0, 756);
+  EXPECT_EQ(mag.f2, 153);
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(dataset_info("ogbn-nope"), std::out_of_range);
+}
+
+TEST(Datasets, DerivedStatistics) {
+  const DatasetInfo& papers = dataset_info("ogbn-papers100M");
+  EXPECT_NEAR(papers.mean_degree(), 14.55, 0.05);
+  // 111M x 128 x 4 B ~ 56.9 GB of features.
+  EXPECT_NEAR(papers.feature_bytes() / 1e9, 56.9, 0.2);
+  EXPECT_GT(papers.train_count, 1000000ULL);
+}
+
+TEST(Datasets, MaterializePreservesPaperInfoButScalesGraph) {
+  MaterializeOptions options;
+  options.target_vertices = 1 << 10;
+  const Dataset ds = materialize_dataset("ogbn-products", options);
+  EXPECT_EQ(ds.info.num_vertices, 2449029ULL);  // paper-scale metadata intact
+  EXPECT_EQ(ds.num_vertices(), 1024);           // materialised graph scaled
+  EXPECT_EQ(ds.features.rows(), 1024);
+  EXPECT_EQ(ds.features.cols(), 100);
+  EXPECT_EQ(ds.labels.size(), 1024u);
+  EXPECT_FALSE(ds.train_ids.empty());
+  EXPECT_TRUE(ds.graph.validate());
+}
+
+TEST(Datasets, MaterializeDeterministic) {
+  MaterializeOptions options;
+  options.target_vertices = 512;
+  const Dataset a = materialize_dataset("ogbn-papers100M", options);
+  const Dataset b = materialize_dataset("ogbn-papers100M", options);
+  EXPECT_EQ(a.graph.indices(), b.graph.indices());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.train_ids, b.train_ids);
+}
+
+TEST(Datasets, LabelsWithinClassRange) {
+  MaterializeOptions options;
+  options.target_vertices = 512;
+  const Dataset ds = materialize_dataset("ogbn-papers100M", options);
+  for (int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, ds.info.f2);
+  }
+  for (VertexId v : ds.train_ids) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, ds.num_vertices());
+  }
+}
+
+TEST(Datasets, DensityTracksPaperDataset) {
+  MaterializeOptions options;
+  options.target_vertices = 1 << 12;
+  const Dataset ds = materialize_dataset("ogbn-products", options);
+  // ogbn-products mean degree ~25; the scaled graph should be in the same
+  // regime (symmetrization/dedup move it somewhat).
+  EXPECT_GT(ds.graph.mean_degree(), 8.0);
+  EXPECT_LT(ds.graph.mean_degree(), 60.0);
+}
+
+TEST(Datasets, CommunityDatasetHasCleanStructure) {
+  const Dataset ds = make_community_dataset(4, 64, 16, 7);
+  EXPECT_EQ(ds.num_vertices(), 256);
+  EXPECT_EQ(ds.info.f2, 4);
+  std::set<int> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels.size(), 4u);
+  // Labels follow block id.
+  EXPECT_EQ(ds.labels[0], 0);
+  EXPECT_EQ(ds.labels[255], 3);
+  EXPECT_THROW(make_community_dataset(0, 10, 4, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hyscale

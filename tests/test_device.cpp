@@ -1,0 +1,225 @@
+// Tests for device/: specs (Table II), trainer cost models (Eqs. 10-12),
+// FPGA resource model (Table IV), link models (Eqs. 7/8/13), sampler model.
+#include <gtest/gtest.h>
+
+#include "device/cost_model.hpp"
+#include "device/fpga_model.hpp"
+#include "device/link.hpp"
+#include "device/sampler_model.hpp"
+#include "device/spec.hpp"
+#include "sampling/neighbor_sampler.hpp"
+
+namespace hyscale {
+namespace {
+
+// papers100M-like expected batch statistics for 1024 seeds, fanout (25,10).
+BatchStats paper_stats() {
+  return NeighborSampler::expected_stats(1024, {25, 10}, 14.5, 111059956ULL);
+}
+
+ModelConfig gcn_papers() {
+  ModelConfig config;
+  config.kind = GnnKind::kGcn;
+  config.dims = {128, 256, 172};
+  return config;
+}
+
+TEST(Spec, TableTwoValues) {
+  const DeviceSpec cpu = epyc7763_spec();
+  EXPECT_DOUBLE_EQ(cpu.peak_tflops, 3.6);
+  EXPECT_DOUBLE_EQ(cpu.mem_bw_gbps, 205.0);
+  EXPECT_DOUBLE_EQ(cpu.freq_ghz, 2.45);
+
+  const DeviceSpec gpu = a5000_spec();
+  EXPECT_DOUBLE_EQ(gpu.peak_tflops, 27.8);
+  EXPECT_DOUBLE_EQ(gpu.mem_bw_gbps, 768.0);
+
+  const DeviceSpec fpga = u250_spec();
+  EXPECT_DOUBLE_EQ(fpga.peak_tflops, 0.6);
+  EXPECT_DOUBLE_EQ(fpga.mem_bw_gbps, 77.0);
+  EXPECT_DOUBLE_EQ(fpga.freq_ghz, 0.3);
+}
+
+TEST(Spec, PlatformAggregateTflops) {
+  // 2 x 3.6 + 4 x 0.6 = 9.6 — the Table VII normalisation for This Work.
+  EXPECT_NEAR(cpu_fpga_platform(4).total_tflops(), 9.6, 1e-9);
+  // 2 x 3.6 + 4 x 27.8 = 118.4.
+  EXPECT_NEAR(cpu_gpu_platform(4).total_tflops(), 118.4, 1e-9);
+}
+
+TEST(Spec, FactoryShapes) {
+  const PlatformSpec p = cpu_gpu_platform(2);
+  EXPECT_EQ(p.num_accelerators(), 2);
+  EXPECT_EQ(p.accelerators.front().kind, DeviceKind::kGpu);
+  EXPECT_EQ(p.cpu_threads, 128);
+  EXPECT_STREQ(device_kind_name(DeviceKind::kFpga), "FPGA");
+}
+
+TEST(CostModel, CpuTimeScalesInverselyWithThreads) {
+  const PlatformSpec platform = cpu_fpga_platform(4);
+  CpuTrainerModel model(platform, 32);
+  const Seconds t32 = model.propagation_time(paper_stats(), gcn_papers());
+  model.set_threads(64);
+  const Seconds t64 = model.propagation_time(paper_stats(), gcn_papers());
+  EXPECT_NEAR(t32 / t64, 2.0, 1e-6);
+}
+
+TEST(CostModel, CpuZeroThreadsStalls) {
+  const PlatformSpec platform = cpu_fpga_platform(4);
+  CpuTrainerModel model(platform, 0);
+  EXPECT_GT(model.aggregate_time(1000, 500, 128), 1e6);
+}
+
+TEST(CostModel, FpgaIsPipelinedOthersAreNot) {
+  const PlatformSpec platform = cpu_fpga_platform(4);
+  FpgaTrainerModel fpga(u250_spec(), 8, 2048);
+  GpuTrainerModel gpu(a5000_spec());
+  CpuTrainerModel cpu(platform, 64);
+  EXPECT_TRUE(fpga.pipelined());
+  EXPECT_FALSE(gpu.pipelined());
+  EXPECT_FALSE(cpu.pipelined());
+}
+
+TEST(CostModel, FpgaChargesUniqueSourcesNotEdges) {
+  FpgaTrainerModel fpga(u250_spec(), 8, 2048);
+  // Same edges, fewer unique sources -> strictly cheaper aggregation
+  // (when memory-bound).
+  const Seconds many = fpga.aggregate_time(100000, 100000, 256);
+  const Seconds few = fpga.aggregate_time(100000, 10000, 256);
+  EXPECT_LT(few, many);
+}
+
+TEST(CostModel, GpuIgnoresUniqueSources) {
+  GpuTrainerModel gpu(a5000_spec());
+  EXPECT_DOUBLE_EQ(gpu.aggregate_time(100000, 100000, 256),
+                   gpu.aggregate_time(100000, 10, 256));
+}
+
+TEST(CostModel, FpgaBeatsGpuOnPaperWorkload) {
+  // The §VI-E1 headline: the FPGA trainer's propagation time is several
+  // times shorter than the GPU trainer's on the same batch, because the
+  // GPU pays degraded gather bandwidth + per-layer spills.
+  FpgaTrainerModel fpga(u250_spec(), 8, 2048);
+  GpuTrainerModel gpu(a5000_spec());
+  const Seconds t_fpga = fpga.propagation_time(paper_stats(), gcn_papers());
+  const Seconds t_gpu = gpu.propagation_time(paper_stats(), gcn_papers());
+  EXPECT_GT(t_gpu / t_fpga, 3.0);
+  EXPECT_LT(t_gpu / t_fpga, 25.0);
+}
+
+TEST(CostModel, PropagationPositiveAndFiniteForAll) {
+  const PlatformSpec gpu_platform = cpu_gpu_platform(4);
+  const PlatformSpec fpga_platform = cpu_fpga_platform(4);
+  for (const DeviceSpec& spec :
+       {gpu_platform.accelerators.front(), fpga_platform.accelerators.front()}) {
+    const auto model = make_trainer_model(fpga_platform, spec);
+    const Seconds t = model->propagation_time(paper_stats(), gcn_papers());
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 1.0);
+  }
+}
+
+TEST(CostModel, SageCostsMoreThanGcn) {
+  // SAGE's concat doubles the update GEMM width.
+  FpgaTrainerModel fpga(u250_spec(), 8, 2048);
+  ModelConfig sage = gcn_papers();
+  sage.kind = GnnKind::kSage;
+  EXPECT_GT(fpga.update_time(1024, 2 * 128, 256), fpga.update_time(1024, 128, 256));
+}
+
+TEST(CostModel, RejectsWrongDeviceKind) {
+  EXPECT_THROW(GpuTrainerModel{u250_spec()}, std::invalid_argument);
+  EXPECT_THROW(FpgaTrainerModel(a5000_spec(), 8, 2048), std::invalid_argument);
+  EXPECT_THROW(FpgaTrainerModel(u250_spec(), 0, 2048), std::invalid_argument);
+}
+
+TEST(CostModel, StatsLayerMismatchThrows) {
+  FpgaTrainerModel fpga(u250_spec(), 8, 2048);
+  BatchStats short_stats;
+  short_stats.vertices_per_layer = {100, 10};
+  short_stats.edges_per_layer = {500};
+  EXPECT_THROW(fpga.propagation_time(short_stats, gcn_papers()), std::invalid_argument);
+}
+
+TEST(FpgaModel, TableFourDesignPoint) {
+  // The paper's (n=8, m=2048) point: LUT 72%, DSP 90%, URAM 48%, BRAM 40%.
+  const FpgaUtilization u = estimate_utilization({8, 2048});
+  EXPECT_NEAR(u.lut_fraction, 0.72, 0.03);
+  EXPECT_NEAR(u.dsp_fraction, 0.90, 0.02);
+  EXPECT_NEAR(u.uram_fraction, 0.48, 0.03);
+  EXPECT_NEAR(u.bram_fraction, 0.40, 0.03);
+  EXPECT_TRUE(u.fits());
+  EXPECT_DOUBLE_EQ(u.max_fraction(), u.dsp_fraction);
+}
+
+TEST(FpgaModel, UtilizationMonotoneInParallelism) {
+  const FpgaUtilization small = estimate_utilization({4, 512});
+  const FpgaUtilization large = estimate_utilization({16, 4096});
+  EXPECT_LT(small.dsp_fraction, large.dsp_fraction);
+  EXPECT_LT(small.lut_fraction, large.lut_fraction);
+  EXPECT_FALSE(large.fits());  // 4096 MACs blow the DSP budget
+}
+
+TEST(FpgaModel, MaxMacUnitsIsTableFourScale) {
+  const int m = max_mac_units(8);
+  EXPECT_EQ(m, 2048);  // the paper's design point is the largest pow-2 fit
+}
+
+TEST(FpgaModel, RejectsNonPositiveDesign) {
+  EXPECT_THROW(estimate_utilization({0, 16}), std::invalid_argument);
+}
+
+TEST(Link, PcieTransferLinearInBytes) {
+  PcieLink link(25.0, 0.0);
+  EXPECT_NEAR(link.transfer_time(25e9), 1.0, 1e-9);
+  EXPECT_NEAR(link.transfer_time(0.0), 0.0, 1e-12);
+  EXPECT_THROW(link.transfer_time(-1.0), std::invalid_argument);
+}
+
+TEST(Link, AllreduceCrossesTwice) {
+  PcieLink link(10.0, 0.0);
+  EXPECT_NEAR(link.allreduce_time(10e9), 2.0, 1e-9);
+}
+
+TEST(Link, HostChannelSaturates) {
+  HostMemoryChannel host(205.0, 4.0, 0.8);
+  // 10 threads: 40 GB/s; 100 threads: capped at 164 GB/s.
+  EXPECT_NEAR(host.effective_bandwidth(10), 40e9, 1e-3);
+  EXPECT_NEAR(host.effective_bandwidth(100), 164e9, 1e-3);
+  EXPECT_DOUBLE_EQ(host.effective_bandwidth(0), 0.0);
+  EXPECT_GT(host.load_time(1e9, 0), 1e6);  // stalls with no threads
+}
+
+TEST(Link, RejectsBadParameters) {
+  EXPECT_THROW(PcieLink(0.0), std::invalid_argument);
+  EXPECT_THROW(HostMemoryChannel(-1.0), std::invalid_argument);
+}
+
+TEST(SamplerModel, CpuTimeScalesWithThreadsAndEdges) {
+  SamplerModel model;
+  const Seconds one = model.cpu_sample_time(1000000, 1);
+  const Seconds four = model.cpu_sample_time(1000000, 4);
+  EXPECT_NEAR(one / four, 4.0, 1e-9);
+  EXPECT_GT(model.cpu_sample_time(2000000, 1), one);
+  EXPECT_GT(model.cpu_sample_time(100, 0), 1e6);
+}
+
+TEST(SamplerModel, AcceleratorRates) {
+  EXPECT_GT(SamplerModel::accelerator_rate(a5000_spec()), 0.0);
+  EXPECT_GT(SamplerModel::accelerator_rate(u250_spec()), 0.0);
+  EXPECT_DOUBLE_EQ(SamplerModel::accelerator_rate(epyc7763_spec()), 0.0);
+  // GPU samples faster than FPGA.
+  EXPECT_GT(SamplerModel::accelerator_rate(a5000_spec()),
+            SamplerModel::accelerator_rate(u250_spec()));
+}
+
+TEST(SamplerModel, Calibration) {
+  SamplerModel model;
+  model.calibrate_cpu_rate(1e6);
+  EXPECT_DOUBLE_EQ(model.cpu_rate(), 1e6);
+  EXPECT_NEAR(model.cpu_sample_time(1e6, 1), 1.0, 1e-9);
+  EXPECT_THROW(SamplerModel(-5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hyscale

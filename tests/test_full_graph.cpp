@@ -1,0 +1,173 @@
+// Cross-checks of mini-batch propagation against whole-graph semantics:
+// with full-neighborhood sampling, the sampled computation graph must
+// reproduce exactly the convolution over the whole graph restricted to
+// the seeds (the "optimizations do not alter the semantics" claim, §IV).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "tensor/init.hpp"
+
+namespace hyscale {
+namespace {
+
+// Dense whole-graph GCN layer reference: for each vertex,
+// a_v = sum_{u in N(v) u {v}} h_u / sqrt((d_u+1)(d_v+1)), h' = a W + b
+// with TRUE graph degrees (full sampling makes block-local == true).
+Tensor whole_graph_gcn(const CsrGraph& g, const Tensor& h, const Tensor& w, const Tensor& b,
+                       bool relu) {
+  Tensor out(g.num_vertices(), w.cols());
+  Tensor agg(g.num_vertices(), h.cols());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double nv = 1.0 / std::sqrt(static_cast<double>(g.degree(v)) + 1.0);
+    float* row = agg.data() + v * h.cols();
+    const float* self = h.data() + v * h.cols();
+    for (std::int64_t j = 0; j < h.cols(); ++j)
+      row[j] = static_cast<float>(nv * nv) * self[j];
+    for (VertexId u : g.neighbors(v)) {
+      const double nu = 1.0 / std::sqrt(static_cast<double>(g.degree(u)) + 1.0);
+      const auto weight = static_cast<float>(nv * nu);
+      const float* src = h.data() + u * h.cols();
+      for (std::int64_t j = 0; j < h.cols(); ++j) row[j] += weight * src[j];
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::int64_t c = 0; c < w.cols(); ++c) {
+      double acc = b.at(0, c);
+      for (std::int64_t k = 0; k < h.cols(); ++k) {
+        acc += static_cast<double>(agg.at(v, k)) * w.at(k, c);
+      }
+      out.at(v, c) = relu ? std::max(0.0f, static_cast<float>(acc)) : static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TEST(FullGraphEquivalence, OneLayerGcnMatchesWholeGraph) {
+  RmatParams params;
+  params.scale = 6;
+  params.edge_factor = 4;
+  const CsrGraph g = generate_rmat(params);
+
+  Tensor h(g.num_vertices(), 5);
+  uniform_init(h, -1.0f, 1.0f, 3);
+
+  ModelConfig config;
+  config.kind = GnnKind::kGcn;
+  config.dims = {5, 4};
+  config.seed = 8;
+  GnnModel model(config);
+
+  std::vector<VertexId> seeds;
+  for (VertexId v = 0; v < g.num_vertices() && seeds.size() < 10; ++v) seeds.push_back(v);
+  const MiniBatch batch = sample_full(g, seeds, 1);
+
+  // Gather X' over the batch's input nodes.
+  Tensor x(batch.blocks.front().num_src(), 5);
+  for (std::size_t i = 0; i < batch.input_nodes().size(); ++i) {
+    const VertexId v = batch.input_nodes()[i];
+    for (std::int64_t j = 0; j < 5; ++j) x.at(static_cast<std::int64_t>(i), j) = h.at(v, j);
+  }
+  const Tensor sampled_out = model.forward(batch, x);
+
+  const auto params_list = model.parameters();
+  const Tensor whole = whole_graph_gcn(g, h, params_list[0]->value, params_list[1]->value,
+                                       /*relu=*/false);
+
+  // BUT: the block-local degree of a dst equals its true degree only when
+  // full sampling took every neighbor — which sample_full guarantees.
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::int64_t c = 0; c < sampled_out.cols(); ++c) {
+      EXPECT_NEAR(sampled_out.at(static_cast<std::int64_t>(i), c), whole.at(seeds[i], c), 2e-4)
+          << "seed " << i << " col " << c;
+    }
+  }
+}
+
+TEST(FullGraphEquivalence, TwoLayerGcnMatchesWholeGraph) {
+  RmatParams params;
+  params.scale = 5;
+  params.edge_factor = 3;
+  const CsrGraph g = generate_rmat(params);
+
+  Tensor h(g.num_vertices(), 4);
+  uniform_init(h, -1.0f, 1.0f, 5);
+
+  ModelConfig config;
+  config.kind = GnnKind::kGcn;
+  config.dims = {4, 6, 3};
+  config.seed = 12;
+  GnnModel model(config);
+
+  std::vector<VertexId> seeds = {0, 3, 7};
+  const MiniBatch batch = sample_full(g, seeds, 2);
+  Tensor x(batch.blocks.front().num_src(), 4);
+  for (std::size_t i = 0; i < batch.input_nodes().size(); ++i) {
+    const VertexId v = batch.input_nodes()[i];
+    for (std::int64_t j = 0; j < 4; ++j) x.at(static_cast<std::int64_t>(i), j) = h.at(v, j);
+  }
+  const Tensor sampled_out = model.forward(batch, x);
+
+  const auto p = model.parameters();
+  const Tensor layer1 = whole_graph_gcn(g, h, p[0]->value, p[1]->value, /*relu=*/true);
+  const Tensor whole = whole_graph_gcn(g, layer1, p[2]->value, p[3]->value, /*relu=*/false);
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::int64_t c = 0; c < sampled_out.cols(); ++c) {
+      EXPECT_NEAR(sampled_out.at(static_cast<std::int64_t>(i), c), whole.at(seeds[i], c), 5e-4);
+    }
+  }
+}
+
+TEST(FullGraphEquivalence, SageMeanMatchesWholeGraph) {
+  RmatParams params;
+  params.scale = 5;
+  params.edge_factor = 4;
+  const CsrGraph g = generate_rmat(params);
+  Tensor h(g.num_vertices(), 3);
+  uniform_init(h, -1.0f, 1.0f, 7);
+
+  ModelConfig config;
+  config.kind = GnnKind::kSage;
+  config.dims = {3, 4};
+  config.seed = 9;
+  GnnModel model(config);
+
+  std::vector<VertexId> seeds = {1, 2};
+  const MiniBatch batch = sample_full(g, seeds, 1);
+  Tensor x(batch.blocks.front().num_src(), 3);
+  for (std::size_t i = 0; i < batch.input_nodes().size(); ++i) {
+    const VertexId v = batch.input_nodes()[i];
+    for (std::int64_t j = 0; j < 3; ++j) x.at(static_cast<std::int64_t>(i), j) = h.at(v, j);
+  }
+  const Tensor out = model.forward(batch, x);
+
+  // Reference: [self || mean(neighbors)] W + b for each seed.
+  const auto p = model.parameters();
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const VertexId v = seeds[i];
+    std::vector<double> cat(6, 0.0);
+    for (std::int64_t j = 0; j < 3; ++j) cat[static_cast<std::size_t>(j)] = h.at(v, j);
+    const auto neighbors = g.neighbors(v);
+    for (VertexId u : neighbors) {
+      for (std::int64_t j = 0; j < 3; ++j)
+        cat[static_cast<std::size_t>(3 + j)] += h.at(u, j);
+    }
+    if (!neighbors.empty()) {
+      for (int j = 3; j < 6; ++j)
+        cat[static_cast<std::size_t>(j)] /= static_cast<double>(neighbors.size());
+    }
+    for (std::int64_t c = 0; c < 4; ++c) {
+      double acc = p[1]->value.at(0, c);
+      for (int k = 0; k < 6; ++k)
+        acc += cat[static_cast<std::size_t>(k)] * p[0]->value.at(k, c);
+      EXPECT_NEAR(out.at(static_cast<std::int64_t>(i), c), acc, 2e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyscale

@@ -1,0 +1,289 @@
+// Tests for graph/: CSR, builder, generators, reordering, partitioning, I/O.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/generator.hpp"
+#include "graph/io.hpp"
+#include "graph/partition.hpp"
+#include "graph/reorder.hpp"
+
+namespace hyscale {
+namespace {
+
+CsrGraph triangle_plus_leaf() {
+  // 0-1, 1-2, 2-0, 2-3 (undirected).
+  return build_csr(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+}
+
+TEST(Csr, BasicAccessors) {
+  const CsrGraph g = triangle_plus_leaf();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 8);  // symmetrized
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.degree(3), 1);
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 2.0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Csr, NeighborsSortedAndCorrect) {
+  const CsrGraph g = triangle_plus_leaf();
+  const auto n2 = g.neighbors(2);
+  const std::vector<VertexId> expected = {0, 1, 3};
+  EXPECT_TRUE(std::equal(n2.begin(), n2.end(), expected.begin(), expected.end()));
+}
+
+TEST(Csr, TransposeOfSymmetricGraphIsIdentical) {
+  const CsrGraph g = triangle_plus_leaf();
+  const CsrGraph t = g.transpose();
+  EXPECT_EQ(t.indptr(), g.indptr());
+  EXPECT_EQ(t.indices(), g.indices());
+}
+
+TEST(Csr, TransposeDirected) {
+  EdgeListOptions opts;
+  opts.symmetrize = false;
+  const CsrGraph g = build_csr(3, {{0, 1}, {0, 2}, {1, 2}}, opts);
+  const CsrGraph t = g.transpose();
+  EXPECT_EQ(t.degree(0), 0);
+  EXPECT_EQ(t.degree(2), 2);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(Csr, ConstructorRejectsCorruptInputs) {
+  EXPECT_THROW(CsrGraph({}, {}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph({1, 2}, {0}), std::invalid_argument);   // indptr[0] != 0
+  EXPECT_THROW(CsrGraph({0, 2}, {0}), std::invalid_argument);   // back mismatch
+}
+
+TEST(Csr, EmptyGraph) {
+  const CsrGraph g(std::vector<EdgeId>{0}, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+TEST(Builder, RemovesSelfLoopsAndDuplicates) {
+  const CsrGraph g = build_csr(3, {{0, 0}, {0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_edges(), 2);  // only 0-1 both ways
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Builder, KeepsDirectedWhenAsked) {
+  EdgeListOptions opts;
+  opts.symmetrize = false;
+  const CsrGraph g = build_csr(3, {{0, 1}, {0, 2}}, opts);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(build_csr(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(build_csr(2, {{-1, 0}}), std::invalid_argument);
+  EXPECT_THROW(build_csr(-1, {}), std::invalid_argument);
+}
+
+TEST(Generator, RmatDeterministicPerSeed) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 4;
+  const CsrGraph a = generate_rmat(p);
+  const CsrGraph b = generate_rmat(p);
+  EXPECT_EQ(a.indices(), b.indices());
+  p.seed = 2;
+  const CsrGraph c = generate_rmat(p);
+  EXPECT_NE(a.indices(), c.indices());
+}
+
+TEST(Generator, RmatShape) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const CsrGraph g = generate_rmat(p);
+  EXPECT_EQ(g.num_vertices(), 1024);
+  EXPECT_TRUE(g.validate());
+  // Symmetrized and deduplicated: at most 2x requested edges.
+  EXPECT_LE(g.num_edges(), 2 * 8 * 1024);
+  EXPECT_GT(g.num_edges(), 4 * 1024);
+}
+
+TEST(Generator, RmatDegreeSkew) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const CsrGraph g = generate_rmat(p);
+  // Power-law-ish: the max degree far exceeds the mean.
+  EXPECT_GT(static_cast<double>(g.max_degree()), 10.0 * g.mean_degree());
+}
+
+TEST(Generator, RmatRejectsBadParameters) {
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_THROW(generate_rmat(p), std::invalid_argument);
+  p.scale = 8;
+  p.a = 0.9;
+  p.b = 0.2;  // a+b+c > 1
+  EXPECT_THROW(generate_rmat(p), std::invalid_argument);
+}
+
+TEST(Generator, SbmBlocksDenserInside) {
+  SbmParams p;
+  p.vertices_per_block = 64;
+  p.num_blocks = 3;
+  const CsrGraph g = generate_sbm(p);
+  EXPECT_EQ(g.num_vertices(), 192);
+  EdgeId intra = 0, inter = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u / p.vertices_per_block == v / p.vertices_per_block) ++intra; else ++inter;
+    }
+  }
+  EXPECT_GT(intra, 4 * inter);
+}
+
+TEST(Generator, ErdosRenyiEdgeCountNearExpectation) {
+  const VertexId n = 400;
+  const double p = 0.05;
+  const CsrGraph g = generate_erdos_renyi(n, p, 3);
+  const double expected = p * n * (n - 1);  // symmetrized directed count
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.15 * expected);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Generator, ErdosRenyiZeroP) {
+  const CsrGraph g = generate_erdos_renyi(100, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Generator, ErdosRenyiRejectsBadP) {
+  EXPECT_THROW(generate_erdos_renyi(10, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(generate_erdos_renyi(10, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Reorder, InvertPermutationRoundTrip) {
+  const std::vector<VertexId> perm = {2, 0, 3, 1};
+  const auto inv = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[i])], static_cast<VertexId>(i));
+  }
+}
+
+TEST(Reorder, InvertRejectsNonPermutation) {
+  EXPECT_THROW(invert_permutation({0, 0}), std::invalid_argument);
+  EXPECT_THROW(invert_permutation({0, 5}), std::invalid_argument);
+}
+
+TEST(Reorder, DegreeOrderDescending) {
+  const CsrGraph g = triangle_plus_leaf();
+  const auto perm = degree_order(g);
+  EXPECT_EQ(perm.front(), 2);  // degree 3
+  EXPECT_EQ(perm.back(), 3);   // degree 1
+}
+
+TEST(Reorder, ApplyPermutationPreservesStructure) {
+  RmatParams p;
+  p.scale = 7;
+  p.edge_factor = 4;
+  const CsrGraph g = generate_rmat(p);
+  const auto perm = degree_order(g);
+  const CsrGraph h = apply_permutation(g, perm);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // Degree multiset preserved.
+  std::multiset<EdgeId> dg, dh;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    dg.insert(g.degree(v));
+    dh.insert(h.degree(v));
+  }
+  EXPECT_EQ(dg, dh);
+  // Hot vertices first after degree ordering.
+  EXPECT_EQ(h.degree(0), g.max_degree());
+}
+
+class PartitionerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionerTest, HashPartitionCoversAllVertices) {
+  RmatParams rp;
+  rp.scale = 9;
+  const CsrGraph g = generate_rmat(rp);
+  const int parts = GetParam();
+  const Partition part = partition_hash(g, parts, 1);
+  EXPECT_EQ(part.num_parts, parts);
+  VertexId total = 0;
+  for (VertexId s : part.part_sizes) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+  for (int a : part.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, parts);
+  }
+}
+
+TEST_P(PartitionerTest, BfsPartitionCutsLessThanHash) {
+  RmatParams rp;
+  rp.scale = 10;
+  rp.edge_factor = 8;
+  const CsrGraph g = generate_rmat(rp);
+  const int parts = GetParam();
+  const Partition hash = partition_hash(g, parts, 1);
+  const Partition bfs = partition_bfs(g, parts, 1);
+  EXPECT_LT(bfs.edge_cut, hash.edge_cut);
+  EXPECT_LE(bfs.imbalance(), 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionerTest, ::testing::Values(2, 4, 8));
+
+TEST(Partition, StatsOnKnownGraph) {
+  // Path 0-1-2-3 split as {0,1} | {2,3}: cut = 1 undirected = 2 directed.
+  const CsrGraph g = build_csr(4, {{0, 1}, {1, 2}, {2, 3}});
+  Partition part;
+  part.num_parts = 2;
+  part.assignment = {0, 0, 1, 1};
+  compute_partition_stats(g, part);
+  EXPECT_EQ(part.edge_cut, 2);
+  EXPECT_EQ(part.part_sizes[0], 2);
+  EXPECT_EQ(part.halo_sizes[0], 1);  // part 0 needs vertex 2
+  EXPECT_EQ(part.halo_sizes[1], 1);  // part 1 needs vertex 1
+}
+
+TEST(Partition, RejectsBadPartCount) {
+  const CsrGraph g = triangle_plus_leaf();
+  EXPECT_THROW(partition_hash(g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(partition_bfs(g, -1, 1), std::invalid_argument);
+}
+
+TEST(GraphIo, RoundTrip) {
+  RmatParams p;
+  p.scale = 8;
+  const CsrGraph g = generate_rmat(p);
+  const std::string path = "/tmp/hyscale_io_test.bin";
+  save_csr(g, path);
+  const CsrGraph loaded = load_csr(path);
+  EXPECT_EQ(loaded.indptr(), g.indptr());
+  EXPECT_EQ(loaded.indices(), g.indices());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_csr("/tmp/does_not_exist_hyscale.bin"), std::runtime_error);
+}
+
+TEST(GraphIo, CorruptHeaderThrows) {
+  const std::string path = "/tmp/hyscale_io_corrupt.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[32] = "not a graph";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_THROW(load_csr(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hyscale

@@ -1,0 +1,187 @@
+// Randomised property tests across module boundaries: sampler/mini-batch
+// invariants over random graphs and fanouts, DRM conservation laws under
+// fuzzed stage times, pipeline-algebra identities, and the synchronous-
+// SGD equivalence over varying replica counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "nn/model.hpp"
+#include "runtime/drm.hpp"
+#include "runtime/stage_times.hpp"
+#include "runtime/sync.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "sampling/sorted_edges.hpp"
+#include "tensor/init.hpp"
+
+namespace hyscale {
+namespace {
+
+// ------------------------------------------------ sampler over random graphs
+
+class RandomGraphSampling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphSampling, MiniBatchInvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  RmatParams params;
+  params.scale = 7 + static_cast<int>(rng.bounded(3));
+  params.edge_factor = 2.0 + static_cast<double>(rng.bounded(8));
+  params.seed = seed;
+  const CsrGraph g = generate_rmat(params);
+
+  std::vector<int> fanouts;
+  const int layers = 1 + static_cast<int>(rng.bounded(3));
+  for (int l = 0; l < layers; ++l) fanouts.push_back(1 + static_cast<int>(rng.bounded(12)));
+
+  std::vector<VertexId> seeds;
+  for (VertexId v = 0; v < g.num_vertices() && seeds.size() < 17; ++v) {
+    if (g.degree(v) > 0) seeds.push_back(v);
+  }
+  ASSERT_FALSE(seeds.empty());
+
+  NeighborSampler sampler(g, fanouts, seed);
+  for (int round = 0; round < 3; ++round) {
+    const MiniBatch batch = sampler.sample(seeds);
+    ASSERT_TRUE(batch.validate());
+    const BatchStats stats = batch.stats();
+    // |V^l| is non-increasing toward the output layer; |V^0| >= seeds.
+    for (std::size_t l = 1; l < stats.vertices_per_layer.size(); ++l) {
+      EXPECT_GE(stats.vertices_per_layer[l - 1], stats.vertices_per_layer[l]);
+    }
+    EXPECT_EQ(stats.vertices_per_layer.back(), static_cast<std::int64_t>(seeds.size()));
+    // Sorted-edge view agrees with the block on every layer.
+    for (const auto& block : batch.blocks) {
+      const SortedEdgeBlock sorted = sort_edges_by_source(block);
+      EXPECT_EQ(sorted.num_edges(), block.num_edges());
+      EXPECT_LE(sorted.unique_sources, block.num_src());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSampling,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// --------------------------------------------------------- DRM conservation
+
+class DrmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DrmFuzz, ConservesBatchAndThreadsUnderRandomTimes) {
+  Xoshiro256 rng(GetParam());
+  DrmConfig config;
+  config.accel_sampling_available = rng.uniform() < 0.5;
+  DrmEngine drm(config);
+
+  WorkloadAssignment w;
+  w.cpu_batch = 256 + static_cast<std::int64_t>(rng.bounded(1024));
+  w.accel_batch = 512 + static_cast<std::int64_t>(rng.bounded(1024));
+  w.num_accelerators = 1 + static_cast<int>(rng.bounded(8));
+  w.threads = {128, 32, 32, 64};
+  const std::int64_t total_batch = w.total_batch();
+  const int total_threads = w.threads.used();
+
+  for (int i = 0; i < 200; ++i) {
+    StageTimes t;
+    t.sample_cpu = rng.uniform(0.0, 10e-3);
+    t.sample_accel = rng.uniform(0.0, 10e-3);
+    t.load = rng.uniform(0.0, 10e-3);
+    t.transfer = rng.uniform(0.0, 10e-3);
+    t.train_cpu = rng.uniform(0.0, 10e-3);
+    t.train_accel = rng.uniform(0.0, 10e-3);
+    t.sync = rng.uniform(0.0, 1e-3);
+    drm.step(t, w);
+
+    ASSERT_EQ(w.total_batch(), total_batch) << "iteration " << i;
+    ASSERT_EQ(w.threads.used(), total_threads) << "iteration " << i;
+    ASSERT_TRUE(w.threads.valid()) << "iteration " << i;
+    ASSERT_GE(w.cpu_batch, 0);
+    ASSERT_GE(w.accel_batch, 0);
+    ASSERT_GE(w.accel_sample_fraction, 0.0);
+    ASSERT_LE(w.accel_sample_fraction, 1.0);
+    ASSERT_GE(w.threads.sampler, 1);
+    ASSERT_GE(w.threads.loader, 1);
+    ASSERT_GE(w.threads.trainer, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrmFuzz, ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// ------------------------------------------------------- pipeline identities
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, AlgebraicIdentities) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    StageTimes t;
+    t.sample_cpu = rng.uniform(0.0, 5e-3);
+    t.sample_accel = rng.uniform(0.0, 5e-3);
+    t.load = rng.uniform(0.0, 5e-3);
+    t.transfer = rng.uniform(0.0, 5e-3);
+    t.train_cpu = rng.uniform(0.0, 5e-3);
+    t.train_accel = rng.uniform(0.0, 5e-3);
+    t.sync = rng.uniform(0.0, 1e-3);
+
+    const Seconds seq = iteration_time(t, PipelineMode::kSequential);
+    const Seconds single = iteration_time(t, PipelineMode::kSinglePrefetch);
+    const Seconds two = iteration_time(t, PipelineMode::kTwoStagePrefetch);
+    // Pipelining can only help, and two-stage equals the max stage (Eq. 6).
+    ASSERT_LE(two, single + 1e-15);
+    ASSERT_LE(single, seq + 1e-15);
+    ASSERT_DOUBLE_EQ(
+        two, std::max({t.sampling(), t.load, t.transfer, t.propagation()}));
+    // Epoch time is monotone in iteration count.
+    ASSERT_LE(epoch_time(t, PipelineMode::kTwoStagePrefetch, 10),
+              epoch_time(t, PipelineMode::kTwoStagePrefetch, 11) + 1e-15);
+    // Epoch >= iterations * steady state.
+    ASSERT_GE(epoch_time(t, PipelineMode::kTwoStagePrefetch, 50), 50.0 * two - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Values(7u, 77u, 777u));
+
+// ------------------------------------------- sync-SGD equivalence, k replicas
+
+class ReplicaEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicaEquivalence, WeightedAverageEqualsConcatenation) {
+  const int k = GetParam();
+  ModelConfig config;
+  config.kind = GnnKind::kSage;
+  config.dims = {6, 8, 3};
+  config.seed = 9;
+
+  // Synthetic per-replica gradients with distinct magnitudes and random
+  // weights; the weighted average must equal the hand-computed one.
+  std::vector<std::unique_ptr<GnnModel>> models;
+  std::vector<GnnModel*> views;
+  std::vector<std::int64_t> weights;
+  Xoshiro256 rng(static_cast<std::uint64_t>(k) * 101);
+  double expected_numerator = 0.0;
+  double weight_sum = 0.0;
+  for (int r = 0; r < k; ++r) {
+    models.push_back(std::make_unique<GnnModel>(config));
+    const auto fill = static_cast<float>(r + 1);
+    for (auto* p : models.back()->parameters()) p->grad.fill(fill);
+    const auto weight = static_cast<std::int64_t>(1 + rng.bounded(100));
+    weights.push_back(weight);
+    views.push_back(models.back().get());
+    expected_numerator += static_cast<double>(weight) * fill;
+    weight_sum += static_cast<double>(weight);
+  }
+  Synchronizer::allreduce(views, weights);
+  const auto expected = static_cast<float>(expected_numerator / weight_sum);
+  for (auto* model : views) {
+    for (auto* p : model->parameters()) {
+      for (float g : p->grad.flat()) ASSERT_NEAR(g, expected, 1e-5f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Replicas, ReplicaEquivalence, ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace hyscale

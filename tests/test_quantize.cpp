@@ -1,0 +1,104 @@
+// Tests for tensor/quantize: the §VIII data-quantization extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/datasets.hpp"
+#include "runtime/hybrid_trainer.hpp"
+#include "tensor/init.hpp"
+#include "tensor/quantize.hpp"
+
+namespace hyscale {
+namespace {
+
+TEST(Quantize, RoundTripErrorBoundedByHalfStep) {
+  Tensor x(32, 64);
+  uniform_init(x, -5.0f, 5.0f, 1);
+  Tensor original = x;
+  const double error = quantize_roundtrip_int8(x);
+  // Per-row error bound: scale/2 = max|row| / 254.
+  for (std::int64_t i = 0; i < original.rows(); ++i) {
+    float max_abs = 0.0f;
+    for (std::int64_t j = 0; j < original.cols(); ++j)
+      max_abs = std::max(max_abs, std::abs(original.at(i, j)));
+    for (std::int64_t j = 0; j < original.cols(); ++j) {
+      EXPECT_LE(std::abs(original.at(i, j) - x.at(i, j)), max_abs / 254.0f + 1e-6f);
+    }
+  }
+  EXPECT_GT(error, 0.0);
+  EXPECT_LT(error, 5.0 / 127.0 + 1e-6);
+}
+
+TEST(Quantize, ZeroRowsSurviveExactly) {
+  Tensor x(3, 4, 0.0f);
+  const double error = quantize_roundtrip_int8(x);
+  EXPECT_DOUBLE_EQ(error, 0.0);
+  for (float v : x.flat()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Quantize, ExtremesMapToFullRange) {
+  Tensor x(1, 2);
+  x.at(0, 0) = 127.0f;
+  x.at(0, 1) = -127.0f;
+  const QuantizedRows q = quantize_int8(x);
+  EXPECT_EQ(q.values[0], 127);
+  EXPECT_EQ(q.values[1], -127);
+  EXPECT_FLOAT_EQ(q.scales[0], 1.0f);
+}
+
+TEST(Quantize, WireBytesAreElementPlusScales) {
+  Tensor x(10, 16);
+  uniform_init(x, -1, 1, 2);
+  const QuantizedRows q = quantize_int8(x);
+  EXPECT_DOUBLE_EQ(q.wire_bytes(), 10.0 * 16.0 + 10.0 * 4.0);
+  // 4x smaller than fp32 (minus scale overhead).
+  EXPECT_LT(q.wire_bytes(), x.size() * 4.0 / 3.0);
+}
+
+TEST(Quantize, PrecisionNamesAndWireBytes) {
+  EXPECT_STREQ(transfer_precision_name(TransferPrecision::kInt8), "int8");
+  EXPECT_DOUBLE_EQ(wire_bytes_per_element(TransferPrecision::kFp32), 4.0);
+  EXPECT_DOUBLE_EQ(wire_bytes_per_element(TransferPrecision::kFp16), 2.0);
+  EXPECT_DOUBLE_EQ(wire_bytes_per_element(TransferPrecision::kInt8), 1.0);
+}
+
+TEST(Quantize, Int8TransfersShrinkTransferStage) {
+  MaterializeOptions options;
+  options.target_vertices = 1 << 11;
+  options.label_signal = false;
+  const Dataset ds = materialize_dataset("ogbn-products", options);
+
+  auto transfer_time = [&](TransferPrecision precision) {
+    HybridTrainerConfig config;
+    config.real_compute = false;
+    config.drm = false;
+    config.transfer_precision = precision;
+    HybridTrainer trainer(ds, cpu_fpga_platform(4), config);
+    return trainer.train_epoch().mean_times.transfer;
+  };
+  const Seconds fp32 = transfer_time(TransferPrecision::kFp32);
+  const Seconds int8 = transfer_time(TransferPrecision::kInt8);
+  EXPECT_LT(int8, fp32);
+  EXPECT_GT(int8, fp32 / 6.0);  // topology bytes and latency remain
+}
+
+TEST(Quantize, Int8TrainingStillConverges) {
+  const Dataset ds = make_community_dataset(3, 96, 12, 5);
+  HybridTrainerConfig config;
+  config.model_kind = GnnKind::kSage;
+  config.fanouts = {5, 5};
+  config.learning_rate = 0.3;
+  config.real_batch_total = 96;
+  config.real_iterations_cap = 30;
+  config.per_trainer_batch = 256;
+  config.transfer_precision = TransferPrecision::kInt8;
+  HybridTrainer trainer(ds, cpu_fpga_platform(2), config);
+  const double first = trainer.train_epoch().loss;
+  for (int e = 0; e < 5; ++e) trainer.train_epoch();
+  const double last = trainer.train_epoch().loss;
+  EXPECT_LT(last, first);
+  EXPECT_GT(trainer.evaluate_accuracy(), 0.55);
+}
+
+}  // namespace
+}  // namespace hyscale
