@@ -1,0 +1,127 @@
+// Serving performance record: closed-loop load sessions against the
+// online inference server at a few operating points (worker count x
+// cache capacity), emitting BENCH_serving.json so later PRs have a
+// latency/QPS/hit-rate trajectory to beat.
+//
+// The headline record is the largest configuration; per-point records
+// keep the full sweep.  Wall-clock numbers, real sampling + gather +
+// forward on the host.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/hyscale.hpp"
+
+using namespace hyscale;
+
+namespace {
+
+struct OperatingPoint {
+  std::string name;
+  int workers;
+  std::int64_t cache_rows;
+  int clients;
+};
+
+struct PointResult {
+  OperatingPoint point;
+  LoadReport report;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("BENCH serving", "online inference: dynamic batching + cached gathers");
+
+  MaterializeOptions materialize;
+  materialize.target_vertices = 1 << 11;
+  const Dataset dataset = materialize_dataset("ogbn-products", materialize);
+
+  HybridTrainerConfig train_config;
+  train_config.fanouts = {5, 5};
+  train_config.real_batch_total = 128;
+  train_config.real_iterations_cap = 2;
+  HybridTrainer trainer(dataset, cpu_fpga_platform(2), train_config);
+  trainer.train_epoch();
+  const ModelSnapshot snapshot(trainer.model());
+
+  const std::vector<OperatingPoint> points = {
+      {"1w_nocache", 1, 0, 4},
+      {"2w_cache", 2, 512, 8},
+      {"4w_cache", 4, 1024, 16},
+  };
+
+  bench::row({"config", "qps", "p50 ms", "p95 ms", "p99 ms", "batch", "hit rate", "rejected"},
+             {12, 10, 10, 10, 10, 8, 10, 10});
+
+  std::vector<PointResult> results;
+  for (const OperatingPoint& point : points) {
+    ServingConfig serving;
+    serving.fanouts = {10, 5};
+    serving.num_workers = point.workers;
+    serving.cache_capacity_rows = point.cache_rows;
+    serving.batch.max_batch_requests = 16;
+    serving.batch.max_wait = 2e-3;
+    serving.seed = 7;
+    InferenceServer server(dataset, snapshot, serving);
+
+    LoadGeneratorConfig load;
+    load.num_clients = point.clients;
+    load.requests_per_client = 64;
+    load.seeds_per_request = 4;
+    load.seed = 21;
+    LoadGenerator generator(server, dataset, load);
+    const LoadReport report = generator.run();
+
+    bench::row({point.name, format_double(report.qps, 1),
+                format_double(report.server.latency_p50 * 1e3, 3),
+                format_double(report.server.latency_p95 * 1e3, 3),
+                format_double(report.server.latency_p99 * 1e3, 3),
+                format_double(report.server.mean_batch_requests, 2),
+                format_double(report.server.cache_hit_rate, 3),
+                std::to_string(report.rejected_submits)},
+               {12, 10, 10, 10, 10, 8, 10, 10});
+    results.push_back({point, report});
+  }
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "serving");
+  json.field("dataset", dataset.info.name);
+  json.field("materialized_vertices", static_cast<std::int64_t>(dataset.num_vertices()));
+  json.field("fanouts", "10,5");
+  json.key("points");
+  json.begin_array();
+  for (const PointResult& r : results) {
+    json.begin_object();
+    json.field("name", r.point.name);
+    json.field("workers", r.point.workers);
+    json.field("cache_rows", r.point.cache_rows);
+    json.field("clients", r.point.clients);
+    json.field("completed_requests", r.report.completed_requests);
+    json.field("rejected_submits", r.report.rejected_submits);
+    json.field("qps", r.report.qps);
+    json.field("p50_ms", r.report.server.latency_p50 * 1e3);
+    json.field("p95_ms", r.report.server.latency_p95 * 1e3);
+    json.field("p99_ms", r.report.server.latency_p99 * 1e3);
+    json.field("mean_batch_requests", r.report.server.mean_batch_requests);
+    json.field("cache_hit_rate", r.report.server.cache_hit_rate);
+    json.end_object();
+  }
+  json.end_array();
+  const PointResult& headline = results.back();
+  json.key("headline");
+  json.begin_object();
+  json.field("qps", headline.report.qps);
+  json.field("p50_ms", headline.report.server.latency_p50 * 1e3);
+  json.field("p99_ms", headline.report.server.latency_p99 * 1e3);
+  json.field("cache_hit_rate", headline.report.server.cache_hit_rate);
+  json.end_object();
+  json.end_object();
+
+  const std::string path = "BENCH_serving.json";
+  json.write(path);
+  std::printf("\nperf record written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,12 +1,19 @@
 // hyscale_cli — command-line driver for the library, the binary a
 // downstream user actually runs.
 //
+// Training (default mode):
 //   $ ./example_hyscale_cli --dataset ogbn-products --model sage \
 //        --platform fpga --accels 4 --epochs 3 --fanouts 25,10 \
 //        [--no-hybrid] [--no-drm] [--no-tfp] [--int8] [--trace out.json]
 //
-// Prints per-epoch reports and (optionally) a chrome://tracing JSON of
-// the pipeline schedule.
+// Online inference serving (train briefly or load a checkpoint, then
+// run a closed-loop load-generator session against the server):
+//   $ ./example_hyscale_cli serve --dataset ogbn-products --workers 4 \
+//        --clients 8 --requests 64 --fanouts 10,5 --cache-rows 512 \
+//        [--checkpoint ckpt.bin] [--save-checkpoint ckpt.bin]
+//
+// Prints per-epoch reports (train) or p50/p99 latency, QPS, batch-size
+// and cache statistics (serve).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -107,9 +114,224 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
+// ------------------------------------------------------------- serve mode
+
+struct ServeOptions {
+  std::string dataset = "ogbn-products";
+  std::string model = "sage";
+  VertexId scale = 1 << 11;
+  int train_epochs = 1;
+  std::string checkpoint;       ///< load instead of relying on training
+  std::string save_checkpoint;  ///< write trained weights before serving
+  std::vector<int> fanouts = {10, 5};  ///< empty via --full: exact inference
+  int workers = 4;
+  std::int64_t cache_rows = 512;
+  std::int64_t max_batch = 16;
+  double max_wait_ms = 2.0;
+  std::int64_t queue_cap = 1024;
+  int clients = 8;
+  int requests = 64;
+  int seeds_per_request = 4;
+  std::uint64_t seed = 1;
+};
+
+void serve_usage(const char* argv0) {
+  std::printf(
+      "usage: %s serve [--dataset NAME] [--model gcn|sage|gat] [--scale V]\n"
+      "          [--train-epochs N] [--checkpoint FILE] [--save-checkpoint FILE]\n"
+      "          [--fanouts a,b,...|--full] [--workers K] [--cache-rows R]\n"
+      "          [--max-batch B] [--max-wait-ms MS] [--queue-cap Q]\n"
+      "          [--clients C] [--requests N] [--seeds-per-request S] [--seed X]\n",
+      argv0);
+}
+
+bool parse_serve_args(int argc, char** argv, ServeOptions& options) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--dataset") {
+      const char* v = next();
+      if (!v) return false;
+      options.dataset = v;
+    } else if (arg == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      options.model = v;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v) return false;
+      options.scale = std::atoll(v);
+    } else if (arg == "--train-epochs") {
+      const char* v = next();
+      if (!v) return false;
+      options.train_epochs = std::atoi(v);
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      options.checkpoint = v;
+    } else if (arg == "--save-checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      options.save_checkpoint = v;
+    } else if (arg == "--fanouts") {
+      const char* v = next();
+      if (!v) return false;
+      options.fanouts.clear();
+      for (const std::string& tok : split(v, ',')) {
+        options.fanouts.push_back(std::atoi(tok.c_str()));
+      }
+    } else if (arg == "--full") {
+      options.fanouts.clear();
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return false;
+      options.workers = std::atoi(v);
+    } else if (arg == "--cache-rows") {
+      const char* v = next();
+      if (!v) return false;
+      options.cache_rows = std::atoll(v);
+    } else if (arg == "--max-batch") {
+      const char* v = next();
+      if (!v) return false;
+      options.max_batch = std::atoll(v);
+    } else if (arg == "--max-wait-ms") {
+      const char* v = next();
+      if (!v) return false;
+      options.max_wait_ms = std::atof(v);
+    } else if (arg == "--queue-cap") {
+      const char* v = next();
+      if (!v) return false;
+      options.queue_cap = std::atoll(v);
+    } else if (arg == "--clients") {
+      const char* v = next();
+      if (!v) return false;
+      options.clients = std::atoi(v);
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (!v) return false;
+      options.requests = std::atoi(v);
+    } else if (arg == "--seeds-per-request") {
+      const char* v = next();
+      if (!v) return false;
+      options.seeds_per_request = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--help" || arg == "-h") {
+      serve_usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_serve_impl(const ServeOptions& options);
+
+int run_serve(int argc, char** argv) {
+  ServeOptions options;
+  if (!parse_serve_args(argc, argv, options)) {
+    serve_usage(argv[0]);
+    return 2;
+  }
+  try {
+    return run_serve_impl(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_serve_impl(const ServeOptions& options) {
+  MaterializeOptions materialize;
+  materialize.target_vertices = options.scale;
+  Dataset dataset;
+  try {
+    dataset = materialize_dataset(options.dataset, materialize);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", options.dataset.c_str());
+    return 2;
+  }
+
+  HybridTrainerConfig train_config;
+  train_config.model_kind = parse_gnn_kind(options.model);
+  train_config.seed = options.seed;
+  HybridTrainer trainer(dataset, cpu_fpga_platform(2), train_config);
+  if (!options.checkpoint.empty()) {
+    load_checkpoint(trainer.model(), options.checkpoint);
+    std::printf("weights:  loaded from %s\n", options.checkpoint.c_str());
+  } else {
+    for (int e = 0; e < options.train_epochs; ++e) {
+      const EpochReport report = trainer.train_epoch();
+      std::printf("train epoch %d: loss %.4f acc %.3f\n", e, report.loss,
+                  report.train_accuracy);
+    }
+  }
+  if (!options.save_checkpoint.empty()) {
+    save_checkpoint(trainer.model(), options.save_checkpoint);
+    std::printf("weights:  saved to %s\n", options.save_checkpoint.c_str());
+  }
+
+  ServingConfig serving;
+  serving.fanouts = options.fanouts;
+  serving.num_workers = options.workers;
+  serving.cache_capacity_rows = options.cache_rows;
+  serving.seed = options.seed;
+  serving.batch.max_batch_requests = options.max_batch;
+  serving.batch.max_wait = options.max_wait_ms * 1e-3;
+  serving.batch.queue_capacity = static_cast<std::size_t>(options.queue_cap);
+
+  const ModelSnapshot snapshot(trainer.model());
+  InferenceServer server(dataset, snapshot, serving);
+
+  std::printf("\nserving %s on %d workers (", dataset.info.name.c_str(), options.workers);
+  if (serving.fanouts.empty()) {
+    std::printf("full neighborhood");
+  } else {
+    std::printf("fanouts");
+    for (int f : serving.fanouts) std::printf(" %d", f);
+  }
+  std::printf(", max_batch=%lld, max_wait=%.1fms, cache_rows=%lld)\n",
+              static_cast<long long>(options.max_batch), options.max_wait_ms,
+              static_cast<long long>(options.cache_rows));
+
+  LoadGeneratorConfig load;
+  load.num_clients = options.clients;
+  load.requests_per_client = options.requests;
+  load.seeds_per_request = options.seeds_per_request;
+  load.seed = options.seed + 1;
+  LoadGenerator generator(server, dataset, load);
+  const LoadReport report = generator.run();
+
+  std::printf("\n%s\n", report.to_string().c_str());
+  const ServingSnapshot& stats = report.server;
+  std::printf("latency:  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+              stats.latency_p50 * 1e3, stats.latency_p95 * 1e3, stats.latency_p99 * 1e3,
+              stats.latency_max * 1e3);
+  std::printf("qps:      %.1f requests/s (%.1f seeds/s)\n", report.qps,
+              report.qps * options.seeds_per_request);
+  std::printf("batches:  %lld (mean %.2f requests, min %lld, max %lld)\n",
+              static_cast<long long>(stats.completed_batches), stats.mean_batch_requests,
+              static_cast<long long>(stats.min_batch_requests),
+              static_cast<long long>(stats.max_batch_requests));
+  std::printf("cache:    hit_rate %.3f (%s device, %s host)\n", stats.cache_hit_rate,
+              format_bytes(stats.device_bytes).c_str(), format_bytes(stats.host_bytes).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) return run_serve(argc, argv);
   CliOptions options;
   if (!parse_args(argc, argv, options)) {
     usage(argv[0]);

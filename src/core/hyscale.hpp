@@ -47,6 +47,7 @@
 #include "sampling/neighbor_sampler.hpp"
 #include "sampling/saint_sampler.hpp"
 #include "sampling/sorted_edges.hpp"
+#include "serving/serving.hpp"
 #include "tensor/quantize.hpp"
 
 namespace hyscale {
@@ -54,19 +55,29 @@ namespace hyscale {
 /// Library version.
 inline constexpr const char* kVersion = "1.0.0";
 
-/// Facade: dataset + platform + config -> trained model and reports.
+/// Facade: dataset + platform + config -> trained model, reports, and an
+/// online inference server over the trained weights.
 class HyScale {
  public:
   HyScale(const Dataset& dataset, PlatformSpec platform, HybridTrainerConfig config = {})
-      : trainer_(dataset, std::move(platform), std::move(config)) {}
+      : dataset_(&dataset), trainer_(dataset, std::move(platform), std::move(config)) {}
 
   std::vector<EpochReport> train(int epochs) { return trainer_.train(epochs); }
   EpochReport train_epoch() { return trainer_.train_epoch(); }
+
+  /// Snapshots the current model weights and starts serving them.  Train
+  /// further and call serve() again for a fresher snapshot; live servers
+  /// keep the weights they were started with.
+  std::unique_ptr<InferenceServer> serve(ServingConfig config = {}) {
+    const ModelSnapshot snapshot(trainer_.model());
+    return std::make_unique<InferenceServer>(*dataset_, snapshot, std::move(config));
+  }
 
   HybridTrainer& runtime() { return trainer_; }
   GnnModel& model() { return trainer_.model(); }
 
  private:
+  const Dataset* dataset_;
   HybridTrainer trainer_;
 };
 

@@ -40,10 +40,13 @@ StaticFeatureCache::LoadStats StaticFeatureCache::load(const MiniBatch& batch, T
       stats.host_bytes += row_bytes;
     }
   }
-  totals_.hits += stats.hits;
-  totals_.misses += stats.misses;
-  totals_.device_bytes += stats.device_bytes;
-  totals_.host_bytes += stats.host_bytes;
+  {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    totals_.hits += stats.hits;
+    totals_.misses += stats.misses;
+    totals_.device_bytes += stats.device_bytes;
+    totals_.host_bytes += stats.host_bytes;
+  }
   return stats;
 }
 

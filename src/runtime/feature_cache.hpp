@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -40,18 +41,24 @@ class StaticFeatureCache {
 
   /// Gathers X' for the batch's input vertices (numerically identical to
   /// FeatureLoader::load) while attributing each row to cache or host.
+  /// Safe for concurrent callers (serving workers share one cache); each
+  /// caller must pass its own `out`.
   LoadStats load(const MiniBatch& batch, Tensor& out);
 
   bool cached(VertexId v) const { return cached_[static_cast<std::size_t>(v)]; }
   std::int64_t capacity() const { return capacity_; }
 
-  /// Cumulative statistics across all load() calls.
-  const LoadStats& totals() const { return totals_; }
+  /// Cumulative statistics across all load() calls (consistent snapshot).
+  LoadStats totals() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return totals_;
+  }
 
  private:
   const Tensor& features_;
-  std::vector<bool> cached_;
+  std::vector<bool> cached_;  ///< immutable after construction
   std::int64_t capacity_ = 0;
+  mutable std::mutex totals_mutex_;
   LoadStats totals_;
 };
 

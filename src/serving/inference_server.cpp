@@ -1,0 +1,171 @@
+#include "serving/inference_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace hyscale {
+
+namespace {
+
+/// Batch-content hash for per-micro-batch sampler reseeding: the same
+/// coalesced seed list always samples the same neighborhoods, whatever
+/// worker picks the batch up.
+std::uint64_t batch_stream_seed(std::uint64_t base, const std::vector<VertexId>& seeds) {
+  std::uint64_t state = base ^ 0x9e3779b97f4a7c15ULL;
+  for (VertexId v : seeds) {
+    state ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (state << 6) + (state >> 2);
+    state = splitmix64(state);
+  }
+  return state;
+}
+
+int argmax_row(const Tensor& logits, std::int64_t row) {
+  int best = 0;
+  for (std::int64_t c = 1; c < logits.cols(); ++c) {
+    if (logits.at(row, c) > logits.at(row, best)) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const Dataset& dataset, const ModelSnapshot& snapshot,
+                                 ServingConfig config)
+    : dataset_(dataset),
+      config_(std::move(config)),
+      num_classes_(snapshot.num_classes()),
+      num_layers_(snapshot.num_layers()),
+      batcher_(config_.batch) {
+  if (config_.num_workers < 1)
+    throw std::invalid_argument("InferenceServer: num_workers must be >= 1");
+  if (!config_.fanouts.empty() &&
+      static_cast<int>(config_.fanouts.size()) != num_layers_) {
+    throw std::invalid_argument("InferenceServer: fanouts must have one entry per layer");
+  }
+  if (config_.cache_capacity_rows > 0) {
+    cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, dataset_.features,
+                                                  config_.cache_capacity_rows);
+  }
+
+  workers_.resize(static_cast<std::size_t>(config_.num_workers));
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].model = snapshot.instantiate();
+    if (!config_.fanouts.empty()) {
+      workers_[w].sampler = std::make_unique<NeighborSampler>(
+          dataset_.graph, config_.fanouts, config_.seed + w);
+    }
+    if (!cache_) workers_[w].loader = std::make_unique<FeatureLoader>(dataset_.features);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(workers_.size());
+  for (auto& worker : workers_) {
+    pool_->submit([this, &worker] { worker_loop(worker); });
+  }
+}
+
+InferenceServer::~InferenceServer() {
+  batcher_.shutdown();
+  pool_.reset();  // joins the worker loops after they drain the queue
+}
+
+std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
+    std::vector<VertexId> seeds) {
+  if (seeds.empty())
+    throw std::invalid_argument("InferenceServer: empty seed list");
+  for (VertexId v : seeds) {
+    if (v < 0 || v >= dataset_.graph.num_vertices())
+      throw std::invalid_argument("InferenceServer: seed vertex out of range");
+  }
+  InferenceRequest request;
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  request.seeds = std::move(seeds);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  auto future = request.promise.get_future();
+  if (!batcher_.submit(std::move(request))) {
+    stats_.record_rejection();
+    return std::nullopt;
+  }
+  return future;
+}
+
+InferenceResult InferenceServer::infer(std::vector<VertexId> seeds) {
+  for (;;) {
+    auto future = try_submit(seeds);
+    if (future) return future->get();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void InferenceServer::worker_loop(Worker& worker) {
+  std::vector<InferenceRequest> batch;
+  while (batcher_.next_batch(batch)) {
+    execute_batch(worker, batch);
+  }
+}
+
+void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest>& batch) {
+  const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    // Coalesce: request seeds concatenate in arrival order, so logits
+    // row blocks map back to requests by offset.
+    std::vector<VertexId> combined;
+    for (const auto& request : batch) {
+      combined.insert(combined.end(), request.seeds.begin(), request.seeds.end());
+    }
+
+    MiniBatch mb;
+    if (worker.sampler) {
+      worker.sampler->reseed(batch_stream_seed(config_.seed, combined));
+      mb = worker.sampler->sample(combined);
+    } else {
+      mb = sample_full(dataset_.graph, combined, num_layers_);
+    }
+
+    Tensor x;
+    if (cache_) {
+      stats_.record_gather(cache_->load(mb, x));
+    } else {
+      worker.loader->load(mb, x);
+    }
+
+    const Tensor logits = worker.model->forward(mb, x);
+
+    const auto completion = std::chrono::steady_clock::now();
+    const auto batch_seeds = static_cast<std::int64_t>(combined.size());
+    stats_.record_batch(static_cast<std::int64_t>(batch.size()), batch_seeds);
+
+    std::int64_t row = 0;
+    for (auto& request : batch) {
+      InferenceResult result;
+      const auto rows = static_cast<std::int64_t>(request.seeds.size());
+      result.logits.resize(rows, logits.cols());
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const auto src = logits.row(row + r);
+        std::copy(src.begin(), src.end(), result.logits.row(r).begin());
+        result.predictions.push_back(argmax_row(result.logits, r));
+      }
+      row += rows;
+      result.latency =
+          std::chrono::duration<double>(completion - request.enqueue_time).count();
+      result.batch_id = batch_id;
+      result.batch_requests = static_cast<std::int64_t>(batch.size());
+      result.batch_seeds = batch_seeds;
+      stats_.record_completion(result.latency);
+      request.promise.set_value(std::move(result));
+    }
+  } catch (...) {
+    for (auto& request : batch) {
+      try {
+        request.promise.set_exception(std::current_exception());
+      } catch (const std::future_error&) {
+        // promise already satisfied before the failure — nothing to do
+      }
+    }
+  }
+}
+
+}  // namespace hyscale

@@ -1,0 +1,103 @@
+// In-process multi-threaded GNN inference server.
+//
+// Pipeline per micro-batch (one InferenceWorker, end to end):
+//   coalesce requests -> neighbor sampling at inference fanouts ->
+//   feature gather (StaticFeatureCache when configured, plain
+//   FeatureLoader otherwise) -> forward pass on a worker-local
+//   ModelSnapshot replica -> scatter logits back to the requests.
+//
+// Workers run as long-lived tasks on a dedicated ThreadPool
+// (common/thread_pool.hpp).  The pool is deliberately NOT
+// ThreadPool::global(): the forward pass's GEMM and the row gather
+// parallelise over the global pool internally, and long-running loops
+// parked there would starve those inner parallel_for calls.
+//
+// Determinism: with empty fanouts the exact (full-neighborhood)
+// computation graph is used, so results are reproducible by
+// construction.  With sampled fanouts, the sampler is reseeded per
+// micro-batch from (config.seed, batch seed ids), so a given batch
+// composition always yields the same logits regardless of which worker
+// runs it or how many are configured.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "graph/datasets.hpp"
+#include "runtime/feature_cache.hpp"
+#include "runtime/feature_loader.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "serving/batcher.hpp"
+#include "serving/model_snapshot.hpp"
+#include "serving/serving_stats.hpp"
+
+namespace hyscale {
+
+struct ServingConfig {
+  /// Inference fanouts, input layer first (like HybridTrainerConfig).
+  /// EMPTY means full-neighborhood inference — exact logits, higher
+  /// cost; the equivalence tests rely on it.
+  std::vector<int> fanouts;
+  int num_workers = 2;
+  BatchPolicy batch;
+  /// Rows pinned by the PaGraph-style static cache; 0 disables it and
+  /// gathers go through a per-worker FeatureLoader.
+  std::int64_t cache_capacity_rows = 0;
+  std::uint64_t seed = 1;
+};
+
+class InferenceServer {
+ public:
+  /// `dataset` must outlive the server; the snapshot is consumed at
+  /// construction (per-worker replicas are stamped out immediately).
+  InferenceServer(const Dataset& dataset, const ModelSnapshot& snapshot,
+                  ServingConfig config = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Non-blocking submit.  Returns std::nullopt when the bounded queue
+  /// is full (backpressure — recorded in stats).  Throws
+  /// std::invalid_argument for empty seed lists or out-of-range ids.
+  std::optional<std::future<InferenceResult>> try_submit(std::vector<VertexId> seeds);
+
+  /// Blocking convenience: retries submission under backpressure, then
+  /// waits for the result.
+  InferenceResult infer(std::vector<VertexId> seeds);
+
+  ServingSnapshot stats() const { return stats_.snapshot(); }
+  const StaticFeatureCache* cache() const { return cache_.get(); }
+  const ServingConfig& config() const { return config_; }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  /// Per-worker state: everything GnnModel::forward / sampling mutates.
+  struct Worker {
+    std::unique_ptr<GnnModel> model;
+    std::unique_ptr<NeighborSampler> sampler;  ///< null in full-neighborhood mode
+    std::unique_ptr<FeatureLoader> loader;     ///< fallback when no cache
+  };
+
+  void worker_loop(Worker& worker);
+  void execute_batch(Worker& worker, std::vector<InferenceRequest>& batch);
+
+  const Dataset& dataset_;
+  ServingConfig config_;
+  int num_classes_ = 0;
+  int num_layers_ = 0;
+
+  DynamicBatcher batcher_;
+  ServingStats stats_;
+  std::unique_ptr<StaticFeatureCache> cache_;
+  std::vector<Worker> workers_;
+  std::unique_ptr<ThreadPool> pool_;  ///< dedicated; keep last so it joins first
+  std::atomic<std::uint64_t> next_request_id_{0};
+  std::atomic<std::uint64_t> next_batch_id_{0};
+};
+
+}  // namespace hyscale

@@ -1,0 +1,23 @@
+#include "serving/model_snapshot.hpp"
+
+#include "nn/checkpoint.hpp"
+
+namespace hyscale {
+
+ModelSnapshot::ModelSnapshot(const GnnModel& model)
+    : config_(model.config()), master_(std::make_unique<GnnModel>(config_)) {
+  master_->copy_values_from(model);
+}
+
+ModelSnapshot::ModelSnapshot(const ModelConfig& config, const std::string& checkpoint_path)
+    : config_(config), master_(std::make_unique<GnnModel>(config_)) {
+  load_checkpoint(*master_, checkpoint_path);
+}
+
+std::unique_ptr<GnnModel> ModelSnapshot::instantiate() const {
+  auto replica = std::make_unique<GnnModel>(config_);
+  replica->copy_values_from(*master_);
+  return replica;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,43 @@
+// Immutable, shareable copy of a trained GnnModel for serving.
+//
+// GnnModel::forward caches per-layer activations internally, so a model
+// instance is NOT safe for concurrent forward passes.  A ModelSnapshot
+// freezes the parameter values once — from a live model (e.g. a
+// HybridTrainer's replica 0) or from a checkpoint file — and stamps out
+// per-worker replicas via instantiate().  Replicas are bit-identical to
+// the source, so served logits match a direct forward of the original
+// model for the same mini-batch.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace hyscale {
+
+class ModelSnapshot {
+ public:
+  /// Deep-copies the parameter values of a live model.
+  explicit ModelSnapshot(const GnnModel& model);
+
+  /// Loads `checkpoint_path` (written by save_checkpoint) into a model
+  /// of the given architecture; throws std::runtime_error on missing or
+  /// mismatched files.
+  ModelSnapshot(const ModelConfig& config, const std::string& checkpoint_path);
+
+  /// Fresh replica carrying the snapshot's weights; callers own it and
+  /// may run forward on it from exactly one thread at a time.
+  std::unique_ptr<GnnModel> instantiate() const;
+
+  const ModelConfig& config() const { return config_; }
+  int num_layers() const { return config_.num_layers(); }
+  int num_classes() const { return config_.dims.back(); }
+  std::int64_t num_parameters() const { return master_->num_parameters(); }
+
+ private:
+  ModelConfig config_;
+  std::unique_ptr<GnnModel> master_;  ///< never mutated after construction
+};
+
+}  // namespace hyscale

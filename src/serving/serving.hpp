@@ -1,0 +1,14 @@
+// Umbrella header for the online inference serving subsystem.
+//
+//   ModelSnapshot    — immutable weights, from a live trainer or checkpoint
+//   DynamicBatcher   — bounded request queue + micro-batch coalescing
+//   InferenceServer  — worker pool: sample -> gather (cached) -> forward
+//   ServingStats     — latency percentiles, QPS, batch shapes, hit rate
+//   LoadGenerator    — closed-loop benchmark driver
+#pragma once
+
+#include "serving/batcher.hpp"
+#include "serving/inference_server.hpp"
+#include "serving/load_generator.hpp"
+#include "serving/model_snapshot.hpp"
+#include "serving/serving_stats.hpp"

@@ -1,0 +1,131 @@
+#include "serving/serving_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strutil.hpp"
+
+namespace hyscale {
+
+namespace {
+
+/// Nearest-rank percentile over an already-sorted sample.
+Seconds percentile(const std::vector<Seconds>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+void ServingStats::record_completion(Seconds latency) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  latency_sum_ += latency;
+  latency_max_ = std::max(latency_max_, latency);
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(latency);
+  } else {
+    latencies_[latency_cursor_] = latency;
+    latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+  }
+}
+
+void ServingStats::record_rejection() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+void ServingStats::record_batch(std::int64_t requests, std::int64_t seeds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batch_requests_sum_ += requests;
+  batch_seeds_sum_ += seeds;
+  min_batch_requests_ =
+      batches_ == 1 ? requests : std::min(min_batch_requests_, requests);
+  max_batch_requests_ = std::max(max_batch_requests_, requests);
+}
+
+void ServingStats::record_gather(const StaticFeatureCache::LoadStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gather_.hits += stats.hits;
+  gather_.misses += stats.misses;
+  gather_.device_bytes += stats.device_bytes;
+  gather_.host_bytes += stats.host_bytes;
+}
+
+ServingSnapshot ServingStats::snapshot() const {
+  std::vector<Seconds> sorted;
+  ServingSnapshot s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = latencies_;
+    s.completed_requests = completed_;
+    if (completed_ > 0) {
+      s.latency_mean = latency_sum_ / static_cast<double>(completed_);
+    }
+    s.latency_max = latency_max_;
+    s.rejected_requests = rejected_;
+    s.completed_batches = batches_;
+    s.total_seeds = batch_seeds_sum_;
+    s.min_batch_requests = min_batch_requests_;
+    s.max_batch_requests = max_batch_requests_;
+    s.cache_hits = gather_.hits;
+    s.cache_misses = gather_.misses;
+    s.device_bytes = gather_.device_bytes;
+    s.host_bytes = gather_.host_bytes;
+    s.cache_hit_rate = gather_.hit_rate();
+    s.uptime = uptime_.elapsed();
+    if (batches_ > 0) {
+      s.mean_batch_requests =
+          static_cast<double>(batch_requests_sum_) / static_cast<double>(batches_);
+      s.mean_batch_seeds =
+          static_cast<double>(batch_seeds_sum_) / static_cast<double>(batches_);
+    }
+  }
+  std::sort(sorted.begin(), sorted.end());
+  if (!sorted.empty()) {
+    s.latency_p50 = percentile(sorted, 0.50);
+    s.latency_p95 = percentile(sorted, 0.95);
+    s.latency_p99 = percentile(sorted, 0.99);
+  }
+  if (s.uptime > 0.0) {
+    s.qps = static_cast<double>(s.completed_requests) / s.uptime;
+    s.seeds_per_second = static_cast<double>(s.total_seeds) / s.uptime;
+  }
+  return s;
+}
+
+void ServingStats::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_.clear();
+  latency_cursor_ = 0;
+  completed_ = 0;
+  latency_sum_ = 0.0;
+  latency_max_ = 0.0;
+  rejected_ = 0;
+  batches_ = 0;
+  batch_requests_sum_ = 0;
+  batch_seeds_sum_ = 0;
+  min_batch_requests_ = 0;
+  max_batch_requests_ = 0;
+  gather_ = {};
+  uptime_.reset();
+}
+
+std::string ServingSnapshot::to_string() const {
+  std::string out;
+  out += "requests=" + format_count(static_cast<std::uint64_t>(completed_requests));
+  out += " rejected=" + format_count(static_cast<std::uint64_t>(rejected_requests));
+  out += " qps=" + format_double(qps, 1);
+  out += " p50=" + format_double(latency_p50 * 1e3, 3) + "ms";
+  out += " p95=" + format_double(latency_p95 * 1e3, 3) + "ms";
+  out += " p99=" + format_double(latency_p99 * 1e3, 3) + "ms";
+  out += " batch=" + format_double(mean_batch_requests, 2);
+  out += " hit_rate=" + format_double(cache_hit_rate, 3);
+  return out;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,85 @@
+// Serving-side observability: request latency percentiles, throughput,
+// micro-batch shape distribution, and feature-cache traffic.
+//
+// One ServingStats instance is shared by every InferenceWorker of a
+// server, so all mutators are guarded; snapshot() returns a consistent
+// copy with the derived quantities (p50/p95/p99, QPS, hit rate) already
+// computed, which is what the CLI, the load generator and the serving
+// bench all print.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "runtime/feature_cache.hpp"
+
+namespace hyscale {
+
+/// Point-in-time view of a server's counters with derived metrics.
+struct ServingSnapshot {
+  std::int64_t completed_requests = 0;
+  std::int64_t rejected_requests = 0;  ///< backpressure: bounded queue was full
+  std::int64_t completed_batches = 0;
+  std::int64_t total_seeds = 0;
+
+  Seconds uptime = 0.0;
+  double qps = 0.0;               ///< completed requests / uptime
+  double seeds_per_second = 0.0;
+
+  Seconds latency_mean = 0.0;     ///< enqueue -> result, over ALL completions
+  /// Percentiles over the most recent sample window (the server keeps a
+  /// bounded reservoir so memory stays constant on long-lived servers).
+  Seconds latency_p50 = 0.0;
+  Seconds latency_p95 = 0.0;
+  Seconds latency_p99 = 0.0;
+  Seconds latency_max = 0.0;      ///< over all completions
+
+  double mean_batch_requests = 0.0;  ///< requests coalesced per micro-batch
+  double mean_batch_seeds = 0.0;
+  std::int64_t min_batch_requests = 0;
+  std::int64_t max_batch_requests = 0;
+
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  double device_bytes = 0.0;
+  double host_bytes = 0.0;
+
+  std::string to_string() const;
+};
+
+class ServingStats {
+ public:
+  void record_completion(Seconds latency);
+  void record_rejection();
+  void record_batch(std::int64_t requests, std::int64_t seeds);
+  void record_gather(const StaticFeatureCache::LoadStats& stats);
+
+  ServingSnapshot snapshot() const;
+  void reset();
+
+  /// Latency samples retained for percentile estimates; older samples
+  /// are overwritten ring-buffer style once the window is full.
+  static constexpr std::size_t kLatencyWindow = 1 << 16;
+
+ private:
+  mutable std::mutex mutex_;
+  Timer uptime_;
+  std::vector<Seconds> latencies_;  ///< bounded to kLatencyWindow
+  std::size_t latency_cursor_ = 0;
+  std::int64_t completed_ = 0;
+  Seconds latency_sum_ = 0.0;
+  Seconds latency_max_ = 0.0;
+  std::int64_t rejected_ = 0;
+  std::int64_t batches_ = 0;
+  std::int64_t batch_requests_sum_ = 0;
+  std::int64_t batch_seeds_sum_ = 0;
+  std::int64_t min_batch_requests_ = 0;
+  std::int64_t max_batch_requests_ = 0;
+  StaticFeatureCache::LoadStats gather_;
+};
+
+}  // namespace hyscale
