@@ -1,0 +1,178 @@
+// Streaming-serving performance record: closed-loop query load against
+// the streaming inference server while a concurrent update stream
+// mutates the graph, at increasing update intensity.  Emits
+// BENCH_streaming.json with ingest throughput, staleness (publish lag),
+// and served p50/p99 (plus the queue-wait/compute split) so later PRs
+// have a freshness/latency trajectory to beat.
+//
+// The headline record is the mixed 90/10 query/update point (90% of
+// operations are queries, 10% update ops — the ISSUE-2 workload).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/hyscale.hpp"
+
+using namespace hyscale;
+
+namespace {
+
+struct OperatingPoint {
+  std::string name;
+  std::int64_t update_ops;   ///< 0 = static baseline
+  std::int64_t publish_every;
+  int update_threads;
+};
+
+struct PointResult {
+  OperatingPoint point;
+  LoadReport load;
+  UpdateReport updates;
+  StreamStats stream;
+  std::int64_t compactions = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("BENCH streaming",
+                "live serving over an evolving graph: ingest + publish + overlay sampling");
+
+  MaterializeOptions materialize;
+  materialize.target_vertices = 1 << 11;
+  const Dataset dataset = materialize_dataset("ogbn-products", materialize);
+
+  HybridTrainerConfig train_config;
+  train_config.fanouts = {5, 5};
+  train_config.real_batch_total = 128;
+  train_config.real_iterations_cap = 2;
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 64;
+  constexpr std::int64_t kQueries = kClients * kRequestsPerClient;  // 512
+
+  const std::vector<OperatingPoint> points = {
+      {"static", 0, 0, 1},
+      // 90/10 mixed load: update ops = queries / 9.
+      {"mixed_90_10", kQueries / 9, 16, 1},
+      // update-heavy: as many update ops as queries, two ingest threads.
+      {"update_heavy", kQueries, 8, 2},
+  };
+
+  bench::row({"config", "qps", "p50 ms", "p99 ms", "queue p99", "ingest e/s", "lag ms",
+              "compact"},
+             {14, 9, 9, 9, 10, 11, 9, 8});
+
+  std::vector<PointResult> results;
+  for (const OperatingPoint& point : points) {
+    HyScale system(dataset, cpu_fpga_platform(2), train_config);
+    system.train_epoch();
+
+    ServingConfig serving;
+    serving.fanouts = {10, 5};
+    serving.num_workers = 2;
+    serving.cache_capacity_rows = 512;
+    serving.batch.max_batch_requests = 16;
+    serving.batch.max_wait = 2e-3;
+    serving.seed = 7;
+
+    CompactionPolicy compaction;
+    compaction.max_overlay_edges = 2048;
+    compaction.max_overlay_ratio = 0.10;
+    StreamingSession session = system.stream(serving, {}, compaction);
+
+    UpdateGeneratorConfig updates;
+    updates.operations = point.update_ops;
+    updates.num_threads = point.update_threads;
+    updates.publish_every = point.publish_every;
+    updates.edges_per_op = 4;
+    updates.seed = 23;
+
+    UpdateReport update_report;
+    std::thread update_thread;
+    if (point.update_ops > 0) {
+      update_thread = std::thread([&session, updates, &update_report] {
+        UpdateGenerator generator(session.stream(), updates);
+        update_report = generator.run();
+      });
+    }
+
+    LoadGeneratorConfig load;
+    load.num_clients = kClients;
+    load.requests_per_client = kRequestsPerClient;
+    load.seeds_per_request = 4;
+    load.seed = 21;
+    LoadGenerator generator(*session.server, dataset, load);
+    const LoadReport report = generator.run();
+    if (update_thread.joinable()) update_thread.join();
+
+    PointResult result;
+    result.point = point;
+    result.load = report;
+    result.updates = update_report;
+    result.stream = session.stream().stats();
+    result.compactions = result.stream.compactions;
+
+    bench::row({point.name, format_double(report.qps, 1),
+                format_double(report.server.latency_p50 * 1e3, 3),
+                format_double(report.server.latency_p99 * 1e3, 3),
+                format_double(report.server.queue_wait_p99 * 1e3, 3),
+                format_double(result.updates.edges_per_second, 0),
+                format_double(result.stream.publish_lag_mean * 1e3, 3),
+                std::to_string(result.compactions)},
+               {14, 9, 9, 9, 10, 11, 9, 8});
+    results.push_back(std::move(result));
+  }
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "streaming");
+  json.field("dataset", dataset.info.name);
+  json.field("materialized_vertices", static_cast<std::int64_t>(dataset.num_vertices()));
+  json.field("fanouts", "10,5");
+  json.field("queries", kQueries);
+  json.key("points");
+  json.begin_array();
+  for (const PointResult& r : results) {
+    json.begin_object();
+    json.field("name", r.point.name);
+    json.field("update_ops", r.point.update_ops);
+    json.field("update_threads", r.point.update_threads);
+    json.field("publish_every", r.point.publish_every);
+    json.field("completed_requests", r.load.completed_requests);
+    json.field("qps", r.load.qps);
+    json.field("p50_ms", r.load.server.latency_p50 * 1e3);
+    json.field("p99_ms", r.load.server.latency_p99 * 1e3);
+    json.field("queue_wait_p99_ms", r.load.server.queue_wait_p99 * 1e3);
+    json.field("compute_mean_ms", r.load.server.compute_mean * 1e3);
+    json.field("ingest_edges_per_second", r.updates.edges_per_second);
+    json.field("accepted_edges", r.updates.accepted_edges);
+    json.field("added_vertices", r.updates.added_vertices);
+    json.field("feature_updates", r.updates.feature_updates);
+    json.field("publish_lag_mean_ms", r.stream.publish_lag_mean * 1e3);
+    json.field("publish_lag_max_ms", r.stream.publish_lag_max * 1e3);
+    json.field("publishes", r.stream.publishes);
+    json.field("compactions", r.compactions);
+    json.field("cache_hit_rate", r.load.server.cache_hit_rate);
+    json.end_object();
+  }
+  json.end_array();
+  const PointResult& headline = results[1];  // mixed 90/10
+  json.key("headline");
+  json.begin_object();
+  json.field("name", headline.point.name);
+  json.field("qps", headline.load.qps);
+  json.field("p50_ms", headline.load.server.latency_p50 * 1e3);
+  json.field("p99_ms", headline.load.server.latency_p99 * 1e3);
+  json.field("ingest_edges_per_second", headline.updates.edges_per_second);
+  json.field("publish_lag_mean_ms", headline.stream.publish_lag_mean * 1e3);
+  json.end_object();
+  json.end_object();
+
+  const std::string path = "BENCH_streaming.json";
+  json.write(path);
+  std::printf("\nperf record written to %s\n", path.c_str());
+  return 0;
+}

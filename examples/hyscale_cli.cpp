@@ -12,12 +12,20 @@
 //        --clients 8 --requests 64 --fanouts 10,5 --cache-rows 512 \
 //        [--checkpoint ckpt.bin] [--save-checkpoint ckpt.bin]
 //
-// Prints per-epoch reports (train) or p50/p99 latency, QPS, batch-size
-// and cache statistics (serve).
+// Live serving over an evolving graph (concurrent update stream +
+// query load against the streaming subsystem, background compaction):
+//   $ ./example_hyscale_cli stream --dataset ogbn-products --workers 4 \
+//        --clients 8 --requests 64 --updates 512 --publish-every 32 \
+//        [--update-threads 2] [--compact-edges N] [--compact-ratio R]
+//
+// Prints per-epoch reports (train), p50/p99 latency, QPS, batch-size
+// and cache statistics (serve), plus ingest rate, publish lag and
+// queue-wait/compute split (stream).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strutil.hpp"
@@ -235,6 +243,180 @@ bool parse_serve_args(int argc, char** argv, ServeOptions& options) {
   return true;
 }
 
+// ------------------------------------------------------------ stream mode
+
+struct StreamOptions {
+  ServeOptions serve;  ///< shared knobs (dataset, model, workers, batching…)
+  std::int64_t updates = 512;
+  int update_threads = 1;
+  std::int64_t publish_every = 32;
+  double vertex_add_fraction = 0.05;
+  double feature_update_fraction = 0.10;
+  EdgeId compact_edges = 1 << 15;
+  double compact_ratio = 0.25;
+};
+
+void stream_usage(const char* argv0) {
+  std::printf(
+      "usage: %s stream [--dataset NAME] [--model gcn|sage|gat] [--scale V]\n"
+      "          [--train-epochs N] [--fanouts a,b,...|--full] [--workers K]\n"
+      "          [--cache-rows R] [--clients C] [--requests N] [--seed X]\n"
+      "          [--updates U] [--update-threads T] [--publish-every P]\n"
+      "          [--vertex-add-frac F] [--feature-update-frac F]\n"
+      "          [--compact-edges E] [--compact-ratio R]\n",
+      argv0);
+}
+
+bool parse_stream_args(int argc, char** argv, StreamOptions& options) {
+  // Reuse the serve parser for the shared flags by filtering out the
+  // stream-only ones first.
+  std::vector<char*> passthrough = {argv[0], argv[1]};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--updates") {
+      const char* v = next();
+      if (!v) return false;
+      options.updates = std::atoll(v);
+    } else if (arg == "--update-threads") {
+      const char* v = next();
+      if (!v) return false;
+      options.update_threads = std::atoi(v);
+    } else if (arg == "--publish-every") {
+      const char* v = next();
+      if (!v) return false;
+      options.publish_every = std::atoll(v);
+    } else if (arg == "--vertex-add-frac") {
+      const char* v = next();
+      if (!v) return false;
+      options.vertex_add_fraction = std::atof(v);
+    } else if (arg == "--feature-update-frac") {
+      const char* v = next();
+      if (!v) return false;
+      options.feature_update_fraction = std::atof(v);
+    } else if (arg == "--compact-edges") {
+      const char* v = next();
+      if (!v) return false;
+      options.compact_edges = std::atoll(v);
+    } else if (arg == "--compact-ratio") {
+      const char* v = next();
+      if (!v) return false;
+      options.compact_ratio = std::atof(v);
+    } else if (arg == "--help" || arg == "-h") {
+      stream_usage(argv[0]);
+      std::exit(0);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  return parse_serve_args(static_cast<int>(passthrough.size()), passthrough.data(),
+                          options.serve);
+}
+
+int run_stream_impl(const StreamOptions& options);
+
+int run_stream(int argc, char** argv) {
+  StreamOptions options;
+  if (!parse_stream_args(argc, argv, options)) {
+    stream_usage(argv[0]);
+    return 2;
+  }
+  try {
+    return run_stream_impl(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_stream_impl(const StreamOptions& options) {
+  const ServeOptions& serve = options.serve;
+  MaterializeOptions materialize;
+  materialize.target_vertices = serve.scale;
+  Dataset dataset;
+  try {
+    dataset = materialize_dataset(serve.dataset, materialize);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", serve.dataset.c_str());
+    return 2;
+  }
+
+  HybridTrainerConfig train_config;
+  train_config.model_kind = parse_gnn_kind(serve.model);
+  train_config.seed = serve.seed;
+  HyScale system(dataset, cpu_fpga_platform(2), train_config);
+  for (int e = 0; e < serve.train_epochs; ++e) {
+    const EpochReport report = system.train_epoch();
+    std::printf("train epoch %d: loss %.4f acc %.3f\n", e, report.loss, report.train_accuracy);
+  }
+
+  ServingConfig serving;
+  serving.fanouts = serve.fanouts;
+  serving.num_workers = serve.workers;
+  serving.cache_capacity_rows = serve.cache_rows;
+  serving.seed = serve.seed;
+  serving.batch.max_batch_requests = serve.max_batch;
+  serving.batch.max_wait = serve.max_wait_ms * 1e-3;
+  serving.batch.queue_capacity = static_cast<std::size_t>(serve.queue_cap);
+
+  CompactionPolicy compaction;
+  compaction.max_overlay_edges = options.compact_edges;
+  compaction.max_overlay_ratio = options.compact_ratio;
+  StreamingSession session = system.stream(serving, {}, compaction);
+
+  std::printf("\nstreaming %s on %d workers (%lld base edges, compact at %lld overlay "
+              "edges or %.0f%%)\n",
+              dataset.info.name.c_str(), serve.workers,
+              static_cast<long long>(dataset.graph.num_edges()),
+              static_cast<long long>(options.compact_edges), options.compact_ratio * 100.0);
+
+  UpdateGeneratorConfig updates;
+  updates.operations = options.updates;
+  updates.num_threads = options.update_threads;
+  updates.publish_every = options.publish_every;
+  updates.vertex_add_fraction = options.vertex_add_fraction;
+  updates.feature_update_fraction = options.feature_update_fraction;
+  updates.seed = serve.seed + 2;
+  UpdateGenerator update_generator(session.stream(), updates);
+  UpdateReport update_report;
+  std::thread update_thread([&] { update_report = update_generator.run(); });
+
+  LoadGeneratorConfig load;
+  load.num_clients = serve.clients;
+  load.requests_per_client = serve.requests;
+  load.seeds_per_request = serve.seeds_per_request;
+  load.seed = serve.seed + 1;
+  LoadGenerator generator(*session.server, dataset, load);
+  const LoadReport report = generator.run();
+  update_thread.join();
+
+  const StreamStats stream_stats = session.stream().stats();
+  const ServingSnapshot& stats = report.server;
+  std::printf("\nqueries:  %s\n", report.to_string().c_str());
+  std::printf("updates:  %s\n", update_report.to_string().c_str());
+  std::printf("stream:   %s\n", stream_stats.to_string().c_str());
+  std::printf("latency:  p50 %.3f ms  p99 %.3f ms  (queue p99 %.3f ms, compute mean %.3f ms)\n",
+              stats.latency_p50 * 1e3, stats.latency_p99 * 1e3, stats.queue_wait_p99 * 1e3,
+              stats.compute_mean * 1e3);
+  std::printf("graph:    %lld vertices, version %llu, %lld compactions\n",
+              static_cast<long long>(session.stream().num_vertices()),
+              static_cast<unsigned long long>(stream_stats.version_id),
+              static_cast<long long>(stream_stats.compactions));
+  if (serve.cache_rows > 0) {
+    const StaticFeatureCache* cache = session.server->cache();
+    std::printf("cache:    hit_rate %.3f  since_invalidate %.3f (%lld invalidations)\n",
+                cache->totals().hit_rate(), cache->since_invalidate().hit_rate(),
+                static_cast<long long>(cache->invalidations()));
+  }
+  return 0;
+}
+
 int run_serve_impl(const ServeOptions& options);
 
 int run_serve(int argc, char** argv) {
@@ -332,6 +514,7 @@ int run_serve_impl(const ServeOptions& options) {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) return run_serve(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "stream") == 0) return run_stream(argc, argv);
   CliOptions options;
   if (!parse_args(argc, argv, options)) {
     usage(argv[0]);

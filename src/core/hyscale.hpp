@@ -48,12 +48,28 @@
 #include "sampling/saint_sampler.hpp"
 #include "sampling/sorted_edges.hpp"
 #include "serving/serving.hpp"
+#include "stream/stream.hpp"
 #include "tensor/quantize.hpp"
 
 namespace hyscale {
 
 /// Library version.
 inline constexpr const char* kVersion = "1.0.0";
+
+/// A live streaming deployment: the evolving graph, an inference server
+/// bound to its latest published version, and the background compactor.
+/// Members are declared in dependency order so teardown is safe: the
+/// compactor stops first, then the server drains (detaching its cache),
+/// then the graph goes away.  Quiesce your ingest threads before
+/// dropping the session.
+struct StreamingSession {
+  std::unique_ptr<StreamingGraph> graph;
+  std::unique_ptr<InferenceServer> server;
+  std::unique_ptr<Compactor> compactor;
+
+  StreamingGraph& stream() { return *graph; }
+  InferenceResult infer(std::vector<VertexId> seeds) { return server->infer(std::move(seeds)); }
+};
 
 /// Facade: dataset + platform + config -> trained model, reports, and an
 /// online inference server over the trained weights.
@@ -71,6 +87,22 @@ class HyScale {
   std::unique_ptr<InferenceServer> serve(ServingConfig config = {}) {
     const ModelSnapshot snapshot(trainer_.model());
     return std::make_unique<InferenceServer>(*dataset_, snapshot, std::move(config));
+  }
+
+  /// Snapshots the current weights and starts serving over an EVOLVING
+  /// copy of the dataset's graph: ingest edges/vertices/feature updates
+  /// through session.stream(), publish versions, and queries see them
+  /// live while the compactor folds deltas into fresh CSRs in the
+  /// background.
+  StreamingSession stream(ServingConfig serving = {}, StreamingConfig streaming = {},
+                          CompactionPolicy compaction = {}) {
+    const ModelSnapshot snapshot(trainer_.model());
+    StreamingSession session;
+    session.graph = std::make_unique<StreamingGraph>(*dataset_, streaming);
+    session.server =
+        std::make_unique<InferenceServer>(*session.graph, snapshot, std::move(serving));
+    session.compactor = std::make_unique<Compactor>(*session.graph, compaction);
+    return session;
   }
 
   HybridTrainer& runtime() { return trainer_; }

@@ -4,7 +4,6 @@
 #include <stdexcept>
 
 #include "graph/reorder.hpp"
-#include "tensor/ops.hpp"
 
 namespace hyscale {
 
@@ -17,37 +16,114 @@ StaticFeatureCache::StaticFeatureCache(const CsrGraph& graph, const Tensor& feat
     throw std::invalid_argument("StaticFeatureCache: negative capacity");
   capacity_ = std::min<std::int64_t>(capacity_rows, graph.num_vertices());
   cached_.assign(static_cast<std::size_t>(graph.num_vertices()), false);
+  slot_of_.assign(static_cast<std::size_t>(graph.num_vertices()), -1);
   // Degree-ordered: PaGraph's "computation-aware" policy caches the
   // vertices most likely to appear in sampled neighborhoods.
   const std::vector<VertexId> order = degree_order(graph);
+  device_rows_.resize(capacity_, features.cols());
+  pinned_.reserve(static_cast<std::size_t>(capacity_));
   for (std::int64_t i = 0; i < capacity_; ++i) {
-    cached_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = true;
+    const VertexId v = order[static_cast<std::size_t>(i)];
+    cached_[static_cast<std::size_t>(v)] = true;
+    slot_of_[static_cast<std::size_t>(v)] = i;
+    pinned_.push_back(v);
+    const auto src = features.row(v);
+    std::copy(src.begin(), src.end(), device_rows_.row(i).begin());
   }
 }
 
 StaticFeatureCache::LoadStats StaticFeatureCache::load(const MiniBatch& batch, Tensor& out) {
   const auto& nodes = batch.input_nodes();
-  gather_rows(features_, std::span<const std::int64_t>(nodes.data(), nodes.size()), out);
+  out.resize(static_cast<std::int64_t>(nodes.size()), features_.cols());
 
   LoadStats stats;
   const double row_bytes = static_cast<double>(features_.cols()) * 4.0;
-  for (VertexId v : nodes) {
-    if (cached_[static_cast<std::size_t>(v)]) {
-      ++stats.hits;
-      stats.device_bytes += row_bytes;
-    } else {
-      ++stats.misses;
-      stats.host_bytes += row_bytes;
+  {
+    std::shared_lock rows(rows_mutex_);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const VertexId v = nodes[i];
+      const auto dst = out.row(static_cast<std::int64_t>(i));
+      const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
+      if (slot >= 0) {
+        const auto src = device_rows_.row(slot);
+        std::copy(src.begin(), src.end(), dst.begin());
+        ++stats.hits;
+        stats.device_bytes += row_bytes;
+      } else {
+        const auto src = features_.row(v);
+        std::copy(src.begin(), src.end(), dst.begin());
+        ++stats.misses;
+        stats.host_bytes += row_bytes;
+      }
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(totals_mutex_);
-    totals_.hits += stats.hits;
-    totals_.misses += stats.misses;
-    totals_.device_bytes += stats.device_bytes;
-    totals_.host_bytes += stats.host_bytes;
-  }
+  account(stats);
   return stats;
+}
+
+std::int64_t StaticFeatureCache::copy_cached_rows(std::span<const VertexId> nodes,
+                                                  std::vector<char>& hit, Tensor& out) const {
+  std::int64_t hits = 0;
+  std::shared_lock rows(rows_mutex_);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const VertexId v = nodes[i];
+    if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) continue;
+    const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
+    if (slot < 0) continue;
+    const auto src = device_rows_.row(slot);
+    std::copy(src.begin(), src.end(), out.row(static_cast<std::int64_t>(i)).begin());
+    hit[i] = 1;
+    ++hits;
+  }
+  return hits;
+}
+
+bool StaticFeatureCache::copy_if_cached(VertexId v, std::span<float> dst) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) return false;
+  std::shared_lock rows(rows_mutex_);
+  const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
+  if (slot < 0) return false;
+  const auto src = device_rows_.row(slot);
+  std::copy(src.begin(), src.end(), dst.begin());
+  return true;
+}
+
+std::int64_t StaticFeatureCache::invalidate(std::span<const VertexId> ids) {
+  std::int64_t refreshed = 0;
+  {
+    std::unique_lock rows(rows_mutex_);
+    for (VertexId v : ids) {
+      if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) continue;
+      const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
+      if (slot < 0) continue;
+      const auto src = features_.row(v);
+      std::copy(src.begin(), src.end(), device_rows_.row(slot).begin());
+      ++refreshed;
+    }
+  }
+  // A call that refreshed nothing (no pinned rows among `ids`) leaves
+  // the freshness window intact — resetting it on no-ops would blank
+  // the since_invalidate() signal under update streams that mostly
+  // touch unpinned vertices.
+  if (refreshed > 0) {
+    std::lock_guard totals(totals_mutex_);
+    ++invalidations_;
+    invalidated_rows_ += refreshed;
+    since_invalidate_ = {};
+  }
+  return refreshed;
+}
+
+void StaticFeatureCache::account(const LoadStats& stats) {
+  std::lock_guard totals(totals_mutex_);
+  totals_.hits += stats.hits;
+  totals_.misses += stats.misses;
+  totals_.device_bytes += stats.device_bytes;
+  totals_.host_bytes += stats.host_bytes;
+  since_invalidate_.hits += stats.hits;
+  since_invalidate_.misses += stats.misses;
+  since_invalidate_.device_bytes += stats.device_bytes;
+  since_invalidate_.host_bytes += stats.host_bytes;
 }
 
 }  // namespace hyscale

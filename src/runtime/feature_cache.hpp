@@ -3,16 +3,24 @@
 // PaGraph-style degree-ordered caching (§VI-E2 discusses why this helps
 // and where it stops helping): the top-`capacity` vertices by degree are
 // pinned in device memory; a mini-batch load serves those rows from the
-// device and fetches the rest from host DRAM over PCIe.  HyScale-GNN
+// device copy and fetches the rest from host DRAM over PCIe.  HyScale-GNN
 // itself does not need this (it streams everything through the prefetch
 // pipeline), but the module lets the repository measure REAL hit rates
 // from its own sampler — which is what the PaGraph comparison's miss
 // traffic is all about — and quantifies the skew assumption behind the
 // baseline's analytic hit-rate model.
+//
+// Streaming serving (src/stream/) updates host features in place, so the
+// pinned device rows CAN go stale.  invalidate() is the refresh hook:
+// StreamingGraph::update_feature calls it after every row write, and the
+// since_invalidate() counters report hit traffic accumulated after the
+// most recent refresh — the "is anyone reading stale rows" signal.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -23,7 +31,8 @@ namespace hyscale {
 
 class StaticFeatureCache {
  public:
-  /// Pins the features of the `capacity_rows` highest-degree vertices.
+  /// Pins the features of the `capacity_rows` highest-degree vertices
+  /// (device copies taken at construction).
   StaticFeatureCache(const CsrGraph& graph, const Tensor& features,
                      std::int64_t capacity_rows);
 
@@ -39,13 +48,44 @@ class StaticFeatureCache {
     }
   };
 
-  /// Gathers X' for the batch's input vertices (numerically identical to
-  /// FeatureLoader::load) while attributing each row to cache or host.
-  /// Safe for concurrent callers (serving workers share one cache); each
-  /// caller must pass its own `out`.
+  /// Gathers X' for the batch's input vertices — pinned rows from the
+  /// device copy, the rest from the host matrix — while attributing each
+  /// row to cache or host.  Numerically identical to FeatureLoader::load
+  /// as long as the device copies are fresh (see invalidate()).  Safe for
+  /// concurrent callers (serving workers share one cache); each caller
+  /// must pass its own `out`.
   LoadStats load(const MiniBatch& batch, Tensor& out);
 
-  bool cached(VertexId v) const { return cached_[static_cast<std::size_t>(v)]; }
+  /// Copies v's device-resident row into `dst` (size = feature cols) and
+  /// returns true when v is pinned; false otherwise.  The streaming
+  /// gather path uses this so host rows are only ever read under the
+  /// feature store's lock.
+  bool copy_if_cached(VertexId v, std::span<float> dst) const;
+
+  /// Batch variant for the serving hot path: fills out.row(i) and sets
+  /// hit[i] for every pinned nodes[i] under ONE shared lock (instead of
+  /// one acquire per row).  `out` must be pre-sized [nodes, cols]; `hit`
+  /// to nodes.size().  Returns the number of rows served.
+  std::int64_t copy_cached_rows(std::span<const VertexId> nodes, std::vector<char>& hit,
+                                Tensor& out) const;
+
+  /// Refreshes the device copies of the pinned vertices among `ids` from
+  /// the host matrix and resets the since_invalidate() window.  Returns
+  /// the number of rows refreshed; calls that refresh nothing (no pinned
+  /// vertex among `ids`) leave the window and counters untouched.  The
+  /// caller must guarantee no concurrent writer is mutating those host
+  /// rows (StreamingGraph serialises update+invalidate pairs).
+  std::int64_t invalidate(std::span<const VertexId> ids);
+
+  /// Folds externally-attributed traffic into totals()/since_invalidate().
+  /// Used by gather paths that consult the cache row-by-row (the
+  /// streaming server) instead of going through load().
+  void record(const LoadStats& stats) { account(stats); }
+
+  bool cached(VertexId v) const {
+    return static_cast<std::size_t>(v) < cached_.size() &&
+           cached_[static_cast<std::size_t>(v)];
+  }
   std::int64_t capacity() const { return capacity_; }
 
   /// Cumulative statistics across all load() calls (consistent snapshot).
@@ -54,12 +94,39 @@ class StaticFeatureCache {
     return totals_;
   }
 
+  /// Traffic since the most recent invalidate() — the post-invalidation
+  /// hit-rate counter (equals totals() before the first invalidation).
+  LoadStats since_invalidate() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return since_invalidate_;
+  }
+
+  std::int64_t invalidations() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return invalidations_;
+  }
+  std::int64_t invalidated_rows() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return invalidated_rows_;
+  }
+
  private:
+  void account(const LoadStats& stats);
+
   const Tensor& features_;
-  std::vector<bool> cached_;  ///< immutable after construction
+  /// Admission set — fixed at construction (degree-ordered); the device
+  /// ROW CONTENTS behind it are refreshed by invalidate().
+  std::vector<bool> cached_;
+  std::vector<std::int64_t> slot_of_;  ///< vertex -> device row, -1 when not pinned
+  std::vector<VertexId> pinned_;       ///< device row -> vertex
+  Tensor device_rows_;                 ///< [capacity, cols] pinned copies
   std::int64_t capacity_ = 0;
+  mutable std::shared_mutex rows_mutex_;  ///< device rows: shared read, exclusive refresh
   mutable std::mutex totals_mutex_;
   LoadStats totals_;
+  LoadStats since_invalidate_;
+  std::int64_t invalidations_ = 0;
+  std::int64_t invalidated_rows_ = 0;
 };
 
 }  // namespace hyscale

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "stream/overlay_sampler.hpp"
+#include "stream/streaming_graph.hpp"
 
 namespace hyscale {
 
@@ -40,25 +42,54 @@ InferenceServer::InferenceServer(const Dataset& dataset, const ModelSnapshot& sn
       num_classes_(snapshot.num_classes()),
       num_layers_(snapshot.num_layers()),
       batcher_(config_.batch) {
+  if (config_.cache_capacity_rows > 0) {
+    cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, dataset_.features,
+                                                  config_.cache_capacity_rows);
+  }
+  init_workers(snapshot);
+}
+
+InferenceServer::InferenceServer(StreamingGraph& stream, const ModelSnapshot& snapshot,
+                                 ServingConfig config)
+    : dataset_(stream.dataset()),
+      stream_(&stream),
+      config_(std::move(config)),
+      num_classes_(snapshot.num_classes()),
+      num_layers_(snapshot.num_layers()),
+      batcher_(config_.batch) {
+  if (config_.cache_capacity_rows > 0) {
+    // Built over the streaming feature store's base matrix (stable
+    // address) and attached so update_feature refreshes device rows.
+    cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, stream.features().base(),
+                                                  config_.cache_capacity_rows);
+    stream.attach_cache(cache_.get());
+  }
+  init_workers(snapshot);
+}
+
+void InferenceServer::init_workers(const ModelSnapshot& snapshot) {
   if (config_.num_workers < 1)
     throw std::invalid_argument("InferenceServer: num_workers must be >= 1");
   if (!config_.fanouts.empty() &&
       static_cast<int>(config_.fanouts.size()) != num_layers_) {
     throw std::invalid_argument("InferenceServer: fanouts must have one entry per layer");
   }
-  if (config_.cache_capacity_rows > 0) {
-    cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, dataset_.features,
-                                                  config_.cache_capacity_rows);
-  }
 
   workers_.resize(static_cast<std::size_t>(config_.num_workers));
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     workers_[w].model = snapshot.instantiate();
     if (!config_.fanouts.empty()) {
-      workers_[w].sampler = std::make_unique<NeighborSampler>(
-          dataset_.graph, config_.fanouts, config_.seed + w);
+      if (stream_ != nullptr) {
+        workers_[w].overlay = std::make_unique<OverlaySampler>(
+            stream_->current(), config_.fanouts, config_.seed + w);
+      } else {
+        workers_[w].sampler = std::make_unique<NeighborSampler>(
+            dataset_.graph, config_.fanouts, config_.seed + w);
+      }
     }
-    if (!cache_) workers_[w].loader = std::make_unique<FeatureLoader>(dataset_.features);
+    if (!cache_ && stream_ == nullptr) {
+      workers_[w].loader = std::make_unique<FeatureLoader>(dataset_.features);
+    }
   }
 
   pool_ = std::make_unique<ThreadPool>(workers_.size());
@@ -70,14 +101,19 @@ InferenceServer::InferenceServer(const Dataset& dataset, const ModelSnapshot& sn
 InferenceServer::~InferenceServer() {
   batcher_.shutdown();
   pool_.reset();  // joins the worker loops after they drain the queue
+  if (stream_ != nullptr && cache_) stream_->attach_cache(nullptr);
 }
 
 std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
     std::vector<VertexId> seeds) {
   if (seeds.empty())
     throw std::invalid_argument("InferenceServer: empty seed list");
+  // Streaming vertices become queryable once a version containing them
+  // is published (execute-time versions are monotonically newer).
+  const VertexId limit =
+      stream_ != nullptr ? stream_->current()->num_vertices() : dataset_.graph.num_vertices();
   for (VertexId v : seeds) {
-    if (v < 0 || v >= dataset_.graph.num_vertices())
+    if (v < 0 || v >= limit)
       throw std::invalid_argument("InferenceServer: seed vertex out of range");
   }
   InferenceRequest request;
@@ -109,6 +145,7 @@ void InferenceServer::worker_loop(Worker& worker) {
 
 void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest>& batch) {
   const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  const auto pickup = std::chrono::steady_clock::now();
   try {
     // Coalesce: request seeds concatenate in arrival order, so logits
     // row blocks map back to requests by offset.
@@ -118,7 +155,18 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
     }
 
     MiniBatch mb;
-    if (worker.sampler) {
+    if (stream_ != nullptr) {
+      // Latest published version for the whole micro-batch: consistent
+      // view per batch, freshest data per pickup.
+      const std::shared_ptr<const GraphVersion> version = stream_->current();
+      if (worker.overlay) {
+        worker.overlay->set_version(version);
+        worker.overlay->reseed(batch_stream_seed(config_.seed, combined));
+        mb = worker.overlay->sample(combined);
+      } else {
+        mb = sample_full_overlay(*version, combined, num_layers_);
+      }
+    } else if (worker.sampler) {
       worker.sampler->reseed(batch_stream_seed(config_.seed, combined));
       mb = worker.sampler->sample(combined);
     } else {
@@ -126,7 +174,12 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
     }
 
     Tensor x;
-    if (cache_) {
+    if (stream_ != nullptr) {
+      const auto& nodes = mb.input_nodes();
+      const auto gather_stats =
+          stream_->gather(std::span<const VertexId>(nodes.data(), nodes.size()), x);
+      if (cache_) stats_.record_gather(gather_stats);
+    } else if (cache_) {
       stats_.record_gather(cache_->load(mb, x));
     } else {
       worker.loader->load(mb, x);
@@ -151,10 +204,12 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
       row += rows;
       result.latency =
           std::chrono::duration<double>(completion - request.enqueue_time).count();
+      result.queue_wait =
+          std::chrono::duration<double>(pickup - request.enqueue_time).count();
       result.batch_id = batch_id;
       result.batch_requests = static_cast<std::int64_t>(batch.size());
       result.batch_seeds = batch_seeds;
-      stats_.record_completion(result.latency);
+      stats_.record_completion(result.latency, result.queue_wait);
       request.promise.set_value(std::move(result));
     }
   } catch (...) {

@@ -6,6 +6,15 @@
 //   FeatureLoader otherwise) -> forward pass on a worker-local
 //   ModelSnapshot replica -> scatter logits back to the requests.
 //
+// Streaming mode (construct over a StreamingGraph): every micro-batch
+// grabs the graph's latest published GraphVersion and samples base CSR +
+// delta overlay through an OverlaySampler, so queries see updates as
+// soon as they are published — while in-flight batches keep their
+// version until done (snapshot isolation per micro-batch).  Gathers go
+// through StreamingGraph::gather (cache device rows + live feature
+// store); the cache is attached for update_feature invalidation and
+// detached on server destruction.
+//
 // Workers run as long-lived tasks on a dedicated ThreadPool
 // (common/thread_pool.hpp).  The pool is deliberately NOT
 // ThreadPool::global(): the forward pass's GEMM and the row gather
@@ -37,6 +46,9 @@
 
 namespace hyscale {
 
+class StreamingGraph;
+class OverlaySampler;
+
 struct ServingConfig {
   /// Inference fanouts, input layer first (like HybridTrainerConfig).
   /// EMPTY means full-neighborhood inference — exact logits, higher
@@ -56,6 +68,14 @@ class InferenceServer {
   /// construction (per-worker replicas are stamped out immediately).
   InferenceServer(const Dataset& dataset, const ModelSnapshot& snapshot,
                   ServingConfig config = {});
+
+  /// Streaming mode: serve over `stream`'s latest published version.
+  /// `stream` (and its dataset) must outlive the server.  When a cache
+  /// is configured it is built over the streaming feature store's base
+  /// matrix and attached to the graph for invalidation on feature
+  /// updates.
+  InferenceServer(StreamingGraph& stream, const ModelSnapshot& snapshot,
+                  ServingConfig config = {});
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -74,19 +94,23 @@ class InferenceServer {
   const StaticFeatureCache* cache() const { return cache_.get(); }
   const ServingConfig& config() const { return config_; }
   int num_classes() const { return num_classes_; }
+  bool streaming() const { return stream_ != nullptr; }
 
  private:
   /// Per-worker state: everything GnnModel::forward / sampling mutates.
   struct Worker {
     std::unique_ptr<GnnModel> model;
     std::unique_ptr<NeighborSampler> sampler;  ///< null in full-neighborhood mode
+    std::unique_ptr<OverlaySampler> overlay;   ///< streaming mode, sampled fanouts
     std::unique_ptr<FeatureLoader> loader;     ///< fallback when no cache
   };
 
+  void init_workers(const ModelSnapshot& snapshot);
   void worker_loop(Worker& worker);
   void execute_batch(Worker& worker, std::vector<InferenceRequest>& batch);
 
   const Dataset& dataset_;
+  StreamingGraph* stream_ = nullptr;  ///< null in static mode
   ServingConfig config_;
   int num_classes_ = 0;
   int num_layers_ = 0;

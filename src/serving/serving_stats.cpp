@@ -20,7 +20,7 @@ Seconds percentile(const std::vector<Seconds>& sorted, double q) {
 
 }  // namespace
 
-void ServingStats::record_completion(Seconds latency) {
+void ServingStats::record_completion(Seconds latency, Seconds queue_wait) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++completed_;
   latency_sum_ += latency;
@@ -30,6 +30,14 @@ void ServingStats::record_completion(Seconds latency) {
   } else {
     latencies_[latency_cursor_] = latency;
     latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+  }
+  queue_wait_sum_ += queue_wait;
+  queue_wait_max_ = std::max(queue_wait_max_, queue_wait);
+  if (queue_waits_.size() < kLatencyWindow) {
+    queue_waits_.push_back(queue_wait);
+  } else {
+    queue_waits_[queue_wait_cursor_] = queue_wait;
+    queue_wait_cursor_ = (queue_wait_cursor_ + 1) % kLatencyWindow;
   }
 }
 
@@ -58,15 +66,20 @@ void ServingStats::record_gather(const StaticFeatureCache::LoadStats& stats) {
 
 ServingSnapshot ServingStats::snapshot() const {
   std::vector<Seconds> sorted;
+  std::vector<Seconds> sorted_waits;
   ServingSnapshot s;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     sorted = latencies_;
+    sorted_waits = queue_waits_;
     s.completed_requests = completed_;
     if (completed_ > 0) {
       s.latency_mean = latency_sum_ / static_cast<double>(completed_);
+      s.queue_wait_mean = queue_wait_sum_ / static_cast<double>(completed_);
+      s.compute_mean = s.latency_mean - s.queue_wait_mean;
     }
     s.latency_max = latency_max_;
+    s.queue_wait_max = queue_wait_max_;
     s.rejected_requests = rejected_;
     s.completed_batches = batches_;
     s.total_seeds = batch_seeds_sum_;
@@ -91,6 +104,12 @@ ServingSnapshot ServingStats::snapshot() const {
     s.latency_p95 = percentile(sorted, 0.95);
     s.latency_p99 = percentile(sorted, 0.99);
   }
+  std::sort(sorted_waits.begin(), sorted_waits.end());
+  if (!sorted_waits.empty()) {
+    s.queue_wait_p50 = percentile(sorted_waits, 0.50);
+    s.queue_wait_p95 = percentile(sorted_waits, 0.95);
+    s.queue_wait_p99 = percentile(sorted_waits, 0.99);
+  }
   if (s.uptime > 0.0) {
     s.qps = static_cast<double>(s.completed_requests) / s.uptime;
     s.seeds_per_second = static_cast<double>(s.total_seeds) / s.uptime;
@@ -102,9 +121,13 @@ void ServingStats::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   latencies_.clear();
   latency_cursor_ = 0;
+  queue_waits_.clear();
+  queue_wait_cursor_ = 0;
   completed_ = 0;
   latency_sum_ = 0.0;
   latency_max_ = 0.0;
+  queue_wait_sum_ = 0.0;
+  queue_wait_max_ = 0.0;
   rejected_ = 0;
   batches_ = 0;
   batch_requests_sum_ = 0;
@@ -123,6 +146,8 @@ std::string ServingSnapshot::to_string() const {
   out += " p50=" + format_double(latency_p50 * 1e3, 3) + "ms";
   out += " p95=" + format_double(latency_p95 * 1e3, 3) + "ms";
   out += " p99=" + format_double(latency_p99 * 1e3, 3) + "ms";
+  out += " queue_p99=" + format_double(queue_wait_p99 * 1e3, 3) + "ms";
+  out += " compute_mean=" + format_double(compute_mean * 1e3, 3) + "ms";
   out += " batch=" + format_double(mean_batch_requests, 2);
   out += " hit_rate=" + format_double(cache_hit_rate, 3);
   return out;

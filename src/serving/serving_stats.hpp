@@ -37,6 +37,17 @@ struct ServingSnapshot {
   Seconds latency_p99 = 0.0;
   Seconds latency_max = 0.0;      ///< over all completions
 
+  /// Queue wait (enqueue -> worker pickup) reported separately from
+  /// compute (pickup -> result) so streaming-induced stalls — workers
+  /// busy against a hot version, compaction pressure — are attributable
+  /// to queuing rather than folded into one latency number.
+  Seconds queue_wait_mean = 0.0;
+  Seconds queue_wait_p50 = 0.0;
+  Seconds queue_wait_p95 = 0.0;
+  Seconds queue_wait_p99 = 0.0;
+  Seconds queue_wait_max = 0.0;
+  Seconds compute_mean = 0.0;     ///< latency_mean - queue_wait_mean, per request
+
   double mean_batch_requests = 0.0;  ///< requests coalesced per micro-batch
   double mean_batch_seeds = 0.0;
   std::int64_t min_batch_requests = 0;
@@ -53,7 +64,8 @@ struct ServingSnapshot {
 
 class ServingStats {
  public:
-  void record_completion(Seconds latency);
+  /// `queue_wait` is the enqueue -> worker-pickup share of `latency`.
+  void record_completion(Seconds latency, Seconds queue_wait = 0.0);
   void record_rejection();
   void record_batch(std::int64_t requests, std::int64_t seeds);
   void record_gather(const StaticFeatureCache::LoadStats& stats);
@@ -70,9 +82,13 @@ class ServingStats {
   Timer uptime_;
   std::vector<Seconds> latencies_;  ///< bounded to kLatencyWindow
   std::size_t latency_cursor_ = 0;
+  std::vector<Seconds> queue_waits_;  ///< same ring-buffer discipline
+  std::size_t queue_wait_cursor_ = 0;
   std::int64_t completed_ = 0;
   Seconds latency_sum_ = 0.0;
   Seconds latency_max_ = 0.0;
+  Seconds queue_wait_sum_ = 0.0;
+  Seconds queue_wait_max_ = 0.0;
   std::int64_t rejected_ = 0;
   std::int64_t batches_ = 0;
   std::int64_t batch_requests_sum_ = 0;

@@ -1,0 +1,47 @@
+#include "stream/compactor.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace hyscale {
+
+Compactor::Compactor(StreamingGraph& graph, CompactionPolicy policy)
+    : graph_(graph), policy_(policy) {
+  if (policy_.max_overlay_edges <= 0)
+    throw std::invalid_argument("Compactor: max_overlay_edges must be positive");
+  if (policy_.max_overlay_ratio <= 0.0)
+    throw std::invalid_argument("Compactor: max_overlay_ratio must be positive");
+  thread_ = std::thread([this] { loop(); });
+}
+
+Compactor::~Compactor() { stop(); }
+
+void Compactor::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Compactor::should_compact() const {
+  return graph_.overlay_edges() >= policy_.max_overlay_edges ||
+         graph_.overlay_ratio() >= policy_.max_overlay_ratio;
+}
+
+void Compactor::loop() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(policy_.poll_interval),
+                 [this] { return stop_; });
+    if (stop_) break;
+    if (!should_compact()) continue;
+    lock.unlock();
+    if (graph_.compact()) compactions_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace hyscale

@@ -1,0 +1,58 @@
+// Background delta-to-CSR compaction.
+//
+// Watches a StreamingGraph's overlay and, when it exceeds a size or
+// base-ratio threshold, folds the pending delta into a fresh base CSR
+// (StreamingGraph::compact -> graph/builder) and atomically swaps
+// versions.  Keeping the overlay small bounds both the per-vertex
+// duplicate-check scans on the ingest path and the union enumeration on
+// the sampling path, which is what keeps p99 query latency flat as
+// updates accumulate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "stream/streaming_graph.hpp"
+
+namespace hyscale {
+
+struct CompactionPolicy {
+  EdgeId max_overlay_edges = 1 << 15;  ///< absolute trigger
+  double max_overlay_ratio = 0.25;     ///< overlay/base edge-count trigger
+  Seconds poll_interval = 2e-3;
+};
+
+class Compactor {
+ public:
+  /// `graph` must outlive the compactor.  The background thread starts
+  /// immediately and stops (joined) on destruction or stop().
+  explicit Compactor(StreamingGraph& graph, CompactionPolicy policy = {});
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  void stop();
+
+  /// Whether the policy would trigger right now (also used by tests).
+  bool should_compact() const;
+
+  std::int64_t compactions() const { return compactions_.load(std::memory_order_relaxed); }
+  const CompactionPolicy& policy() const { return policy_; }
+
+ private:
+  void loop();
+
+  StreamingGraph& graph_;
+  CompactionPolicy policy_;
+  std::atomic<std::int64_t> compactions_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;  ///< keep last: starts in the constructor's tail
+};
+
+}  // namespace hyscale

@@ -1,0 +1,144 @@
+#include "stream/delta_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyscale {
+
+DeltaStore::DeltaStore(std::shared_ptr<const CsrGraph> base, std::size_t num_stripes)
+    : base_(std::move(base)),
+      stripes_(std::max<std::size_t>(1, num_stripes)) {
+  if (!base_) throw std::invalid_argument("DeltaStore: null base graph");
+  buckets_.resize(static_cast<std::size_t>(base_->num_vertices()));
+  num_vertices_.store(base_->num_vertices(), std::memory_order_relaxed);
+}
+
+bool DeltaStore::add_edge_unlocked(VertexId u, VertexId v) {
+  if (u < base_->num_vertices()) {
+    const auto neighbors = base_->neighbors(u);
+    if (std::find(neighbors.begin(), neighbors.end(), v) != neighbors.end()) return false;
+  }
+
+  Stripe& stripe = stripe_for(u);
+  std::lock_guard stripe_lock(stripe.mutex);
+  Bucket& bucket = buckets_[static_cast<std::size_t>(u)];
+  if (std::find(bucket.neighbors.begin(), bucket.neighbors.end(), v) != bucket.neighbors.end())
+    return false;
+  bucket.neighbors.push_back(v);
+  bucket.epochs.push_back(epoch_.load(std::memory_order_relaxed));
+  if (!bucket.listed) {
+    bucket.listed = true;
+    stripe.touched.push_back(u);
+  }
+  delta_edges_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DeltaStore::check_range_unlocked(VertexId u, VertexId v) const {
+  const VertexId n = num_vertices_.load(std::memory_order_relaxed);
+  if (u < 0 || u >= n || v < 0 || v >= n)
+    throw std::invalid_argument("DeltaStore::add_edge: endpoint out of range");
+}
+
+bool DeltaStore::add_edge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  std::shared_lock structure(structure_mutex_);
+  check_range_unlocked(u, v);
+  return add_edge_unlocked(u, v);
+}
+
+int DeltaStore::add_edge_pair(VertexId u, VertexId v) {
+  if (u == v) return 0;
+  const VertexId lo = std::min(u, v);
+  const VertexId hi = std::max(u, v);
+  // One shared section for both directions: a snapshot (exclusive) sees
+  // either neither direction or both.  Stripe locks are taken one at a
+  // time, never nested, so no ordering cycle is possible.
+  std::shared_lock structure(structure_mutex_);
+  check_range_unlocked(lo, hi);
+  if (!add_edge_unlocked(lo, hi)) return 0;
+  return add_edge_unlocked(hi, lo) ? 2 : 1;
+}
+
+VertexId DeltaStore::add_vertices(std::int64_t count) {
+  if (count <= 0) throw std::invalid_argument("DeltaStore::add_vertices: count must be positive");
+  std::unique_lock structure(structure_mutex_);
+  const VertexId first = num_vertices_.load(std::memory_order_relaxed);
+  buckets_.resize(buckets_.size() + static_cast<std::size_t>(count));
+  num_vertices_.store(first + count, std::memory_order_relaxed);
+  return first;
+}
+
+DeltaStore::Snapshot DeltaStore::snapshot(bool advance_epoch) {
+  std::unique_lock structure(structure_mutex_);
+  Snapshot snap;
+  snap.epoch = epoch_.load(std::memory_order_relaxed);
+  snap.num_vertices = num_vertices_.load(std::memory_order_relaxed);
+  snap.offsets.push_back(0);
+  for (const Stripe& stripe : stripes_) {
+    for (VertexId v : stripe.touched) {
+      const Bucket& bucket = buckets_[static_cast<std::size_t>(v)];
+      if (bucket.neighbors.empty()) continue;
+      snap.touched.push_back(v);
+      snap.neighbors.insert(snap.neighbors.end(), bucket.neighbors.begin(),
+                            bucket.neighbors.end());
+      snap.offsets.push_back(static_cast<EdgeId>(snap.neighbors.size()));
+    }
+  }
+  snap.num_edges = static_cast<EdgeId>(snap.neighbors.size());
+  if (advance_epoch) epoch_.fetch_add(1, std::memory_order_relaxed);
+  return snap;
+}
+
+void DeltaStore::truncate_unlocked(Epoch epoch) {
+  EdgeId removed = 0;
+  for (Stripe& stripe : stripes_) {
+    std::vector<VertexId> survivors;
+    for (VertexId v : stripe.touched) {
+      Bucket& bucket = buckets_[static_cast<std::size_t>(v)];
+      // Stamps are nondecreasing within a bucket: the cut is a prefix.
+      const auto cut = std::upper_bound(bucket.epochs.begin(), bucket.epochs.end(), epoch);
+      const auto count = static_cast<std::size_t>(cut - bucket.epochs.begin());
+      if (count > 0) {
+        bucket.neighbors.erase(bucket.neighbors.begin(),
+                               bucket.neighbors.begin() + static_cast<std::ptrdiff_t>(count));
+        bucket.epochs.erase(bucket.epochs.begin(), cut);
+        removed += static_cast<EdgeId>(count);
+      }
+      if (bucket.neighbors.empty()) {
+        bucket.listed = false;
+      } else {
+        survivors.push_back(v);
+      }
+    }
+    stripe.touched = std::move(survivors);
+  }
+  delta_edges_.fetch_sub(removed, std::memory_order_relaxed);
+}
+
+void DeltaStore::truncate(Epoch epoch) {
+  std::unique_lock structure(structure_mutex_);
+  truncate_unlocked(epoch);
+}
+
+void DeltaStore::rebase(std::shared_ptr<const CsrGraph> base, Epoch merged_up_to) {
+  if (!base) throw std::invalid_argument("DeltaStore::rebase: null base graph");
+  std::unique_lock structure(structure_mutex_);
+  if (base->num_vertices() > static_cast<VertexId>(buckets_.size()))
+    throw std::invalid_argument("DeltaStore::rebase: base larger than vertex space");
+  base_ = std::move(base);
+  truncate_unlocked(merged_up_to);
+}
+
+std::shared_ptr<const CsrGraph> DeltaStore::base() const {
+  std::shared_lock structure(structure_mutex_);
+  return base_;
+}
+
+VertexId DeltaStore::num_vertices() const { return num_vertices_.load(std::memory_order_relaxed); }
+
+EdgeId DeltaStore::delta_edges() const { return delta_edges_.load(std::memory_order_relaxed); }
+
+Epoch DeltaStore::epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+}  // namespace hyscale

@@ -1,0 +1,132 @@
+// Per-vertex insertion buffers for streaming graph updates.
+//
+// The DeltaStore absorbs edge/vertex insertions that arrive while the
+// immutable base CSR keeps serving readers.  Writes go through a
+// lock-striped path (vertex id -> stripe mutex) so concurrent ingest
+// threads rarely contend, and every accepted edge is stamped with the
+// store's current epoch.  Epochs advance when a snapshot is taken, which
+// gives the compactor an exact cut: all edges stamped <= E were captured
+// by the snapshot at epoch E and can be truncated after the merge, while
+// later arrivals (stamped > E) survive in the buffers.
+//
+// The store owns the base CSR pointer so the duplicate check (edge
+// already in base or pending) always runs against the base that the
+// pending buffers overlay.  rebase() swaps in a freshly compacted base
+// and truncates the merged prefix in ONE exclusive section — the
+// ordering that makes ingest-during-compaction duplicate-free.
+//
+// Synchronisation model: a shared_mutex arbitrates between ingest
+// (shared + per-stripe mutex) and structural operations — snapshot,
+// truncate, rebase, add_vertices — which take it exclusively.  An
+// exclusive section is therefore a true linearisation point across all
+// vertices: add_edge_pair inserts both directions of an undirected edge
+// inside one shared section, so a snapshot can never observe the pair
+// half-inserted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hyscale {
+
+/// Monotone update-cut counter; every delta edge carries the epoch it
+/// arrived in.
+using Epoch = std::uint64_t;
+
+class DeltaStore {
+ public:
+  explicit DeltaStore(std::shared_ptr<const CsrGraph> base, std::size_t num_stripes = 64);
+
+  DeltaStore(const DeltaStore&) = delete;
+  DeltaStore& operator=(const DeltaStore&) = delete;
+
+  /// Appends v to u's insertion buffer, stamped with the current epoch.
+  /// Returns false — and leaves the store untouched — when the edge is a
+  /// self loop, already present in the base, or already pending in the
+  /// delta.  Base adjacency is scanned linearly per call; delta buffers
+  /// are bounded by compaction, base degrees by the graph.
+  bool add_edge(VertexId u, VertexId v);
+
+  /// Inserts BOTH directions of undirected edge {u, v} inside one shared
+  /// critical section, so an (exclusive) snapshot can never observe the
+  /// pair half-inserted.  min(u,v) -> max(u,v) goes first: concurrent
+  /// inserts of the same pair serialise on that stripe entry and exactly
+  /// one writes the reverse.  Returns the number of directed edges that
+  /// landed: 0 (duplicate/self loop) or 2 (1 only if the base itself is
+  /// asymmetric, which no dataset here produces).
+  int add_edge_pair(VertexId u, VertexId v);
+
+  /// Extends the vertex space by `count` empty vertices; returns the
+  /// first new id.  New vertices have no base adjacency until a
+  /// compaction folds them into a fresh CSR.
+  VertexId add_vertices(std::int64_t count);
+
+  /// Point-in-time copy of every insertion buffer, taken under the
+  /// exclusive lock (single linearisation point).  With `advance_epoch`,
+  /// the store epoch is bumped inside the same critical section, so the
+  /// snapshot holds exactly the edges stamped <= its `epoch`.
+  struct Snapshot {
+    Epoch epoch = 0;               ///< all captured edges are stamped <= this
+    VertexId num_vertices = 0;     ///< vertex space at capture time
+    EdgeId num_edges = 0;
+    std::vector<VertexId> touched;    ///< vertices with >= 1 pending edge
+    std::vector<EdgeId> offsets;      ///< size touched.size() + 1
+    std::vector<VertexId> neighbors;  ///< flat adjacency, grouped by touched[i]
+  };
+  Snapshot snapshot(bool advance_epoch);
+
+  /// Removes every delta edge stamped <= `epoch`.  Within a buffer,
+  /// stamps are nondecreasing (appends happen in epoch order), so the
+  /// removed edges always form a prefix.
+  void truncate(Epoch epoch);
+
+  /// Compaction install: atomically replaces the base (which now
+  /// contains every delta edge stamped <= `merged_up_to`) and truncates
+  /// that prefix, so no edge is ever both absent from the duplicate
+  /// check's base and absent from the buffers.
+  void rebase(std::shared_ptr<const CsrGraph> base, Epoch merged_up_to);
+
+  /// The base the pending buffers overlay.
+  std::shared_ptr<const CsrGraph> base() const;
+
+  VertexId num_vertices() const;
+  EdgeId delta_edges() const;
+  Epoch epoch() const;
+  std::size_t num_stripes() const { return stripes_.size(); }
+
+ private:
+  /// One vertex's pending adjacency.  `epochs` parallels `neighbors`.
+  struct Bucket {
+    std::vector<VertexId> neighbors;
+    std::vector<Epoch> epochs;
+    bool listed = false;  ///< already on its stripe's touched list
+  };
+  struct Stripe {
+    std::mutex mutex;
+    std::vector<VertexId> touched;  ///< vertices of this stripe with pending edges
+  };
+
+  Stripe& stripe_for(VertexId v) {
+    return stripes_[static_cast<std::size_t>(v) % stripes_.size()];
+  }
+  /// Callers hold structure_mutex_ (shared suffices).
+  bool add_edge_unlocked(VertexId u, VertexId v);
+  void check_range_unlocked(VertexId u, VertexId v) const;
+  void truncate_unlocked(Epoch epoch);
+
+  mutable std::shared_mutex structure_mutex_;  ///< shared: ingest; exclusive: structural ops
+  std::shared_ptr<const CsrGraph> base_;       ///< swapped only under the exclusive lock
+  std::vector<Bucket> buckets_;                ///< one per vertex (base + streamed)
+  std::vector<Stripe> stripes_;
+  std::atomic<Epoch> epoch_{1};
+  std::atomic<EdgeId> delta_edges_{0};
+  std::atomic<VertexId> num_vertices_{0};
+};
+
+}  // namespace hyscale

@@ -1,0 +1,70 @@
+#include "stream/feature_store.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace hyscale {
+
+MutableFeatureStore::MutableFeatureStore(const Tensor& base)
+    : base_rows_(base.rows()), cols_(base.cols()) {
+  base_.resize(base.rows(), base.cols());
+  std::copy(base.flat().begin(), base.flat().end(), base_.flat().begin());
+}
+
+std::int64_t MutableFeatureStore::rows() const {
+  std::shared_lock lock(mutex_);
+  return base_rows_ + extension_rows_;
+}
+
+std::span<const float> MutableFeatureStore::row_unlocked(VertexId v) const {
+  if (v < 0 || v >= base_rows_ + extension_rows_)
+    throw std::out_of_range("MutableFeatureStore: row out of range");
+  if (v < base_rows_) return base_.row(v);
+  const auto offset = static_cast<std::size_t>((v - base_rows_) * cols_);
+  return {extension_.data() + offset, static_cast<std::size_t>(cols_)};
+}
+
+void MutableFeatureStore::update_row(VertexId v, std::span<const float> values) {
+  if (static_cast<std::int64_t>(values.size()) != cols_)
+    throw std::invalid_argument("MutableFeatureStore::update_row: wrong row length");
+  std::unique_lock lock(mutex_);
+  if (v < 0 || v >= base_rows_ + extension_rows_)
+    throw std::out_of_range("MutableFeatureStore: row out of range");
+  float* dst = v < base_rows_
+                   ? base_.row(v).data()
+                   : extension_.data() + static_cast<std::size_t>((v - base_rows_) * cols_);
+  std::copy(values.begin(), values.end(), dst);
+}
+
+std::int64_t MutableFeatureStore::append_row(std::span<const float> values) {
+  if (static_cast<std::int64_t>(values.size()) != cols_)
+    throw std::invalid_argument("MutableFeatureStore::append_row: wrong row length");
+  std::unique_lock lock(mutex_);
+  extension_.insert(extension_.end(), values.begin(), values.end());
+  ++extension_rows_;
+  return base_rows_ + extension_rows_ - 1;
+}
+
+void MutableFeatureStore::copy_row(VertexId v, std::span<float> dst) const {
+  std::shared_lock lock(mutex_);
+  const std::span<const float> src = row_unlocked(v);
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void MutableFeatureStore::gather(std::span<const VertexId> nodes, Tensor& out,
+                                 const std::vector<char>* already_filled) const {
+  // Tensor::resize zero-fills; skip it when `out` is already shaped so
+  // rows the caller pre-filled (cache hits) survive.
+  if (out.rows() != static_cast<std::int64_t>(nodes.size()) || out.cols() != cols_) {
+    out.resize(static_cast<std::int64_t>(nodes.size()), cols_);
+  }
+  std::shared_lock lock(mutex_);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (already_filled != nullptr && (*already_filled)[i]) continue;
+    const std::span<const float> src = row_unlocked(nodes[i]);
+    std::copy(src.begin(), src.end(), out.row(static_cast<std::int64_t>(i)).begin());
+  }
+}
+
+}  // namespace hyscale

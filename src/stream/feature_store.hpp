@@ -1,0 +1,65 @@
+// Mutable, growable feature storage for an evolving graph.
+//
+// The base feature matrix (copied from the dataset at construction) is
+// updatable row-in-place; vertices streamed in later get appended rows
+// in an extension area.  A shared_mutex arbitrates gathers (shared)
+// against row updates and appends (exclusive) so serving workers never
+// read a row mid-write — the property the TSan CI job checks.
+//
+// All writes to base rows must go through StreamingGraph::update_feature
+// so the StaticFeatureCache invalidation hook fires; this class only
+// enforces the memory-safety half of that contract.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hyscale {
+
+class MutableFeatureStore {
+ public:
+  /// Copies `base` (rows = base graph vertices).
+  explicit MutableFeatureStore(const Tensor& base);
+
+  std::int64_t cols() const { return cols_; }
+  std::int64_t base_rows() const { return base_rows_; }
+  std::int64_t rows() const;  ///< base + appended
+
+  /// The base matrix; its address is stable for the store's lifetime
+  /// (appends land in the extension area, updates are in place), so a
+  /// StaticFeatureCache may hold a reference to it.
+  const Tensor& base() const { return base_; }
+
+  /// Overwrites row v (base or extension).  Throws on range/size
+  /// mismatch.
+  void update_row(VertexId v, std::span<const float> values);
+
+  /// Appends one extension row; returns its row index (== old rows()).
+  std::int64_t append_row(std::span<const float> values);
+
+  /// Copies row v into `dst` (size cols()).
+  void copy_row(VertexId v, std::span<float> dst) const;
+
+  /// Gathers rows `nodes` into `out` ([nodes.size(), cols()]) under one
+  /// shared lock.  Rows whose `already_filled` flag is set are skipped
+  /// (the streaming gather serves those from the cache's device copy).
+  void gather(std::span<const VertexId> nodes, Tensor& out,
+              const std::vector<char>* already_filled = nullptr) const;
+
+ private:
+  std::span<const float> row_unlocked(VertexId v) const;
+
+  Tensor base_;
+  std::vector<float> extension_;  ///< appended rows, row-major
+  std::int64_t base_rows_ = 0;
+  std::int64_t extension_rows_ = 0;
+  std::int64_t cols_ = 0;
+  mutable std::shared_mutex mutex_;
+};
+
+}  // namespace hyscale

@@ -1,0 +1,66 @@
+// GraphSAGE neighbor sampler over a versioned dynamic graph.
+//
+// Draws uniform without-replacement neighbor samples from the UNION of a
+// GraphVersion's base CSR adjacency and its delta overlay, with correct
+// degree weighting: a vertex with b base and d overlay neighbors is
+// sampled exactly as if the b+d edges lived in one rebuilt CSR.  The
+// expansion mirrors NeighborSampler (same partial Fisher-Yates, same RNG
+// stream discipline), so with an empty overlay the produced MiniBatch is
+// bit-identical to NeighborSampler over the base graph — the equivalence
+// the distribution tests pin down.
+//
+// The sampler is single-threaded like NeighborSampler; serving workers
+// each own one and point it at the latest published version per
+// micro-batch via set_version().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sampling/minibatch.hpp"
+#include "stream/streaming_graph.hpp"
+
+namespace hyscale {
+
+class OverlaySampler {
+ public:
+  /// `fanouts` ordered input-layer first, like NeighborSampler.
+  OverlaySampler(std::shared_ptr<const GraphVersion> version, std::vector<int> fanouts,
+                 std::uint64_t seed);
+
+  /// Points the sampler at a newer version (scratch is re-sized for the
+  /// grown vertex space).  Cheap when the vertex count is unchanged.
+  void set_version(std::shared_ptr<const GraphVersion> version);
+
+  /// Samples one mini-batch for the given seed vertices against the
+  /// current version.
+  MiniBatch sample(const std::vector<VertexId>& seeds);
+
+  void reseed(std::uint64_t seed) { stream_ = seed; }
+
+  const GraphVersion& version() const { return *version_; }
+  const std::vector<int>& fanouts() const { return fanouts_; }
+
+ private:
+  struct Frontier {
+    std::vector<VertexId> nodes;
+    LayerBlock block;
+  };
+  Frontier expand(const std::vector<VertexId>& dst, int fanout);
+
+  std::shared_ptr<const GraphVersion> version_;
+  std::vector<int> fanouts_;
+  std::uint64_t stream_;
+  std::vector<std::int64_t> local_of_;  ///< scratch: global -> local (+1), 0 = absent
+  std::vector<VertexId> touched_;       ///< scratch: which entries of local_of_ are set
+  std::vector<VertexId> combined_;      ///< scratch: base + overlay adjacency of one vertex
+};
+
+/// Full-neighborhood (exact) computation graph over a version; the
+/// streaming analogue of sample_full, used by exact serving mode and the
+/// compaction-equivalence tests.
+MiniBatch sample_full_overlay(const GraphVersion& version, const std::vector<VertexId>& seeds,
+                              int num_layers);
+
+}  // namespace hyscale

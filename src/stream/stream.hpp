@@ -1,0 +1,17 @@
+// Umbrella header for the streaming dynamic-graph subsystem.
+//
+//   DeltaStore          — epoch-stamped, lock-striped insertion buffers
+//   GraphVersion        — immutable base-CSR + overlay snapshot
+//   StreamingGraph      — ingest, copy-on-publish versions, compaction
+//   MutableFeatureStore — row-updatable / growable feature storage
+//   OverlaySampler      — degree-correct sampling over base + overlay
+//   Compactor           — background delta -> fresh-CSR merges
+//   UpdateGenerator     — seeded mixed update-stream driver
+#pragma once
+
+#include "stream/compactor.hpp"
+#include "stream/delta_store.hpp"
+#include "stream/feature_store.hpp"
+#include "stream/overlay_sampler.hpp"
+#include "stream/streaming_graph.hpp"
+#include "stream/update_generator.hpp"

@@ -1,0 +1,290 @@
+#include "stream/streaming_graph.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/strutil.hpp"
+#include "graph/builder.hpp"
+
+namespace hyscale {
+
+// ------------------------------------------------------------ GraphVersion
+
+GraphVersion::GraphVersion(std::shared_ptr<const CsrGraph> base, EdgeId base_max_degree,
+                           DeltaStore::Snapshot overlay, std::uint64_t id)
+    : base_(std::move(base)),
+      num_vertices_(overlay.num_vertices),
+      overlay_edges_(overlay.num_edges),
+      max_degree_(base_max_degree),
+      epoch_(overlay.epoch),
+      id_(id),
+      overlay_touched_(std::move(overlay.touched)),
+      overlay_offsets_(std::move(overlay.offsets)),
+      overlay_indices_(std::move(overlay.neighbors)) {
+  slot_of_.reserve(overlay_touched_.size());
+  for (std::size_t s = 0; s < overlay_touched_.size(); ++s) {
+    slot_of_.emplace(overlay_touched_[s], static_cast<std::int64_t>(s));
+    const VertexId v = overlay_touched_[s];
+    max_degree_ = std::max(max_degree_,
+                           base_degree(v) + (overlay_offsets_[s + 1] - overlay_offsets_[s]));
+  }
+}
+
+std::span<const VertexId> GraphVersion::overlay_neighbors(VertexId v) const {
+  const auto it = slot_of_.find(v);
+  if (it == slot_of_.end()) return {};
+  const auto s = static_cast<std::size_t>(it->second);
+  return {overlay_indices_.data() + overlay_offsets_[s],
+          static_cast<std::size_t>(overlay_offsets_[s + 1] - overlay_offsets_[s])};
+}
+
+void GraphVersion::append_neighbors(VertexId v, std::vector<VertexId>& out) const {
+  const auto base = base_neighbors(v);
+  out.insert(out.end(), base.begin(), base.end());
+  const auto overlay = overlay_neighbors(v);
+  out.insert(out.end(), overlay.begin(), overlay.end());
+}
+
+bool GraphVersion::validate() const {
+  if (!base_->validate()) return false;
+  if (num_vertices_ < base_->num_vertices()) return false;
+  if (overlay_offsets_.size() != overlay_touched_.size() + 1) return false;
+  if (overlay_offsets_.front() != 0) return false;
+  if (overlay_offsets_.back() != static_cast<EdgeId>(overlay_indices_.size())) return false;
+  if (overlay_edges_ != static_cast<EdgeId>(overlay_indices_.size())) return false;
+  for (std::size_t s = 0; s < overlay_touched_.size(); ++s) {
+    const VertexId v = overlay_touched_[s];
+    if (v < 0 || v >= num_vertices_) return false;
+    if (overlay_offsets_[s] > overlay_offsets_[s + 1]) return false;
+    const auto base = base_neighbors(v);
+    const auto overlay = overlay_neighbors(v);
+    for (std::size_t i = 0; i < overlay.size(); ++i) {
+      const VertexId u = overlay[i];
+      if (u < 0 || u >= num_vertices_ || u == v) return false;
+      // Overlay must stay disjoint from base and duplicate-free.
+      if (std::find(base.begin(), base.end(), u) != base.end()) return false;
+      if (std::find(overlay.begin(), overlay.begin() + static_cast<std::ptrdiff_t>(i), u) !=
+          overlay.begin() + static_cast<std::ptrdiff_t>(i))
+        return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------- StreamingGraph
+
+StreamingGraph::StreamingGraph(const Dataset& dataset, StreamingConfig config)
+    : dataset_(&dataset),
+      config_(config),
+      delta_(std::make_shared<const CsrGraph>(dataset.graph), config.num_stripes),
+      features_(dataset.features) {
+  if (dataset.features.rows() != dataset.graph.num_vertices())
+    throw std::invalid_argument("StreamingGraph: features/graph size mismatch");
+  const auto base = delta_.base();
+  base_max_degree_ = base->max_degree();
+  install_version(base, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false));
+}
+
+bool StreamingGraph::add_edge(VertexId u, VertexId v) {
+  std::int64_t landed;
+  if (config_.symmetric) {
+    // Both directions in one DeltaStore critical section: no snapshot
+    // ever publishes a half-inserted undirected edge.
+    landed = delta_.add_edge_pair(u, v);
+  } else {
+    landed = delta_.add_edge(u, v) ? 1 : 0;
+  }
+  if (landed == 0) {
+    duplicate_edges_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ingested_edges_.fetch_add(landed, std::memory_order_relaxed);
+  note_pending_ingest();
+  return true;
+}
+
+VertexId StreamingGraph::add_vertex(std::span<const float> features) {
+  std::lock_guard lock(vertex_mutex_);
+  // Feature row first: any version published after add_vertices() sees a
+  // vertex whose feature row already exists.
+  const std::int64_t row = features_.append_row(features);
+  const VertexId id = delta_.add_vertices(1);
+  if (row != id)
+    throw std::logic_error("StreamingGraph: feature rows out of sync with vertex space");
+  added_vertices_.fetch_add(1, std::memory_order_relaxed);
+  note_pending_ingest();
+  return id;
+}
+
+void StreamingGraph::update_feature(VertexId v, std::span<const float> values) {
+  // cache_mutex_ serialises the row write with the cache refresh, so the
+  // device copy can never lag a completed update.
+  std::lock_guard lock(cache_mutex_);
+  features_.update_row(v, values);
+  if (cache_ != nullptr) {
+    const VertexId ids[1] = {v};
+    cache_->invalidate(std::span<const VertexId>(ids, 1));
+  }
+  feature_updates_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const GraphVersion> StreamingGraph::publish() {
+  std::lock_guard maintenance(maintenance_mutex_);
+  auto base = delta_.base();
+  const EdgeId base_max = base_max_degree_;
+  auto version =
+      install_version(std::move(base), base_max, delta_.snapshot(/*advance_epoch=*/true));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+std::shared_ptr<const GraphVersion> StreamingGraph::current() const {
+  std::lock_guard lock(version_mutex_);
+  return current_;
+}
+
+bool StreamingGraph::compact() {
+  std::lock_guard maintenance(maintenance_mutex_);
+  const auto base = delta_.base();
+  const DeltaStore::Snapshot snap = delta_.snapshot(/*advance_epoch=*/true);
+  if (snap.num_edges == 0 && snap.num_vertices == base->num_vertices()) return false;
+
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(base->num_edges() + snap.num_edges));
+  for (VertexId v = 0; v < base->num_vertices(); ++v) {
+    for (VertexId u : base->neighbors(v)) edges.emplace_back(v, u);
+  }
+  for (std::size_t s = 0; s < snap.touched.size(); ++s) {
+    const VertexId v = snap.touched[s];
+    for (EdgeId e = snap.offsets[s]; e < snap.offsets[s + 1]; ++e) {
+      edges.emplace_back(v, snap.neighbors[static_cast<std::size_t>(e)]);
+    }
+  }
+  // The union is duplicate-free by the ingest-time check; dedup stays on
+  // as a structural belt (it is what the round-trip tests exercise).
+  EdgeListOptions options;
+  options.symmetrize = false;
+  options.remove_self_loops = false;
+  options.deduplicate = true;
+  auto merged =
+      std::make_shared<const CsrGraph>(build_csr(snap.num_vertices, std::move(edges), options));
+
+  // Swap-then-truncate in one exclusive section: the duplicate check
+  // never sees a base without the merged prefix still pending.
+  delta_.rebase(merged, snap.epoch);
+  base_max_degree_ = merged->max_degree();
+  // Republish over the new base; edges ingested after the snapshot are
+  // still pending and ride along as the new overlay.
+  install_version(merged, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false));
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+StaticFeatureCache::LoadStats StreamingGraph::gather(std::span<const VertexId> nodes,
+                                                     Tensor& out) const {
+  StaticFeatureCache* cache;
+  {
+    std::lock_guard lock(cache_mutex_);
+    cache = cache_;
+  }
+  // Two locked passes (cache device rows, then live store rows) instead
+  // of a lock acquire per row — this is the serving hot path.
+  out.resize(static_cast<std::int64_t>(nodes.size()), features_.cols());
+  StaticFeatureCache::LoadStats stats;
+  const double row_bytes = static_cast<double>(features_.cols()) * 4.0;
+  const auto total = static_cast<std::int64_t>(nodes.size());
+  std::vector<char> hit;
+  if (cache != nullptr) {
+    hit.assign(nodes.size(), 0);
+    stats.hits = cache->copy_cached_rows(nodes, hit, out);
+  }
+  features_.gather(nodes, out, cache != nullptr ? &hit : nullptr);
+  stats.misses = total - stats.hits;
+  stats.device_bytes = static_cast<double>(stats.hits) * row_bytes;
+  stats.host_bytes = static_cast<double>(stats.misses) * row_bytes;
+  if (cache != nullptr) cache->record(stats);
+  return stats;
+}
+
+void StreamingGraph::attach_cache(StaticFeatureCache* cache) {
+  std::lock_guard lock(cache_mutex_);
+  cache_ = cache;
+}
+
+double StreamingGraph::overlay_ratio() const {
+  const auto base_edges = static_cast<double>(delta_.base()->num_edges());
+  if (base_edges == 0.0) return delta_.delta_edges() > 0 ? 1.0 : 0.0;
+  return static_cast<double>(delta_.delta_edges()) / base_edges;
+}
+
+StreamStats StreamingGraph::stats() const {
+  StreamStats s;
+  s.ingested_edges = ingested_edges_.load(std::memory_order_relaxed);
+  s.duplicate_edges = duplicate_edges_.load(std::memory_order_relaxed);
+  s.added_vertices = added_vertices_.load(std::memory_order_relaxed);
+  s.feature_updates = feature_updates_.load(std::memory_order_relaxed);
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.overlay_edges = delta_.delta_edges();
+  s.base_edges = delta_.base()->num_edges();
+  s.version_id = current()->id();
+  {
+    std::lock_guard lock(lag_mutex_);
+    s.publish_lag_mean = lag_samples_ > 0 ? lag_sum_ / static_cast<double>(lag_samples_) : 0.0;
+    s.publish_lag_max = lag_max_;
+  }
+  return s;
+}
+
+std::shared_ptr<const CsrGraph> StreamingGraph::base_snapshot() const { return delta_.base(); }
+
+std::shared_ptr<const GraphVersion> StreamingGraph::install_version(
+    std::shared_ptr<const CsrGraph> base, EdgeId base_max_degree, DeltaStore::Snapshot snapshot) {
+  auto version = std::make_shared<const GraphVersion>(
+      std::move(base), base_max_degree, std::move(snapshot),
+      version_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  {
+    // Publish lag: delay from the oldest ingest still waiting for a
+    // version to this install.  Approximate for edges racing the
+    // snapshot itself (they are timed from the NEXT pending marker).
+    std::lock_guard lock(lag_mutex_);
+    if (pending_since_.has_value()) {
+      const Seconds lag = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                        *pending_since_)
+                              .count();
+      lag_sum_ += lag;
+      lag_max_ = std::max(lag_max_, lag);
+      ++lag_samples_;
+      pending_since_.reset();
+    }
+  }
+  {
+    std::lock_guard lock(version_mutex_);
+    current_ = version;
+  }
+  return version;
+}
+
+void StreamingGraph::note_pending_ingest() {
+  std::lock_guard lock(lag_mutex_);
+  if (!pending_since_.has_value()) pending_since_ = std::chrono::steady_clock::now();
+}
+
+std::string StreamStats::to_string() const {
+  std::string out;
+  out += "ingested=" + format_count(static_cast<std::uint64_t>(ingested_edges));
+  out += " dup=" + format_count(static_cast<std::uint64_t>(duplicate_edges));
+  out += " vertices+=" + format_count(static_cast<std::uint64_t>(added_vertices));
+  out += " feat_updates=" + format_count(static_cast<std::uint64_t>(feature_updates));
+  out += " publishes=" + format_count(static_cast<std::uint64_t>(publishes));
+  out += " compactions=" + format_count(static_cast<std::uint64_t>(compactions));
+  out += " overlay=" + format_count(static_cast<std::uint64_t>(overlay_edges));
+  out += "/" + format_count(static_cast<std::uint64_t>(base_edges));
+  out += " lag_mean=" + format_double(publish_lag_mean * 1e3, 3) + "ms";
+  out += " lag_max=" + format_double(publish_lag_max * 1e3, 3) + "ms";
+  return out;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,217 @@
+// Versioned dynamic graph: immutable base CSR + delta overlay, published
+// as copy-on-publish snapshots.
+//
+// Writers (ingest threads) append into the DeltaStore and update the
+// MutableFeatureStore; readers (samplers, serving workers) hold a
+// shared_ptr<const GraphVersion> — a fully immutable view of base CSR +
+// overlay adjacency — obtained from current().  publish() builds a fresh
+// version from a point-in-time delta snapshot and swaps the current
+// pointer atomically, so a reader either sees the whole new version or
+// the whole old one, never a mix.  compact() folds the delta into a
+// fresh CSR via graph/builder and installs it as the new base, keeping
+// post-snapshot arrivals in the buffers (epoch cut).
+//
+// Lifetime: versions are shared_ptrs over a shared_ptr'd base CSR, so a
+// sampler can keep sampling an old version while newer ones are
+// published or the base is swapped underneath.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "graph/datasets.hpp"
+#include "runtime/feature_cache.hpp"
+#include "stream/delta_store.hpp"
+#include "stream/feature_store.hpp"
+
+namespace hyscale {
+
+/// Immutable point-in-time view of the evolving graph.  All methods are
+/// const and safe for concurrent readers.
+class GraphVersion {
+ public:
+  GraphVersion(std::shared_ptr<const CsrGraph> base, EdgeId base_max_degree,
+               DeltaStore::Snapshot overlay, std::uint64_t id);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return base_->num_edges() + overlay_edges_; }
+  EdgeId base_edges() const { return base_->num_edges(); }
+  EdgeId overlay_edges() const { return overlay_edges_; }
+
+  EdgeId base_degree(VertexId v) const {
+    return v < base_->num_vertices() ? base_->degree(v) : 0;
+  }
+  EdgeId overlay_degree(VertexId v) const {
+    const auto it = slot_of_.find(v);
+    if (it == slot_of_.end()) return 0;
+    return overlay_offsets_[static_cast<std::size_t>(it->second) + 1] -
+           overlay_offsets_[static_cast<std::size_t>(it->second)];
+  }
+  EdgeId degree(VertexId v) const { return base_degree(v) + overlay_degree(v); }
+
+  std::span<const VertexId> base_neighbors(VertexId v) const {
+    return v < base_->num_vertices() ? base_->neighbors(v) : std::span<const VertexId>{};
+  }
+  std::span<const VertexId> overlay_neighbors(VertexId v) const;
+
+  /// Appends v's combined (base then overlay) adjacency to `out`.
+  void append_neighbors(VertexId v, std::vector<VertexId>& out) const;
+
+  /// Highest combined degree; precomputed at publish (O(overlay)).
+  EdgeId max_degree() const { return max_degree_; }
+
+  const CsrGraph& base() const { return *base_; }
+  std::uint64_t id() const { return id_; }
+  Epoch epoch() const { return epoch_; }
+
+  /// Structural sanity for tests: offsets monotone, neighbor ids in
+  /// range, overlay disjoint from base per vertex.
+  bool validate() const;
+
+ private:
+  std::shared_ptr<const CsrGraph> base_;
+  VertexId num_vertices_ = 0;
+  EdgeId overlay_edges_ = 0;
+  EdgeId max_degree_ = 0;
+  Epoch epoch_ = 0;
+  std::uint64_t id_ = 0;
+  std::vector<VertexId> overlay_touched_;
+  std::vector<EdgeId> overlay_offsets_;    ///< size touched + 1
+  std::vector<VertexId> overlay_indices_;
+  std::unordered_map<VertexId, std::int64_t> slot_of_;  ///< vertex -> touched slot
+};
+
+struct StreamingConfig {
+  /// Insert both directions of every edge (datasets here are undirected).
+  bool symmetric = true;
+  std::size_t num_stripes = 64;
+};
+
+/// Point-in-time ingest/publish counters.
+struct StreamStats {
+  std::int64_t ingested_edges = 0;     ///< accepted directed insertions
+  std::int64_t duplicate_edges = 0;    ///< rejected (already in base or delta)
+  std::int64_t added_vertices = 0;
+  std::int64_t feature_updates = 0;
+  std::int64_t publishes = 0;
+  std::int64_t compactions = 0;
+  EdgeId overlay_edges = 0;            ///< pending (unmerged) delta edges
+  EdgeId base_edges = 0;
+  std::uint64_t version_id = 0;
+  Seconds publish_lag_mean = 0.0;  ///< oldest-pending-ingest -> publish delay
+  Seconds publish_lag_max = 0.0;
+
+  std::string to_string() const;
+};
+
+class StreamingGraph {
+ public:
+  /// Copies the dataset's topology and features as the initial base.
+  /// `dataset` must outlive the graph (info/labels are referenced).
+  explicit StreamingGraph(const Dataset& dataset, StreamingConfig config = {});
+
+  StreamingGraph(const StreamingGraph&) = delete;
+  StreamingGraph& operator=(const StreamingGraph&) = delete;
+
+  // ---- ingest (thread-safe, lock-striped) ----
+
+  /// Inserts edge {u, v} (both directions when config.symmetric).
+  /// Returns false for self loops and edges already present.  The edge
+  /// becomes visible to samplers at the next publish().
+  bool add_edge(VertexId u, VertexId v);
+
+  /// Adds one vertex with the given feature row; returns its id.  The
+  /// vertex becomes sample-able after the next publish().
+  VertexId add_vertex(std::span<const float> features);
+
+  /// Overwrites v's feature row and refreshes any attached
+  /// StaticFeatureCache so the new values are served immediately
+  /// (features are NOT versioned — freshness beats snapshot isolation
+  /// for embeddings/profiles).
+  void update_feature(VertexId v, std::span<const float> values);
+
+  // ---- versions ----
+
+  /// Builds an immutable snapshot of base + pending delta and makes it
+  /// the current version.  O(overlay) copy, single atomic swap.
+  std::shared_ptr<const GraphVersion> publish();
+
+  /// The latest published version.  Never null; never half-published.
+  std::shared_ptr<const GraphVersion> current() const;
+
+  /// Merges base + delta into a fresh CSR (graph/builder), installs it
+  /// as the new base and republishes.  Edges ingested after the internal
+  /// snapshot survive in the delta (epoch cut).  Returns false when
+  /// there was nothing to merge.
+  bool compact();
+
+  // ---- feature access ----
+
+  MutableFeatureStore& features() { return features_; }
+  const MutableFeatureStore& features() const { return features_; }
+
+  /// Serving gather: pinned rows from the attached cache's device copy,
+  /// everything else from the feature store.  Returns hit/miss traffic
+  /// for ServingStats.
+  StaticFeatureCache::LoadStats gather(std::span<const VertexId> nodes, Tensor& out) const;
+
+  /// Registers the cache refreshed by update_feature (pass nullptr to
+  /// detach).  The cache must be built over features().base().
+  void attach_cache(StaticFeatureCache* cache);
+
+  // ---- observability ----
+
+  EdgeId overlay_edges() const { return delta_.delta_edges(); }
+  double overlay_ratio() const;
+  VertexId num_vertices() const { return delta_.num_vertices(); }
+  const Dataset& dataset() const { return *dataset_; }
+  const StreamingConfig& config() const { return config_; }
+  StreamStats stats() const;
+
+ private:
+  std::shared_ptr<const CsrGraph> base_snapshot() const;
+  std::shared_ptr<const GraphVersion> install_version(std::shared_ptr<const CsrGraph> base,
+                                                      EdgeId base_max_degree,
+                                                      DeltaStore::Snapshot snapshot);
+  void note_pending_ingest();
+
+  const Dataset* dataset_;
+  StreamingConfig config_;
+  DeltaStore delta_;
+  MutableFeatureStore features_;
+
+  mutable std::mutex version_mutex_;  ///< guards base_/base_max_degree_/current_
+  std::shared_ptr<const CsrGraph> base_;
+  EdgeId base_max_degree_ = 0;
+  std::shared_ptr<const GraphVersion> current_;
+  std::atomic<std::uint64_t> version_counter_{0};
+
+  std::mutex maintenance_mutex_;  ///< serializes publish() and compact()
+  std::mutex vertex_mutex_;       ///< keeps feature rows and vertex ids in lockstep
+
+  mutable std::mutex cache_mutex_;  ///< guards cache_ pointer + feature update/refresh pairs
+  StaticFeatureCache* cache_ = nullptr;
+
+  mutable std::mutex lag_mutex_;  ///< publish-lag bookkeeping
+  std::optional<std::chrono::steady_clock::time_point> pending_since_;
+  Seconds lag_sum_ = 0.0;
+  Seconds lag_max_ = 0.0;
+  std::int64_t lag_samples_ = 0;
+
+  std::atomic<std::int64_t> ingested_edges_{0};
+  std::atomic<std::int64_t> duplicate_edges_{0};
+  std::atomic<std::int64_t> added_vertices_{0};
+  std::atomic<std::int64_t> feature_updates_{0};
+  std::atomic<std::int64_t> publishes_{0};
+  std::atomic<std::int64_t> compactions_{0};
+};
+
+}  // namespace hyscale

@@ -1,0 +1,104 @@
+#include "stream/update_generator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strutil.hpp"
+
+namespace hyscale {
+
+UpdateGenerator::UpdateGenerator(StreamingGraph& graph, UpdateGeneratorConfig config)
+    : graph_(graph), config_(config) {
+  if (config_.operations < 0) throw std::invalid_argument("UpdateGenerator: negative operations");
+  if (config_.num_threads < 1)
+    throw std::invalid_argument("UpdateGenerator: num_threads must be >= 1");
+  if (config_.edges_per_op < 1)
+    throw std::invalid_argument("UpdateGenerator: edges_per_op must be >= 1");
+}
+
+UpdateReport UpdateGenerator::run() {
+  const std::int64_t cols = graph_.features().cols();
+  std::atomic<std::int64_t> completed_ops{0};
+
+  // The graph's own counters are the single source of truth; the report
+  // is the delta over this run (assumes no other writer is active,
+  // which is how the benches and tests drive it).
+  const StreamStats before = graph_.stats();
+  Timer wall;
+  auto worker = [&](int t, std::int64_t ops) {
+    Xoshiro256 rng(config_.seed + static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ULL);
+    std::vector<float> row(static_cast<std::size_t>(cols));
+    for (std::int64_t op = 0; op < ops; ++op) {
+      const double kind = rng.uniform();
+      const VertexId n = graph_.num_vertices();
+      if (kind < config_.vertex_add_fraction) {
+        for (float& x : row) x = static_cast<float>(rng.normal());
+        const VertexId v = graph_.add_vertex(row);
+        for (int e = 0; e < config_.edges_per_new_vertex; ++e) {
+          graph_.add_edge(v, static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n))));
+        }
+      } else if (kind < config_.vertex_add_fraction + config_.feature_update_fraction) {
+        const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+        for (float& x : row) x = static_cast<float>(rng.normal());
+        graph_.update_feature(v, row);
+      } else {
+        for (int e = 0; e < config_.edges_per_op; ++e) {
+          const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+          const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+          graph_.add_edge(u, v);
+        }
+      }
+      const std::int64_t done = completed_ops.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (config_.publish_every > 0 && done % config_.publish_every == 0) {
+        graph_.publish();
+      }
+      if (config_.pacing > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(config_.pacing));
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  const std::int64_t per_thread = config_.operations / config_.num_threads;
+  const std::int64_t remainder = config_.operations % config_.num_threads;
+  for (int t = 0; t < config_.num_threads; ++t) {
+    const std::int64_t ops = per_thread + (t < remainder ? 1 : 0);
+    threads.emplace_back(worker, t, ops);
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Final publish so every accepted update is visible to queries.
+  graph_.publish();
+
+  const StreamStats after = graph_.stats();
+  UpdateReport report;
+  report.wall_time = wall.elapsed();
+  report.operations = config_.operations;
+  report.accepted_edges = after.ingested_edges - before.ingested_edges;
+  report.duplicate_edges = after.duplicate_edges - before.duplicate_edges;
+  report.added_vertices = after.added_vertices - before.added_vertices;
+  report.feature_updates = after.feature_updates - before.feature_updates;
+  report.publishes = after.publishes - before.publishes;
+  report.edges_per_second =
+      report.wall_time > 0.0 ? static_cast<double>(report.accepted_edges) / report.wall_time : 0.0;
+  return report;
+}
+
+std::string UpdateReport::to_string() const {
+  std::string out;
+  out += "ops=" + format_count(static_cast<std::uint64_t>(operations));
+  out += " edges=" + format_count(static_cast<std::uint64_t>(accepted_edges));
+  out += " dup=" + format_count(static_cast<std::uint64_t>(duplicate_edges));
+  out += " vertices+=" + format_count(static_cast<std::uint64_t>(added_vertices));
+  out += " feat=" + format_count(static_cast<std::uint64_t>(feature_updates));
+  out += " publishes=" + format_count(static_cast<std::uint64_t>(publishes));
+  out += " rate=" + format_double(edges_per_second, 0) + " e/s";
+  return out;
+}
+
+}  // namespace hyscale

@@ -1,0 +1,58 @@
+// Synthetic update-stream driver for the streaming subsystem.
+//
+// Emits a deterministic (seeded) mix of edge insertions, vertex
+// arrivals (with random feature rows), and feature refreshes against a
+// StreamingGraph, publishing a new version every `publish_every`
+// accepted operations.  Paired with serving/LoadGenerator it produces
+// the mixed query/update workloads bench_streaming measures; on its own
+// it is the ingest-throughput microbenchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/timer.hpp"
+#include "stream/streaming_graph.hpp"
+
+namespace hyscale {
+
+struct UpdateGeneratorConfig {
+  std::int64_t operations = 1024;     ///< total ops across all threads
+  int num_threads = 1;
+  double vertex_add_fraction = 0.05;  ///< ops that add a vertex (plus attach edges)
+  double feature_update_fraction = 0.10;  ///< ops that rewrite a feature row
+  int edges_per_op = 1;               ///< edge insertions per edge op
+  int edges_per_new_vertex = 3;       ///< attachment edges for a streamed-in vertex
+  std::int64_t publish_every = 64;    ///< accepted ops between publishes (0 = never)
+  std::uint64_t seed = 13;
+  Seconds pacing = 0.0;               ///< optional sleep between ops (rate limiting)
+};
+
+struct UpdateReport {
+  Seconds wall_time = 0.0;
+  std::int64_t operations = 0;
+  std::int64_t accepted_edges = 0;   ///< directed insertions that landed
+  std::int64_t duplicate_edges = 0;  ///< rejected by the ingest-time check
+  std::int64_t added_vertices = 0;
+  std::int64_t feature_updates = 0;
+  std::int64_t publishes = 0;
+  double edges_per_second = 0.0;     ///< accepted / wall_time
+
+  std::string to_string() const;
+};
+
+class UpdateGenerator {
+ public:
+  /// `graph` must outlive the generator.
+  UpdateGenerator(StreamingGraph& graph, UpdateGeneratorConfig config = {});
+
+  /// Runs the full update session; blocks until every thread is done.
+  /// Wrap in a std::thread to overlap with a query load.
+  UpdateReport run();
+
+ private:
+  StreamingGraph& graph_;
+  UpdateGeneratorConfig config_;
+};
+
+}  // namespace hyscale

@@ -91,6 +91,65 @@ TEST(Builder, RejectsOutOfRangeEndpoints) {
   EXPECT_THROW(build_csr(-1, {}), std::invalid_argument);
 }
 
+// The streaming compactor merges base + delta edge lists through
+// build_csr and relies on degree_order/apply_permutation staying exact
+// on the awkward shapes real deltas produce: isolated vertices (beyond
+// the last edge endpoint) and duplicated edges in the union.
+
+TEST(Builder, IsolatedAndDuplicateEdgeVertices) {
+  // Vertices 4..6 isolated; 0-1 appears three times (both orientations).
+  const CsrGraph g = build_csr(7, {{0, 1}, {1, 0}, {0, 1}, {2, 3}});
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 4);  // 0-1 and 2-3, each both ways
+  EXPECT_EQ(g.degree(0), 1);
+  for (VertexId v = 4; v < 7; ++v) EXPECT_EQ(g.degree(v), 0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Builder, CompactionStyleMergeEqualsOneShotBuild) {
+  // Incremental: build base, then rebuild from base-CSR + delta edges
+  // (what StreamingGraph::compact does) — must equal building the union
+  // in one shot, including duplicate-heavy deltas and isolated tails.
+  const std::vector<std::pair<VertexId, VertexId>> base_edges = {{0, 1}, {1, 2}, {2, 0}};
+  const std::vector<std::pair<VertexId, VertexId>> delta_edges = {
+      {0, 3}, {3, 0}, {0, 1},  // duplicate of a base edge
+      {5, 6}};
+  const CsrGraph base = build_csr(8, base_edges);
+
+  std::vector<std::pair<VertexId, VertexId>> merged_edges;
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (VertexId u : base.neighbors(v)) merged_edges.emplace_back(v, u);
+  }
+  merged_edges.insert(merged_edges.end(), delta_edges.begin(), delta_edges.end());
+  const CsrGraph merged = build_csr(8, merged_edges);
+
+  std::vector<std::pair<VertexId, VertexId>> union_edges = base_edges;
+  union_edges.insert(union_edges.end(), delta_edges.begin(), delta_edges.end());
+  const CsrGraph one_shot = build_csr(8, union_edges);
+
+  EXPECT_EQ(merged.indptr(), one_shot.indptr());
+  EXPECT_EQ(merged.indices(), one_shot.indices());
+  EXPECT_EQ(merged.degree(7), 0);  // isolated tail survives
+}
+
+TEST(Reorder, RoundTripWithIsolatedAndDuplicateEdgeVertices) {
+  // Relabel by degree and relabel back: bit-identical CSR (builder and
+  // apply_permutation both emit sorted adjacency).
+  const CsrGraph g = build_csr(9, {{0, 1}, {1, 0}, {0, 1}, {0, 2}, {0, 3}, {2, 3}, {4, 5}});
+  ASSERT_EQ(g.degree(6), 0);  // isolated vertices in the middle of the range
+  const std::vector<VertexId> perm = degree_order(g);
+  const CsrGraph relabeled = apply_permutation(g, perm);
+  EXPECT_TRUE(relabeled.validate());
+  EXPECT_EQ(relabeled.num_edges(), g.num_edges());
+  // Isolated vertices sort to the tail under degree order.
+  for (VertexId v = relabeled.num_vertices() - 3; v < relabeled.num_vertices(); ++v) {
+    EXPECT_EQ(relabeled.degree(v), 0);
+  }
+  const CsrGraph restored = apply_permutation(relabeled, invert_permutation(perm));
+  EXPECT_EQ(restored.indptr(), g.indptr());
+  EXPECT_EQ(restored.indices(), g.indices());
+}
+
 TEST(Generator, RmatDeterministicPerSeed) {
   RmatParams p;
   p.scale = 8;
