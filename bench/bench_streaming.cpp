@@ -1,12 +1,16 @@
 // Streaming-serving performance record: closed-loop query load against
 // the streaming inference server while a concurrent update stream
-// mutates the graph, at increasing update intensity.  Emits
-// BENCH_streaming.json with ingest throughput, staleness (publish lag),
-// and served p50/p99 (plus the queue-wait/compute split) so later PRs
-// have a freshness/latency trajectory to beat.
+// mutates the graph, at increasing update intensity and churn (edge /
+// vertex deletions).  Emits BENCH_streaming.json with ingest+retract
+// throughput, staleness (publish lag), and served p50/p99 (plus the
+// queue-wait/compute split) so later PRs have a freshness/latency
+// trajectory to beat.
 //
 // The headline record is the mixed 90/10 query/update point (90% of
-// operations are queries, 10% update ops — the ISSUE-2 workload).
+// operations are queries, 10% update ops — the ISSUE-2 workload).  The
+// churn point (ISSUE-3) retracts 40% of update ops and retires 5% of
+// streamed-in vertices, exercising tombstone sampling and compaction
+// folding on the hot path.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -24,6 +28,8 @@ struct OperatingPoint {
   std::int64_t update_ops;   ///< 0 = static baseline
   std::int64_t publish_every;
   int update_threads;
+  double edge_delete_fraction = 0.0;    ///< churn: update ops that retract an edge
+  double vertex_delete_fraction = 0.0;  ///< churn: update ops that retire a vertex
 };
 
 struct PointResult {
@@ -59,6 +65,10 @@ int main() {
       {"mixed_90_10", kQueries / 9, 16, 1},
       // update-heavy: as many update ops as queries, two ingest threads.
       {"update_heavy", kQueries, 8, 2},
+      // churn: delete-heavy feed — 40% of ops retract an edge, 5%
+      // retire a streamed-in vertex, so tombstone skips, dead-vertex
+      // folding and id recycling all sit on the measured path.
+      {"churn_delete_heavy", kQueries, 8, 2, 0.40, 0.05},
   };
 
   bench::row({"config", "qps", "p50 ms", "p99 ms", "queue p99", "ingest e/s", "lag ms",
@@ -88,6 +98,8 @@ int main() {
     updates.num_threads = point.update_threads;
     updates.publish_every = point.publish_every;
     updates.edges_per_op = 4;
+    updates.edge_delete_fraction = point.edge_delete_fraction;
+    updates.vertex_delete_fraction = point.vertex_delete_fraction;
     updates.seed = 23;
 
     UpdateReport update_report;
@@ -133,6 +145,11 @@ int main() {
   json.field("materialized_vertices", static_cast<std::int64_t>(dataset.num_vertices()));
   json.field("fanouts", "10,5");
   json.field("queries", kQueries);
+  // Wall-clock numbers are machine-condition dependent; regressions are
+  // judged point-vs-point WITHIN one record (e.g. churn vs static), not
+  // against a record from an earlier run.
+  json.field("note", "compare points within this record; absolute numbers are not "
+                     "comparable across machines/runs");
   json.key("points");
   json.begin_array();
   for (const PointResult& r : results) {
@@ -141,6 +158,8 @@ int main() {
     json.field("update_ops", r.point.update_ops);
     json.field("update_threads", r.point.update_threads);
     json.field("publish_every", r.point.publish_every);
+    json.field("edge_delete_fraction", r.point.edge_delete_fraction);
+    json.field("vertex_delete_fraction", r.point.vertex_delete_fraction);
     json.field("completed_requests", r.load.completed_requests);
     json.field("qps", r.load.qps);
     json.field("p50_ms", r.load.server.latency_p50 * 1e3);
@@ -149,7 +168,13 @@ int main() {
     json.field("compute_mean_ms", r.load.server.compute_mean * 1e3);
     json.field("ingest_edges_per_second", r.updates.edges_per_second);
     json.field("accepted_edges", r.updates.accepted_edges);
+    json.field("removed_edges", r.updates.removed_edges);
+    json.field("rejected_removals", r.updates.rejected_removals);
     json.field("added_vertices", r.updates.added_vertices);
+    json.field("removed_vertices", r.updates.removed_vertices);
+    json.field("recycled_vertices", r.updates.recycled_vertices);
+    json.field("dead_vertices", r.stream.dead_vertices);
+    json.field("tombstones_pending", r.stream.tombstones);
     json.field("feature_updates", r.updates.feature_updates);
     json.field("publish_lag_mean_ms", r.stream.publish_lag_mean * 1e3);
     json.field("publish_lag_max_ms", r.stream.publish_lag_max * 1e3);

@@ -12,10 +12,12 @@
 //        --clients 8 --requests 64 --fanouts 10,5 --cache-rows 512 \
 //        [--checkpoint ckpt.bin] [--save-checkpoint ckpt.bin]
 //
-// Live serving over an evolving graph (concurrent update stream +
-// query load against the streaming subsystem, background compaction):
+// Live serving over an evolving graph (concurrent update stream with a
+// configurable insert/delete/update mix + query load against the
+// streaming subsystem, background compaction):
 //   $ ./example_hyscale_cli stream --dataset ogbn-products --workers 4 \
 //        --clients 8 --requests 64 --updates 512 --publish-every 32 \
+//        [--delete-frac 0.3] [--vertex-delete-frac 0.05] \
 //        [--update-threads 2] [--compact-edges N] [--compact-ratio R]
 //
 // Prints per-epoch reports (train), p50/p99 latency, QPS, batch-size
@@ -251,7 +253,9 @@ struct StreamOptions {
   int update_threads = 1;
   std::int64_t publish_every = 32;
   double vertex_add_fraction = 0.05;
+  double vertex_delete_fraction = 0.0;
   double feature_update_fraction = 0.10;
+  double edge_delete_fraction = 0.0;
   EdgeId compact_edges = 1 << 15;
   double compact_ratio = 0.25;
 };
@@ -263,6 +267,7 @@ void stream_usage(const char* argv0) {
       "          [--cache-rows R] [--clients C] [--requests N] [--seed X]\n"
       "          [--updates U] [--update-threads T] [--publish-every P]\n"
       "          [--vertex-add-frac F] [--feature-update-frac F]\n"
+      "          [--delete-frac F] [--vertex-delete-frac F]\n"
       "          [--compact-edges E] [--compact-ratio R]\n",
       argv0);
 }
@@ -300,6 +305,14 @@ bool parse_stream_args(int argc, char** argv, StreamOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.feature_update_fraction = std::atof(v);
+    } else if (arg == "--delete-frac") {
+      const char* v = next();
+      if (!v) return false;
+      options.edge_delete_fraction = std::atof(v);
+    } else if (arg == "--vertex-delete-frac") {
+      const char* v = next();
+      if (!v) return false;
+      options.vertex_delete_fraction = std::atof(v);
     } else if (arg == "--compact-edges") {
       const char* v = next();
       if (!v) return false;
@@ -381,7 +394,9 @@ int run_stream_impl(const StreamOptions& options) {
   updates.num_threads = options.update_threads;
   updates.publish_every = options.publish_every;
   updates.vertex_add_fraction = options.vertex_add_fraction;
+  updates.vertex_delete_fraction = options.vertex_delete_fraction;
   updates.feature_update_fraction = options.feature_update_fraction;
+  updates.edge_delete_fraction = options.edge_delete_fraction;
   updates.seed = serve.seed + 2;
   UpdateGenerator update_generator(session.stream(), updates);
   UpdateReport update_report;
@@ -404,8 +419,11 @@ int run_stream_impl(const StreamOptions& options) {
   std::printf("latency:  p50 %.3f ms  p99 %.3f ms  (queue p99 %.3f ms, compute mean %.3f ms)\n",
               stats.latency_p50 * 1e3, stats.latency_p99 * 1e3, stats.queue_wait_p99 * 1e3,
               stats.compute_mean * 1e3);
-  std::printf("graph:    %lld vertices, version %llu, %lld compactions\n",
+  std::printf("graph:    %lld vertices (%lld dead, %lld recycled), version %llu, "
+              "%lld compactions\n",
               static_cast<long long>(session.stream().num_vertices()),
+              static_cast<long long>(stream_stats.dead_vertices),
+              static_cast<long long>(stream_stats.recycled_vertices),
               static_cast<unsigned long long>(stream_stats.version_id),
               static_cast<long long>(stream_stats.compactions));
   if (serve.cache_rows > 0) {

@@ -90,10 +90,12 @@ class HyScale {
   }
 
   /// Snapshots the current weights and starts serving over an EVOLVING
-  /// copy of the dataset's graph: ingest edges/vertices/feature updates
-  /// through session.stream(), publish versions, and queries see them
-  /// live while the compactor folds deltas into fresh CSRs in the
-  /// background.
+  /// copy of the dataset's graph: ingest edge/vertex insertions AND
+  /// deletions (add_edge/remove_edge, add_vertex/remove_vertex) plus
+  /// feature updates through session.stream(), publish versions, and
+  /// queries see them live while the compactor folds deltas — dropping
+  /// tombstoned edges and recycling deleted streamed-in ids — into
+  /// fresh CSRs in the background.
   StreamingSession stream(ServingConfig serving = {}, StreamingConfig streaming = {},
                           CompactionPolicy compaction = {}) {
     const ModelSnapshot snapshot(trainer_.model());

@@ -114,6 +114,29 @@ std::int64_t StaticFeatureCache::invalidate(std::span<const VertexId> ids) {
   return refreshed;
 }
 
+std::int64_t StaticFeatureCache::evict(std::span<const VertexId> ids) {
+  std::int64_t evicted = 0;
+  {
+    std::unique_lock rows(rows_mutex_);
+    for (VertexId v : ids) {
+      if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) continue;
+      const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
+      if (slot < 0) continue;
+      cached_[static_cast<std::size_t>(v)] = false;
+      slot_of_[static_cast<std::size_t>(v)] = -1;
+      pinned_[static_cast<std::size_t>(slot)] = -1;
+      const auto dst = device_rows_.row(slot);
+      std::fill(dst.begin(), dst.end(), 0.0f);
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    std::lock_guard totals(totals_mutex_);
+    evictions_ += evicted;
+  }
+  return evicted;
+}
+
 void StaticFeatureCache::account(const LoadStats& stats) {
   std::lock_guard totals(totals_mutex_);
   totals_.hits += stats.hits;

@@ -15,6 +15,9 @@
 // StreamingGraph::update_feature calls it after every row write, and the
 // since_invalidate() counters report hit traffic accumulated after the
 // most recent refresh — the "is anyone reading stale rows" signal.
+// Deletions go further: StreamingGraph::remove_vertex calls evict() so a
+// retracted entity's pinned row stops hitting entirely instead of being
+// refreshed — the cache must never serve features for deleted vertices.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +80,13 @@ class StaticFeatureCache {
   /// rows (StreamingGraph serialises update+invalidate pairs).
   std::int64_t invalidate(std::span<const VertexId> ids);
 
+  /// Unpins `ids` entirely: the device copies are zeroed and the
+  /// vertices stop hitting, so a deleted entity can never be served
+  /// from a stale pinned row.  Returns the number of rows evicted.
+  /// Slots are not re-admitted (the admission set is fixed at
+  /// construction; re-ranking is a tracked follow-on).
+  std::int64_t evict(std::span<const VertexId> ids);
+
   /// Folds externally-attributed traffic into totals()/since_invalidate().
   /// Used by gather paths that consult the cache row-by-row (the
   /// streaming server) instead of going through load().
@@ -109,6 +119,10 @@ class StaticFeatureCache {
     std::lock_guard<std::mutex> lock(totals_mutex_);
     return invalidated_rows_;
   }
+  std::int64_t evictions() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return evictions_;
+  }
 
  private:
   void account(const LoadStats& stats);
@@ -127,6 +141,7 @@ class StaticFeatureCache {
   LoadStats since_invalidate_;
   std::int64_t invalidations_ = 0;
   std::int64_t invalidated_rows_ = 0;
+  std::int64_t evictions_ = 0;
 };
 
 }  // namespace hyscale

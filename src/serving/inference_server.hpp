@@ -7,13 +7,17 @@
 //   ModelSnapshot replica -> scatter logits back to the requests.
 //
 // Streaming mode (construct over a StreamingGraph): every micro-batch
-// grabs the graph's latest published GraphVersion and samples base CSR +
-// delta overlay through an OverlaySampler, so queries see updates as
-// soon as they are published — while in-flight batches keep their
-// version until done (snapshot isolation per micro-batch).  Gathers go
-// through StreamingGraph::gather (cache device rows + live feature
-// store); the cache is attached for update_feature invalidation and
-// detached on server destruction.
+// grabs the graph's latest published GraphVersion and samples the live
+// adjacency (base CSR minus tombstones plus delta insertions) through
+// an OverlaySampler, so queries see insertions AND retractions as soon
+// as they are published — while in-flight batches keep their version
+// until done (snapshot isolation per micro-batch).  Deleted vertices
+// stay addressable: a query for a dead id serves the isolated,
+// zero-feature entity of the batch's version rather than erroring, so
+// racing a retraction is benign.  Gathers go through
+// StreamingGraph::gather (cache device rows + live feature store); the
+// cache is attached for update_feature invalidation / remove_vertex
+// eviction and detached on server destruction.
 //
 // Workers run as long-lived tasks on a dedicated ThreadPool
 // (common/thread_pool.hpp).  The pool is deliberately NOT

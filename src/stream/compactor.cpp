@@ -27,8 +27,15 @@ void Compactor::stop() {
 }
 
 bool Compactor::should_compact() const {
-  return graph_.overlay_edges() >= policy_.max_overlay_edges ||
-         graph_.overlay_ratio() >= policy_.max_overlay_ratio;
+  // Pending ops of either sign: tombstones cost sampling-path skips
+  // just like insertions cost merges, so both count toward the fold.
+  // Pending scrubs (op-less vertex retirements) also trigger, else
+  // their ids and feature rows would never be recycled — but only once
+  // the free pool is dry, so a sustained retirement stream batches
+  // into one fold per pool refill instead of one rebuild per death.
+  return graph_.overlay_ops() >= policy_.max_overlay_edges ||
+         graph_.overlay_ratio() >= policy_.max_overlay_ratio ||
+         (graph_.has_pending_scrubs() && graph_.recyclable_vertices() == 0);
 }
 
 void Compactor::loop() {

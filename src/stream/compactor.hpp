@@ -1,12 +1,13 @@
 // Background delta-to-CSR compaction.
 //
-// Watches a StreamingGraph's overlay and, when it exceeds a size or
-// base-ratio threshold, folds the pending delta into a fresh base CSR
-// (StreamingGraph::compact -> graph/builder) and atomically swaps
-// versions.  Keeping the overlay small bounds both the per-vertex
-// duplicate-check scans on the ingest path and the union enumeration on
-// the sampling path, which is what keeps p99 query latency flat as
-// updates accumulate.
+// Watches a StreamingGraph's overlay and, when its pending op count
+// (insertions + tombstones) exceeds a size or base-ratio threshold,
+// folds the delta into a fresh base CSR (StreamingGraph::compact ->
+// graph/builder) and atomically swaps versions.  Keeping the overlay
+// small bounds the per-vertex membership scans on the ingest path and
+// the merge/skip work on the sampling path, which is what keeps p99
+// query latency flat as updates accumulate; folding tombstones also
+// releases deleted streamed-in vertex ids for recycling.
 #pragma once
 
 #include <condition_variable>
@@ -20,8 +21,8 @@
 namespace hyscale {
 
 struct CompactionPolicy {
-  EdgeId max_overlay_edges = 1 << 15;  ///< absolute trigger
-  double max_overlay_ratio = 0.25;     ///< overlay/base edge-count trigger
+  EdgeId max_overlay_edges = 1 << 15;  ///< absolute trigger (insert + tombstone ops)
+  double max_overlay_ratio = 0.25;     ///< ops/base edge-count trigger
   Seconds poll_interval = 2e-3;
 };
 

@@ -5,59 +5,116 @@
 
 namespace hyscale {
 
-DeltaStore::DeltaStore(std::shared_ptr<const CsrGraph> base, std::size_t num_stripes)
+namespace {
+
+/// Walks equal runs of a SORTED op list and invokes fn(neighbor) for
+/// every odd-length run — the store's one membership-parity reduction,
+/// shared by snapshot() and remove_vertex() so ingest-time liveness and
+/// snapshot reduction can never desynchronize.
+template <typename Fn>
+void for_each_odd_parity_run(const std::vector<VertexId>& sorted, Fn&& fn) {
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    if (((j - i) & 1) != 0) fn(sorted[i]);
+    i = j;
+  }
+}
+
+}  // namespace
+
+DeltaStore::DeltaStore(std::shared_ptr<const CsrGraph> base, std::size_t num_stripes,
+                       bool symmetric)
     : base_(std::move(base)),
-      stripes_(std::max<std::size_t>(1, num_stripes)) {
+      stripes_(std::max<std::size_t>(1, num_stripes)),
+      symmetric_(symmetric) {
   if (!base_) throw std::invalid_argument("DeltaStore: null base graph");
   buckets_.resize(static_cast<std::size_t>(base_->num_vertices()));
+  dead_since_.resize(static_cast<std::size_t>(base_->num_vertices()), 0);
+  reclaim_floor_ = base_->num_vertices();
   num_vertices_.store(base_->num_vertices(), std::memory_order_relaxed);
 }
 
-bool DeltaStore::add_edge_unlocked(VertexId u, VertexId v) {
-  if (u < base_->num_vertices()) {
-    const auto neighbors = base_->neighbors(u);
-    if (std::find(neighbors.begin(), neighbors.end(), v) != neighbors.end()) return false;
-  }
+bool DeltaStore::base_contains(VertexId u, VertexId v) const {
+  if (u >= base_->num_vertices()) return false;
+  const auto neighbors = base_->neighbors(u);
+  return std::find(neighbors.begin(), neighbors.end(), v) != neighbors.end();
+}
 
-  Stripe& stripe = stripe_for(u);
-  std::lock_guard stripe_lock(stripe.mutex);
+bool DeltaStore::live_unlocked(VertexId u, VertexId v) const {
+  // Per-pair ops strictly alternate, so membership is base XOR parity.
+  const Bucket& bucket = buckets_[static_cast<std::size_t>(u)];
+  std::size_t pending = 0;
+  for (VertexId x : bucket.neighbors) pending += (x == v);
+  return base_contains(u, v) ^ ((pending & 1) != 0);
+}
+
+bool DeltaStore::edge_op_locked(Stripe& stripe, VertexId u, VertexId v, bool remove) {
   Bucket& bucket = buckets_[static_cast<std::size_t>(u)];
-  if (std::find(bucket.neighbors.begin(), bucket.neighbors.end(), v) != bucket.neighbors.end())
-    return false;
+  if (live_unlocked(u, v) != remove) return false;
   bucket.neighbors.push_back(v);
   bucket.epochs.push_back(epoch_.load(std::memory_order_relaxed));
+  bucket.removes.push_back(remove ? 1 : 0);
   if (!bucket.listed) {
     bucket.listed = true;
     stripe.touched.push_back(u);
   }
-  delta_edges_.fetch_add(1, std::memory_order_relaxed);
+  (remove ? delta_removes_ : delta_inserts_).fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void DeltaStore::check_range_unlocked(VertexId u, VertexId v) const {
   const VertexId n = num_vertices_.load(std::memory_order_relaxed);
   if (u < 0 || u >= n || v < 0 || v >= n)
-    throw std::invalid_argument("DeltaStore::add_edge: endpoint out of range");
+    throw std::invalid_argument("DeltaStore: edge endpoint out of range");
 }
 
-bool DeltaStore::add_edge(VertexId u, VertexId v) {
+bool DeltaStore::edge_op(VertexId u, VertexId v, bool remove) {
   if (u == v) return false;
   std::shared_lock structure(structure_mutex_);
   check_range_unlocked(u, v);
-  return add_edge_unlocked(u, v);
+  // Inserts require live endpoints; removals are decided by membership
+  // alone, so a dangling directed in-edge of a dead vertex (possible
+  // only under asymmetric ingest) stays retractable.
+  if (!remove && (dead_unlocked(u) || dead_unlocked(v))) return false;
+  Stripe& stripe = stripe_for(u);
+  std::lock_guard stripe_lock(stripe.mutex);
+  return edge_op_locked(stripe, u, v, remove);
 }
 
-int DeltaStore::add_edge_pair(VertexId u, VertexId v) {
+bool DeltaStore::add_edge(VertexId u, VertexId v) { return edge_op(u, v, /*remove=*/false); }
+
+bool DeltaStore::remove_edge(VertexId u, VertexId v) { return edge_op(u, v, /*remove=*/true); }
+
+int DeltaStore::edge_pair_op(VertexId u, VertexId v, bool remove) {
   if (u == v) return 0;
   const VertexId lo = std::min(u, v);
   const VertexId hi = std::max(u, v);
-  // One shared section for both directions: a snapshot (exclusive) sees
-  // either neither direction or both.  Stripe locks are taken one at a
-  // time, never nested, so no ordering cycle is possible.
   std::shared_lock structure(structure_mutex_);
   check_range_unlocked(lo, hi);
-  if (!add_edge_unlocked(lo, hi)) return 0;
-  return add_edge_unlocked(hi, lo) ? 2 : 1;
+  if (!remove && (dead_unlocked(lo) || dead_unlocked(hi))) return 0;
+  // Both stripes for the whole pair: a racing opposite-sign pair op on
+  // the same {u, v} serialises entirely before or after this one, so
+  // the two directions can never diverge.  std::scoped_lock orders the
+  // acquisitions deadlock-free.
+  Stripe& a = stripe_for(lo);
+  Stripe& b = stripe_for(hi);
+  if (&a == &b) {
+    std::lock_guard lock(a.mutex);
+    if (!edge_op_locked(a, lo, hi, remove)) return 0;
+    return edge_op_locked(b, hi, lo, remove) ? 2 : 1;
+  }
+  std::scoped_lock lock(a.mutex, b.mutex);
+  if (!edge_op_locked(a, lo, hi, remove)) return 0;
+  return edge_op_locked(b, hi, lo, remove) ? 2 : 1;
+}
+
+int DeltaStore::add_edge_pair(VertexId u, VertexId v) {
+  return edge_pair_op(u, v, /*remove=*/false);
+}
+
+int DeltaStore::remove_edge_pair(VertexId u, VertexId v) {
+  return edge_pair_op(u, v, /*remove=*/true);
 }
 
 VertexId DeltaStore::add_vertices(std::int64_t count) {
@@ -65,8 +122,94 @@ VertexId DeltaStore::add_vertices(std::int64_t count) {
   std::unique_lock structure(structure_mutex_);
   const VertexId first = num_vertices_.load(std::memory_order_relaxed);
   buckets_.resize(buckets_.size() + static_cast<std::size_t>(count));
+  dead_since_.resize(dead_since_.size() + static_cast<std::size_t>(count), 0);
   num_vertices_.store(first + count, std::memory_order_relaxed);
   return first;
+}
+
+std::int64_t DeltaStore::remove_vertex(VertexId v) {
+  std::unique_lock structure(structure_mutex_);
+  const VertexId n = num_vertices_.load(std::memory_order_relaxed);
+  if (v < 0 || v >= n) throw std::invalid_argument("DeltaStore::remove_vertex: id out of range");
+  if (dead_unlocked(v)) return -1;
+
+  // Live adjacency of v: base neighbors not tombstoned by an
+  // odd-parity pending run, plus odd-parity pending inserts.
+  Bucket& bucket = buckets_[static_cast<std::size_t>(v)];
+  std::vector<VertexId> pending(bucket.neighbors);
+  std::sort(pending.begin(), pending.end());
+  std::vector<VertexId> live;
+  std::vector<VertexId> tombstoned;
+  for_each_odd_parity_run(pending, [&](VertexId u) {
+    (base_contains(v, u) ? tombstoned : live).push_back(u);
+  });
+  if (v < base_->num_vertices()) {
+    for (VertexId u : base_->neighbors(v)) {
+      if (!std::binary_search(tombstoned.begin(), tombstoned.end(), u)) live.push_back(u);
+    }
+  }
+
+  const Epoch now = epoch_.load(std::memory_order_relaxed);
+  auto append = [&](VertexId from, VertexId to) {
+    Bucket& b = buckets_[static_cast<std::size_t>(from)];
+    b.neighbors.push_back(to);
+    b.epochs.push_back(now);
+    b.removes.push_back(1);
+    if (!b.listed) {
+      b.listed = true;
+      stripe_for(from).touched.push_back(from);
+    }
+  };
+  std::int64_t retracted = 0;
+  for (VertexId u : live) {
+    append(v, u);
+    ++retracted;
+    // The reverse direction is retracted only when it actually exists:
+    // over an asymmetric base (or directed ingest) u -> v may not be
+    // live, and a tombstone for a non-edge would reduce to a phantom
+    // INSERT at the next snapshot.  In-edges of v with no live v -> u
+    // counterpart are not discoverable from v's adjacency and stay —
+    // symmetric deployments (every dataset here) never have any.
+    if (live_unlocked(u, v)) {
+      append(u, v);
+      ++retracted;
+    }
+  }
+  delta_removes_.fetch_add(static_cast<EdgeId>(retracted), std::memory_order_relaxed);
+
+  dead_since_[static_cast<std::size_t>(v)] = now;
+  dead_pos_.emplace(v, dead_list_.size());
+  dead_list_.push_back(v);
+  // Recycling is only safe when retirement provably scrubbed every
+  // reference — guaranteed by symmetric adjacency, not by directed
+  // ingest (an undiscovered in-edge would be inherited by the reuser).
+  if (symmetric_ && v >= reclaim_floor_) pending_dead_.push_back(v);
+  return retracted;
+}
+
+bool DeltaStore::is_dead(VertexId v) const {
+  std::shared_lock structure(structure_mutex_);
+  if (v < 0 || v >= num_vertices_.load(std::memory_order_relaxed)) return false;
+  return dead_unlocked(v);
+}
+
+VertexId DeltaStore::reclaim_vertex() {
+  std::unique_lock structure(structure_mutex_);
+  if (free_ids_.empty()) return -1;
+  const VertexId v = free_ids_.back();
+  free_ids_.pop_back();
+  dead_since_[static_cast<std::size_t>(v)] = 0;
+  // Swap-remove via the position index: dataset-vertex deaths stay on
+  // the list forever, so a linear find would degrade every recycle.
+  const auto it = dead_pos_.find(v);
+  const std::size_t slot = it->second;
+  dead_pos_.erase(it);
+  if (slot + 1 != dead_list_.size()) {
+    dead_list_[slot] = dead_list_.back();
+    dead_pos_[dead_list_[slot]] = slot;
+  }
+  dead_list_.pop_back();
+  return v;
 }
 
 DeltaStore::Snapshot DeltaStore::snapshot(bool advance_epoch) {
@@ -74,24 +217,44 @@ DeltaStore::Snapshot DeltaStore::snapshot(bool advance_epoch) {
   Snapshot snap;
   snap.epoch = epoch_.load(std::memory_order_relaxed);
   snap.num_vertices = num_vertices_.load(std::memory_order_relaxed);
-  snap.offsets.push_back(0);
+  snap.insert_offsets.push_back(0);
+  snap.remove_offsets.push_back(0);
+  std::vector<VertexId> ops;
   for (const Stripe& stripe : stripes_) {
     for (VertexId v : stripe.touched) {
       const Bucket& bucket = buckets_[static_cast<std::size_t>(v)];
       if (bucket.neighbors.empty()) continue;
+      // Reduce the op log to its net effect: odd parity flips base
+      // membership (base edge -> tombstone, non-base -> insertion);
+      // even parity cancels out.  Processing the sorted copy run by run
+      // leaves each per-vertex span sorted — the property the overlay's
+      // merged-adjacency iteration relies on.
+      snap.raw_ops += static_cast<EdgeId>(bucket.neighbors.size());
+      ops.assign(bucket.neighbors.begin(), bucket.neighbors.end());
+      std::sort(ops.begin(), ops.end());
+      const std::size_t inserts_before = snap.inserts.size();
+      const std::size_t removes_before = snap.removes.size();
+      for_each_odd_parity_run(ops, [&](VertexId u) {
+        (base_contains(v, u) ? snap.removes : snap.inserts).push_back(u);
+      });
+      if (snap.inserts.size() == inserts_before && snap.removes.size() == removes_before)
+        continue;  // all ops cancelled — no net change for v
       snap.touched.push_back(v);
-      snap.neighbors.insert(snap.neighbors.end(), bucket.neighbors.begin(),
-                            bucket.neighbors.end());
-      snap.offsets.push_back(static_cast<EdgeId>(snap.neighbors.size()));
+      snap.insert_offsets.push_back(static_cast<EdgeId>(snap.inserts.size()));
+      snap.remove_offsets.push_back(static_cast<EdgeId>(snap.removes.size()));
     }
   }
-  snap.num_edges = static_cast<EdgeId>(snap.neighbors.size());
+  snap.num_inserts = static_cast<EdgeId>(snap.inserts.size());
+  snap.num_removes = static_cast<EdgeId>(snap.removes.size());
+  snap.dead = dead_list_;
+  std::sort(snap.dead.begin(), snap.dead.end());
   if (advance_epoch) epoch_.fetch_add(1, std::memory_order_relaxed);
   return snap;
 }
 
 void DeltaStore::truncate_unlocked(Epoch epoch) {
-  EdgeId removed = 0;
+  EdgeId dropped_inserts = 0;
+  EdgeId dropped_removes = 0;
   for (Stripe& stripe : stripes_) {
     std::vector<VertexId> survivors;
     for (VertexId v : stripe.touched) {
@@ -100,10 +263,18 @@ void DeltaStore::truncate_unlocked(Epoch epoch) {
       const auto cut = std::upper_bound(bucket.epochs.begin(), bucket.epochs.end(), epoch);
       const auto count = static_cast<std::size_t>(cut - bucket.epochs.begin());
       if (count > 0) {
+        for (std::size_t i = 0; i < count; ++i) {
+          if (bucket.removes[i] != 0) {
+            ++dropped_removes;
+          } else {
+            ++dropped_inserts;
+          }
+        }
         bucket.neighbors.erase(bucket.neighbors.begin(),
                                bucket.neighbors.begin() + static_cast<std::ptrdiff_t>(count));
         bucket.epochs.erase(bucket.epochs.begin(), cut);
-        removed += static_cast<EdgeId>(count);
+        bucket.removes.erase(bucket.removes.begin(),
+                             bucket.removes.begin() + static_cast<std::ptrdiff_t>(count));
       }
       if (bucket.neighbors.empty()) {
         bucket.listed = false;
@@ -113,7 +284,8 @@ void DeltaStore::truncate_unlocked(Epoch epoch) {
     }
     stripe.touched = std::move(survivors);
   }
-  delta_edges_.fetch_sub(removed, std::memory_order_relaxed);
+  delta_inserts_.fetch_sub(dropped_inserts, std::memory_order_relaxed);
+  delta_removes_.fetch_sub(dropped_removes, std::memory_order_relaxed);
 }
 
 void DeltaStore::truncate(Epoch epoch) {
@@ -128,6 +300,19 @@ void DeltaStore::rebase(std::shared_ptr<const CsrGraph> base, Epoch merged_up_to
     throw std::invalid_argument("DeltaStore::rebase: base larger than vertex space");
   base_ = std::move(base);
   truncate_unlocked(merged_up_to);
+  // Deaths folded by this compaction are fully scrubbed: the merged
+  // base isolates the vertex and the truncate above dropped every op
+  // that referenced it (all were stamped <= the death epoch).  The id
+  // is now safe to hand back to add_vertex.
+  auto pending = pending_dead_.begin();
+  for (auto it = pending_dead_.begin(); it != pending_dead_.end(); ++it) {
+    if (dead_since_[static_cast<std::size_t>(*it)] <= merged_up_to) {
+      free_ids_.push_back(*it);
+    } else {
+      *pending++ = *it;
+    }
+  }
+  pending_dead_.erase(pending, pending_dead_.end());
 }
 
 std::shared_ptr<const CsrGraph> DeltaStore::base() const {
@@ -137,7 +322,26 @@ std::shared_ptr<const CsrGraph> DeltaStore::base() const {
 
 VertexId DeltaStore::num_vertices() const { return num_vertices_.load(std::memory_order_relaxed); }
 
-EdgeId DeltaStore::delta_edges() const { return delta_edges_.load(std::memory_order_relaxed); }
+EdgeId DeltaStore::delta_edges() const { return delta_inserts_.load(std::memory_order_relaxed); }
+
+EdgeId DeltaStore::delta_removes() const { return delta_removes_.load(std::memory_order_relaxed); }
+
+EdgeId DeltaStore::delta_ops() const { return delta_edges() + delta_removes(); }
+
+std::int64_t DeltaStore::dead_vertices() const {
+  std::shared_lock structure(structure_mutex_);
+  return static_cast<std::int64_t>(dead_list_.size());
+}
+
+std::int64_t DeltaStore::recyclable_vertices() const {
+  std::shared_lock structure(structure_mutex_);
+  return static_cast<std::int64_t>(free_ids_.size());
+}
+
+bool DeltaStore::has_pending_scrubs() const {
+  std::shared_lock structure(structure_mutex_);
+  return !pending_dead_.empty();
+}
 
 Epoch DeltaStore::epoch() const { return epoch_.load(std::memory_order_relaxed); }
 

@@ -1,27 +1,42 @@
-// Per-vertex insertion buffers for streaming graph updates.
+// Per-vertex edge-operation buffers for streaming graph updates —
+// insertions AND deletions.
 //
-// The DeltaStore absorbs edge/vertex insertions that arrive while the
-// immutable base CSR keeps serving readers.  Writes go through a
-// lock-striped path (vertex id -> stripe mutex) so concurrent ingest
-// threads rarely contend, and every accepted edge is stamped with the
-// store's current epoch.  Epochs advance when a snapshot is taken, which
-// gives the compactor an exact cut: all edges stamped <= E were captured
-// by the snapshot at epoch E and can be truncated after the merge, while
-// later arrivals (stamped > E) survive in the buffers.
+// The DeltaStore absorbs edge/vertex mutations that arrive while the
+// immutable base CSR keeps serving readers.  Each accepted mutation is
+// an epoch-stamped, signed OP appended to the owning vertex's bucket:
+// (+, v) inserts a directed edge, (−, v) retracts one (a tombstone).
+// Ops are append-only — a deletion never erases the insertion it
+// cancels, it counter-records it — which is what makes deletions safe
+// against an in-flight compaction: a snapshot at epoch E captures
+// exactly the op prefix stamped <= E, the compactor folds that prefix
+// into a fresh base, and the surviving suffix (stamped > E) applies
+// identically against old base + prefix or the merged base.  Erasing a
+// captured record instead would silently resurrect (or re-lose) the
+// edge after the rebase — the classic delete-racing-compaction bug the
+// differential tests pin down.
 //
-// The store owns the base CSR pointer so the duplicate check (edge
-// already in base or pending) always runs against the base that the
-// pending buffers overlay.  rebase() swaps in a freshly compacted base
-// and truncates the merged prefix in ONE exclusive section — the
-// ordering that makes ingest-during-compaction duplicate-free.
+// Ingest-time validation keeps per-pair ops strictly alternating: an
+// insert is accepted only when the directed edge is currently dead
+// (absent from base XOR flipped by pending ops), a removal only when it
+// is currently live.  Membership of (u, v) is therefore always
+// base_has(u, v) XOR parity(pending ops for v in bucket u) — reduction
+// to the overlay view is a per-neighbor parity count, no op ordering
+// required.
+//
+// Vertex deletions (remove_vertex) retract every live incident edge in
+// both directions inside one exclusive section and mark the id dead;
+// dead ids reject further edge ops.  After a compaction has folded the
+// death (merged_up_to >= death epoch), streamed-in ids become
+// recyclable: reclaim_vertex() hands them back so add_vertex can reuse
+// the feature row instead of growing the extension area forever.
 //
 // Synchronisation model: a shared_mutex arbitrates between ingest
 // (shared + per-stripe mutex) and structural operations — snapshot,
-// truncate, rebase, add_vertices — which take it exclusively.  An
-// exclusive section is therefore a true linearisation point across all
-// vertices: add_edge_pair inserts both directions of an undirected edge
-// inside one shared section, so a snapshot can never observe the pair
-// half-inserted.
+// truncate, rebase, add_vertices, remove_vertex, reclaim_vertex — which
+// take it exclusively.  Pair operations (add_edge_pair /
+// remove_edge_pair) hold BOTH endpoint stripes for the whole pair, so
+// concurrent add/remove races on the same undirected edge can never
+// leave it half-present.
 #pragma once
 
 #include <atomic>
@@ -29,103 +44,181 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/csr.hpp"
 
 namespace hyscale {
 
-/// Monotone update-cut counter; every delta edge carries the epoch it
+/// Monotone update-cut counter; every delta op carries the epoch it
 /// arrived in.
 using Epoch = std::uint64_t;
 
 class DeltaStore {
  public:
-  explicit DeltaStore(std::shared_ptr<const CsrGraph> base, std::size_t num_stripes = 64);
+  /// `symmetric` declares that callers keep the adjacency symmetric
+  /// (pair ops only).  Only then does remove_vertex provably scrub
+  /// every reference to the dead id, so id recycling is gated on it:
+  /// with `symmetric = false` retired ids are never reused (a pending
+  /// directed in-edge is not discoverable from the dead vertex's
+  /// bucket and would be inherited by the recycled entity).
+  explicit DeltaStore(std::shared_ptr<const CsrGraph> base, std::size_t num_stripes = 64,
+                      bool symmetric = true);
 
   DeltaStore(const DeltaStore&) = delete;
   DeltaStore& operator=(const DeltaStore&) = delete;
 
-  /// Appends v to u's insertion buffer, stamped with the current epoch.
-  /// Returns false — and leaves the store untouched — when the edge is a
-  /// self loop, already present in the base, or already pending in the
-  /// delta.  Base adjacency is scanned linearly per call; delta buffers
-  /// are bounded by compaction, base degrees by the graph.
+  /// Appends an insert op (u -> v) stamped with the current epoch.
+  /// Returns false — and leaves the store untouched — when the edge is
+  /// a self loop, currently live (in base and not tombstoned, or
+  /// pending in the delta), or either endpoint is dead.  Throws on
+  /// out-of-range ids.
   bool add_edge(VertexId u, VertexId v);
 
-  /// Inserts BOTH directions of undirected edge {u, v} inside one shared
-  /// critical section, so an (exclusive) snapshot can never observe the
-  /// pair half-inserted.  min(u,v) -> max(u,v) goes first: concurrent
-  /// inserts of the same pair serialise on that stripe entry and exactly
-  /// one writes the reverse.  Returns the number of directed edges that
-  /// landed: 0 (duplicate/self loop) or 2 (1 only if the base itself is
+  /// Appends a remove op (tombstone) for directed edge u -> v.  Returns
+  /// false when the edge is not currently live (double delete, never
+  /// existed).  Removing a pending (unpublished) insertion is valid:
+  /// the counter-op cancels it at the next reduction.  Unlike inserts,
+  /// removals do NOT require live endpoints — retracting a dangling
+  /// directed in-edge of a dead vertex is cleanup, not mutation.
+  bool remove_edge(VertexId u, VertexId v);
+
+  /// Inserts BOTH directions of undirected edge {u, v} while holding
+  /// both endpoint stripes, so a concurrent remove_edge_pair (or an
+  /// exclusive snapshot) can never observe the pair half-inserted.
+  /// Returns the number of directed edges that landed: 0
+  /// (live/self-loop/dead endpoint) or 2 (1 only if the base itself is
   /// asymmetric, which no dataset here produces).
   int add_edge_pair(VertexId u, VertexId v);
+
+  /// Tombstones BOTH directions of undirected edge {u, v} under both
+  /// stripes.  Returns 0 (not live / dead endpoint) or 2 (1 only over
+  /// an asymmetric base).
+  int remove_edge_pair(VertexId u, VertexId v);
 
   /// Extends the vertex space by `count` empty vertices; returns the
   /// first new id.  New vertices have no base adjacency until a
   /// compaction folds them into a fresh CSR.
   VertexId add_vertices(std::int64_t count);
 
-  /// Point-in-time copy of every insertion buffer, taken under the
-  /// exclusive lock (single linearisation point).  With `advance_epoch`,
-  /// the store epoch is bumped inside the same critical section, so the
-  /// snapshot holds exactly the edges stamped <= its `epoch`.
+  /// Retracts every live edge incident to v — each live out-edge plus
+  /// its reverse when that direction is itself live (always, over a
+  /// symmetric base) — and marks v dead: further edge ops touching v
+  /// are rejected and v's live out-degree is 0 from the next snapshot
+  /// on.  Returns the number of directed removals appended, or -1 when
+  /// v is already dead.  Throws on out-of-range ids.  Exclusive
+  /// (structural) operation.
+  std::int64_t remove_vertex(VertexId v);
+
+  /// Whether v has been retired by remove_vertex (false for ids out of
+  /// range).  Recycled ids read alive again.
+  bool is_dead(VertexId v) const;
+
+  /// Pops a recyclable id — a streamed-in vertex whose death has been
+  /// fully folded by a compaction (so no base adjacency, no pending
+  /// ops, and no other bucket still references it) — marks it alive
+  /// again and returns it; -1 when none is available.  The caller owns
+  /// re-initialising the feature row.
+  VertexId reclaim_vertex();
+
+  /// Point-in-time REDUCED view of the pending ops, taken under the
+  /// exclusive lock (single linearisation point): per touched vertex,
+  /// the net insertions (sorted, disjoint from base) and net removals
+  /// (sorted, subset of base adjacency).  Ops that cancelled out
+  /// (insert-then-delete of the same pair) reduce to nothing.  With
+  /// `advance_epoch`, the store epoch is bumped inside the same
+  /// critical section, so the snapshot covers exactly the ops stamped
+  /// <= its `epoch`.
   struct Snapshot {
-    Epoch epoch = 0;               ///< all captured edges are stamped <= this
-    VertexId num_vertices = 0;     ///< vertex space at capture time
-    EdgeId num_edges = 0;
-    std::vector<VertexId> touched;    ///< vertices with >= 1 pending edge
-    std::vector<EdgeId> offsets;      ///< size touched.size() + 1
-    std::vector<VertexId> neighbors;  ///< flat adjacency, grouped by touched[i]
+    Epoch epoch = 0;            ///< all covered ops are stamped <= this
+    VertexId num_vertices = 0;  ///< vertex space at capture time
+    EdgeId raw_ops = 0;         ///< unreduced op records captured (incl. cancelled pairs)
+    EdgeId num_inserts = 0;     ///< net inserted directed edges
+    EdgeId num_removes = 0;     ///< net tombstoned directed edges
+    std::vector<VertexId> touched;        ///< vertices with a net change
+    std::vector<EdgeId> insert_offsets;   ///< size touched.size() + 1
+    std::vector<VertexId> inserts;        ///< sorted per touched vertex
+    std::vector<EdgeId> remove_offsets;   ///< size touched.size() + 1
+    std::vector<VertexId> removes;        ///< sorted per touched vertex
+    std::vector<VertexId> dead;           ///< dead vertex ids, sorted
   };
   Snapshot snapshot(bool advance_epoch);
 
-  /// Removes every delta edge stamped <= `epoch`.  Within a buffer,
+  /// Removes every pending op stamped <= `epoch`.  Within a bucket,
   /// stamps are nondecreasing (appends happen in epoch order), so the
-  /// removed edges always form a prefix.
+  /// removed ops always form a prefix.
   void truncate(Epoch epoch);
 
-  /// Compaction install: atomically replaces the base (which now
-  /// contains every delta edge stamped <= `merged_up_to`) and truncates
-  /// that prefix, so no edge is ever both absent from the duplicate
-  /// check's base and absent from the buffers.
+  /// Compaction install: atomically replaces the base (which now has
+  /// every op stamped <= `merged_up_to` applied — insertions added,
+  /// tombstoned edges dropped) and truncates that prefix, so no edge is
+  /// ever both absent from the membership check's base and absent from
+  /// the buffers.  Dead streamed-in vertices whose death epoch is
+  /// covered become recyclable.
   void rebase(std::shared_ptr<const CsrGraph> base, Epoch merged_up_to);
 
-  /// The base the pending buffers overlay.
+  /// The base the pending ops overlay.
   std::shared_ptr<const CsrGraph> base() const;
 
   VertexId num_vertices() const;
-  EdgeId delta_edges() const;
+  EdgeId delta_edges() const;    ///< pending insert ops
+  EdgeId delta_removes() const;  ///< pending remove ops (tombstones)
+  EdgeId delta_ops() const;      ///< inserts + removes — the compaction trigger
+  std::int64_t dead_vertices() const;
+  std::int64_t recyclable_vertices() const;
+  /// Dead streamed-in ids still waiting for a compaction to fold their
+  /// death (compact even when no edge ops are pending).
+  bool has_pending_scrubs() const;
   Epoch epoch() const;
   std::size_t num_stripes() const { return stripes_.size(); }
 
  private:
-  /// One vertex's pending adjacency.  `epochs` parallels `neighbors`.
+  /// One vertex's pending op log.  `epochs` and `removes` parallel
+  /// `neighbors`; removes[i] != 0 marks op i as a tombstone.
   struct Bucket {
     std::vector<VertexId> neighbors;
     std::vector<Epoch> epochs;
+    std::vector<std::uint8_t> removes;
     bool listed = false;  ///< already on its stripe's touched list
   };
   struct Stripe {
     std::mutex mutex;
-    std::vector<VertexId> touched;  ///< vertices of this stripe with pending edges
+    std::vector<VertexId> touched;  ///< vertices of this stripe with pending ops
   };
 
   Stripe& stripe_for(VertexId v) {
     return stripes_[static_cast<std::size_t>(v) % stripes_.size()];
   }
-  /// Callers hold structure_mutex_ (shared suffices).
-  bool add_edge_unlocked(VertexId u, VertexId v);
+  bool base_contains(VertexId u, VertexId v) const;
+  /// Current membership of directed edge u -> v (base XOR pending-op
+  /// parity).  Caller holds structure_mutex_ and, for shared holders,
+  /// u's stripe.
+  bool live_unlocked(VertexId u, VertexId v) const;
+  /// Caller holds structure_mutex_ (shared suffices) AND u's stripe.
+  bool edge_op_locked(Stripe& stripe, VertexId u, VertexId v, bool remove);
+  bool edge_op(VertexId u, VertexId v, bool remove);
+  int edge_pair_op(VertexId u, VertexId v, bool remove);
   void check_range_unlocked(VertexId u, VertexId v) const;
+  bool dead_unlocked(VertexId v) const {
+    return dead_since_[static_cast<std::size_t>(v)] != 0;
+  }
   void truncate_unlocked(Epoch epoch);
 
   mutable std::shared_mutex structure_mutex_;  ///< shared: ingest; exclusive: structural ops
   std::shared_ptr<const CsrGraph> base_;       ///< swapped only under the exclusive lock
   std::vector<Bucket> buckets_;                ///< one per vertex (base + streamed)
   std::vector<Stripe> stripes_;
+  std::vector<Epoch> dead_since_;      ///< 0 = alive (epochs start at 1)
+  std::vector<VertexId> dead_list_;    ///< all currently-dead ids (unsorted, swap-removed)
+  std::unordered_map<VertexId, std::size_t> dead_pos_;  ///< id -> dead_list_ slot
+  std::vector<VertexId> pending_dead_; ///< dead streamed-in ids awaiting a folding compaction
+  std::vector<VertexId> free_ids_;     ///< scrubbed ids ready for reclaim_vertex()
+  VertexId reclaim_floor_ = 0;         ///< ids below this (dataset vertices) never recycle
+  bool symmetric_ = true;              ///< adjacency kept symmetric -> recycling is safe
   std::atomic<Epoch> epoch_{1};
-  std::atomic<EdgeId> delta_edges_{0};
+  std::atomic<EdgeId> delta_inserts_{0};
+  std::atomic<EdgeId> delta_removes_{0};
   std::atomic<VertexId> num_vertices_{0};
 };
 

@@ -42,8 +42,46 @@ std::int64_t MutableFeatureStore::append_row(std::span<const float> values) {
     throw std::invalid_argument("MutableFeatureStore::append_row: wrong row length");
   std::unique_lock lock(mutex_);
   extension_.insert(extension_.end(), values.begin(), values.end());
+  released_.push_back(0);
   ++extension_rows_;
   return base_rows_ + extension_rows_ - 1;
+}
+
+void MutableFeatureStore::release_row(VertexId v) {
+  std::unique_lock lock(mutex_);
+  if (v < 0 || v >= base_rows_ + extension_rows_)
+    throw std::out_of_range("MutableFeatureStore: row out of range");
+  float* dst = v < base_rows_
+                   ? base_.row(v).data()
+                   : extension_.data() + static_cast<std::size_t>((v - base_rows_) * cols_);
+  std::fill(dst, dst + cols_, 0.0f);
+  if (v >= base_rows_) {
+    char& flag = released_[static_cast<std::size_t>(v - base_rows_)];
+    if (flag == 0) {
+      flag = 1;
+      ++released_count_;
+    }
+  }
+}
+
+void MutableFeatureStore::reuse_row(VertexId v, std::span<const float> values) {
+  if (static_cast<std::int64_t>(values.size()) != cols_)
+    throw std::invalid_argument("MutableFeatureStore::reuse_row: wrong row length");
+  std::unique_lock lock(mutex_);
+  if (v < base_rows_ || v >= base_rows_ + extension_rows_)
+    throw std::logic_error("MutableFeatureStore::reuse_row: not an extension row");
+  char& flag = released_[static_cast<std::size_t>(v - base_rows_)];
+  if (flag == 0)
+    throw std::logic_error("MutableFeatureStore::reuse_row: row was not released");
+  flag = 0;
+  --released_count_;
+  std::copy(values.begin(), values.end(),
+            extension_.begin() + static_cast<std::ptrdiff_t>((v - base_rows_) * cols_));
+}
+
+std::int64_t MutableFeatureStore::released_rows() const {
+  std::shared_lock lock(mutex_);
+  return released_count_;
 }
 
 void MutableFeatureStore::copy_row(VertexId v, std::span<float> dst) const {

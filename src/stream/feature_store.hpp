@@ -6,6 +6,12 @@
 // against row updates and appends (exclusive) so serving workers never
 // read a row mid-write — the property the TSan CI job checks.
 //
+// Deleted vertices release their rows: release_row() zero-fills (so a
+// retracted entity can only ever gather zeros) and, for extension rows,
+// marks the slot reclaimable; reuse_row() re-initialises a released
+// extension row when StreamingGraph recycles the vertex id.  Base rows
+// are zeroed but never reclaimed — their ids are permanent.
+//
 // All writes to base rows must go through StreamingGraph::update_feature
 // so the StaticFeatureCache invalidation hook fires; this class only
 // enforces the memory-safety half of that contract.
@@ -42,6 +48,19 @@ class MutableFeatureStore {
   /// Appends one extension row; returns its row index (== old rows()).
   std::int64_t append_row(std::span<const float> values);
 
+  /// Reclaims row v for a deleted vertex: zero-fills it so gathers of
+  /// the retracted entity serve zeros, and (extension rows only) marks
+  /// it reusable by reuse_row().  Idempotent per release/reuse cycle.
+  void release_row(VertexId v);
+
+  /// Re-initialises a released extension row for a recycled vertex id.
+  /// Throws std::logic_error when v is a base row or was not released —
+  /// recycling must only hand out scrubbed ids.
+  void reuse_row(VertexId v, std::span<const float> values);
+
+  /// Extension rows currently released and awaiting reuse.
+  std::int64_t released_rows() const;
+
   /// Copies row v into `dst` (size cols()).
   void copy_row(VertexId v, std::span<float> dst) const;
 
@@ -56,8 +75,10 @@ class MutableFeatureStore {
 
   Tensor base_;
   std::vector<float> extension_;  ///< appended rows, row-major
+  std::vector<char> released_;    ///< per extension row: awaiting reuse
   std::int64_t base_rows_ = 0;
   std::int64_t extension_rows_ = 0;
+  std::int64_t released_count_ = 0;
   std::int64_t cols_ = 0;
   mutable std::shared_mutex mutex_;
 };

@@ -41,8 +41,11 @@ OverlaySampler::Frontier OverlaySampler::expand(const std::vector<VertexId>& dst
 
   Xoshiro256 rng(splitmix64(stream_));
   for (VertexId v : dst) {
-    // The virtual neighbor list is base followed by overlay; uniform
-    // sampling over it is exactly uniform over the rebuilt adjacency.
+    // The virtual neighbor list is the version's merged live adjacency
+    // (base minus tombstones plus insertions, sorted) — element for
+    // element what a rebuilt CSR would store, so the partial
+    // Fisher-Yates below draws the same sample a NeighborSampler over
+    // the rebuild would.
     combined_.clear();
     version_->append_neighbors(v, combined_);
     const auto degree = static_cast<std::int64_t>(combined_.size());

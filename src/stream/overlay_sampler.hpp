@@ -1,13 +1,18 @@
 // GraphSAGE neighbor sampler over a versioned dynamic graph.
 //
-// Draws uniform without-replacement neighbor samples from the UNION of a
-// GraphVersion's base CSR adjacency and its delta overlay, with correct
-// degree weighting: a vertex with b base and d overlay neighbors is
-// sampled exactly as if the b+d edges lived in one rebuilt CSR.  The
-// expansion mirrors NeighborSampler (same partial Fisher-Yates, same RNG
-// stream discipline), so with an empty overlay the produced MiniBatch is
-// bit-identical to NeighborSampler over the base graph — the equivalence
-// the distribution tests pin down.
+// Draws uniform without-replacement neighbor samples from a
+// GraphVersion's LIVE adjacency — base CSR minus tombstones, merged
+// with the delta insertions — with correct degree weighting: a vertex
+// with b base, t tombstoned and d inserted neighbors is sampled exactly
+// as if its b - t + d live edges lived in one rebuilt CSR.  Because the
+// version's merged adjacency is element-identical to a from-scratch
+// build_csr over the live edge set, and the expansion mirrors
+// NeighborSampler (same partial Fisher-Yates, same RNG stream
+// discipline), the produced MiniBatch is BIT-IDENTICAL to
+// NeighborSampler over the rebuilt CSR for any fanout and seed — the
+// invariant the stream-vs-rebuild differential harness asserts at every
+// publish point (and, with an empty overlay, the original
+// base-equivalence the distribution tests pin down).
 //
 // The sampler is single-threaded like NeighborSampler; serving workers
 // each own one and point it at the latest published version per

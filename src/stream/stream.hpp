@@ -1,12 +1,15 @@
 // Umbrella header for the streaming dynamic-graph subsystem.
 //
-//   DeltaStore          — epoch-stamped, lock-striped insertion buffers
-//   GraphVersion        — immutable base-CSR + overlay snapshot
-//   StreamingGraph      — ingest, copy-on-publish versions, compaction
-//   MutableFeatureStore — row-updatable / growable feature storage
-//   OverlaySampler      — degree-correct sampling over base + overlay
+//   DeltaStore          — epoch-stamped, lock-striped edge-op buffers
+//                         (insertions + tombstones, dead vertices)
+//   GraphVersion        — immutable base-CSR + overlay snapshot; live
+//                         adjacency = base minus tombstones plus inserts
+//   StreamingGraph      — ingest/retract, copy-on-publish versions,
+//                         tombstone-folding compaction, id recycling
+//   MutableFeatureStore — row-updatable / growable / reclaimable storage
+//   OverlaySampler      — degree-correct sampling over the live adjacency
 //   Compactor           — background delta -> fresh-CSR merges
-//   UpdateGenerator     — seeded mixed update-stream driver
+//   UpdateGenerator     — seeded mixed insert/delete/update driver
 #pragma once
 
 #include "stream/compactor.hpp"

@@ -16,59 +16,118 @@ GraphVersion::GraphVersion(std::shared_ptr<const CsrGraph> base, EdgeId base_max
                            DeltaStore::Snapshot overlay, std::uint64_t id)
     : base_(std::move(base)),
       num_vertices_(overlay.num_vertices),
-      overlay_edges_(overlay.num_edges),
+      inserted_edges_(overlay.num_inserts),
+      removed_edges_(overlay.num_removes),
       max_degree_(base_max_degree),
       epoch_(overlay.epoch),
       id_(id),
-      overlay_touched_(std::move(overlay.touched)),
-      overlay_offsets_(std::move(overlay.offsets)),
-      overlay_indices_(std::move(overlay.neighbors)) {
-  slot_of_.reserve(overlay_touched_.size());
-  for (std::size_t s = 0; s < overlay_touched_.size(); ++s) {
-    slot_of_.emplace(overlay_touched_[s], static_cast<std::int64_t>(s));
-    const VertexId v = overlay_touched_[s];
-    max_degree_ = std::max(max_degree_,
-                           base_degree(v) + (overlay_offsets_[s + 1] - overlay_offsets_[s]));
+      touched_(std::move(overlay.touched)),
+      insert_offsets_(std::move(overlay.insert_offsets)),
+      inserts_(std::move(overlay.inserts)),
+      remove_offsets_(std::move(overlay.remove_offsets)),
+      removes_(std::move(overlay.removes)),
+      dead_(std::move(overlay.dead)) {
+  slot_of_.reserve(touched_.size());
+  for (std::size_t s = 0; s < touched_.size(); ++s) {
+    slot_of_.emplace(touched_[s], static_cast<std::int64_t>(s));
+    // Live degree is exact for touched vertices; untouched vertices
+    // keep their base degree, so max(base max, touched live degrees) is
+    // a valid upper bound for full-neighborhood fanouts.
+    max_degree_ = std::max(max_degree_, degree(touched_[s]));
   }
 }
 
-std::span<const VertexId> GraphVersion::overlay_neighbors(VertexId v) const {
-  const auto it = slot_of_.find(v);
-  if (it == slot_of_.end()) return {};
-  const auto s = static_cast<std::size_t>(it->second);
-  return {overlay_indices_.data() + overlay_offsets_[s],
-          static_cast<std::size_t>(overlay_offsets_[s + 1] - overlay_offsets_[s])};
+std::span<const VertexId> GraphVersion::inserted_neighbors(VertexId v) const {
+  const std::int64_t s = slot(v);
+  if (s < 0) return {};
+  const auto lo = insert_offsets_[static_cast<std::size_t>(s)];
+  return {inserts_.data() + lo, static_cast<std::size_t>(span_size(insert_offsets_, s))};
+}
+
+std::span<const VertexId> GraphVersion::removed_neighbors(VertexId v) const {
+  const std::int64_t s = slot(v);
+  if (s < 0) return {};
+  const auto lo = remove_offsets_[static_cast<std::size_t>(s)];
+  return {removes_.data() + lo, static_cast<std::size_t>(span_size(remove_offsets_, s))};
 }
 
 void GraphVersion::append_neighbors(VertexId v, std::vector<VertexId>& out) const {
   const auto base = base_neighbors(v);
-  out.insert(out.end(), base.begin(), base.end());
-  const auto overlay = overlay_neighbors(v);
-  out.insert(out.end(), overlay.begin(), overlay.end());
+  const std::int64_t s = slot(v);
+  if (s < 0) {
+    out.insert(out.end(), base.begin(), base.end());
+    return;
+  }
+  const auto ins = inserted_neighbors(v);
+  const auto rem = removed_neighbors(v);
+  // Skip-over-tombstone merge: all three spans are sorted (base by
+  // build_csr, the overlay spans by the snapshot reduction), so one
+  // forward pass yields the live adjacency in globally sorted order —
+  // exactly what a from-scratch rebuild would store.
+  std::size_t bi = 0;
+  std::size_t ri = 0;
+  std::size_t ii = 0;
+  while (bi < base.size() || ii < ins.size()) {
+    if (bi < base.size()) {
+      while (ri < rem.size() && rem[ri] < base[bi]) ++ri;
+      if (ri < rem.size() && rem[ri] == base[bi]) {
+        ++bi;
+        ++ri;
+        continue;
+      }
+    }
+    if (ii >= ins.size() || (bi < base.size() && base[bi] < ins[ii])) {
+      out.push_back(base[bi++]);
+    } else {
+      out.push_back(ins[ii++]);
+    }
+  }
+}
+
+bool GraphVersion::alive(VertexId v) const {
+  return !std::binary_search(dead_.begin(), dead_.end(), v);
 }
 
 bool GraphVersion::validate() const {
   if (!base_->validate()) return false;
   if (num_vertices_ < base_->num_vertices()) return false;
-  if (overlay_offsets_.size() != overlay_touched_.size() + 1) return false;
-  if (overlay_offsets_.front() != 0) return false;
-  if (overlay_offsets_.back() != static_cast<EdgeId>(overlay_indices_.size())) return false;
-  if (overlay_edges_ != static_cast<EdgeId>(overlay_indices_.size())) return false;
-  for (std::size_t s = 0; s < overlay_touched_.size(); ++s) {
-    const VertexId v = overlay_touched_[s];
+  if (insert_offsets_.size() != touched_.size() + 1) return false;
+  if (remove_offsets_.size() != touched_.size() + 1) return false;
+  if (insert_offsets_.front() != 0 || remove_offsets_.front() != 0) return false;
+  if (insert_offsets_.back() != static_cast<EdgeId>(inserts_.size())) return false;
+  if (remove_offsets_.back() != static_cast<EdgeId>(removes_.size())) return false;
+  if (inserted_edges_ != static_cast<EdgeId>(inserts_.size())) return false;
+  if (removed_edges_ != static_cast<EdgeId>(removes_.size())) return false;
+  if (!std::is_sorted(dead_.begin(), dead_.end())) return false;
+  for (std::size_t s = 0; s < touched_.size(); ++s) {
+    const VertexId v = touched_[s];
     if (v < 0 || v >= num_vertices_) return false;
-    if (overlay_offsets_[s] > overlay_offsets_[s + 1]) return false;
+    if (insert_offsets_[s] > insert_offsets_[s + 1]) return false;
+    if (remove_offsets_[s] > remove_offsets_[s + 1]) return false;
+    if (insert_offsets_[s] == insert_offsets_[s + 1] &&
+        remove_offsets_[s] == remove_offsets_[s + 1])
+      return false;  // touched vertices must carry a net change
     const auto base = base_neighbors(v);
-    const auto overlay = overlay_neighbors(v);
-    for (std::size_t i = 0; i < overlay.size(); ++i) {
-      const VertexId u = overlay[i];
+    const auto ins = inserted_neighbors(v);
+    const auto rem = removed_neighbors(v);
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      const VertexId u = ins[i];
       if (u < 0 || u >= num_vertices_ || u == v) return false;
-      // Overlay must stay disjoint from base and duplicate-free.
+      if (i > 0 && ins[i - 1] >= u) return false;  // sorted, duplicate-free
+      // Insertions must stay disjoint from base.
       if (std::find(base.begin(), base.end(), u) != base.end()) return false;
-      if (std::find(overlay.begin(), overlay.begin() + static_cast<std::ptrdiff_t>(i), u) !=
-          overlay.begin() + static_cast<std::ptrdiff_t>(i))
-        return false;
     }
+    for (std::size_t i = 0; i < rem.size(); ++i) {
+      const VertexId u = rem[i];
+      if (i > 0 && rem[i - 1] >= u) return false;
+      // Tombstones must retract actual base edges.
+      if (std::find(base.begin(), base.end(), u) == base.end()) return false;
+    }
+  }
+  // Dead vertices are fully retracted: live degree 0 as of this version.
+  for (VertexId v : dead_) {
+    if (v < 0 || v >= num_vertices_) return false;
+    if (degree(v) != 0) return false;
   }
   return true;
 }
@@ -78,10 +137,18 @@ bool GraphVersion::validate() const {
 StreamingGraph::StreamingGraph(const Dataset& dataset, StreamingConfig config)
     : dataset_(&dataset),
       config_(config),
-      delta_(std::make_shared<const CsrGraph>(dataset.graph), config.num_stripes),
+      delta_(std::make_shared<const CsrGraph>(dataset.graph), config.num_stripes,
+             config.symmetric),
       features_(dataset.features) {
   if (dataset.features.rows() != dataset.graph.num_vertices())
     throw std::invalid_argument("StreamingGraph: features/graph size mismatch");
+  // The overlay merge (and the rebuild equivalence it guarantees)
+  // requires sorted base adjacency — what build_csr always produces.
+  for (VertexId v = 0; v < dataset.graph.num_vertices(); ++v) {
+    const auto neighbors = dataset.graph.neighbors(v);
+    if (!std::is_sorted(neighbors.begin(), neighbors.end()))
+      throw std::invalid_argument("StreamingGraph: base adjacency must be sorted per vertex");
+  }
   const auto base = delta_.base();
   base_max_degree_ = base->max_degree();
   install_version(base, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false));
@@ -90,8 +157,8 @@ StreamingGraph::StreamingGraph(const Dataset& dataset, StreamingConfig config)
 bool StreamingGraph::add_edge(VertexId u, VertexId v) {
   std::int64_t landed;
   if (config_.symmetric) {
-    // Both directions in one DeltaStore critical section: no snapshot
-    // ever publishes a half-inserted undirected edge.
+    // Both directions under both stripes: no snapshot (or racing
+    // removal) ever observes a half-inserted undirected edge.
     landed = delta_.add_edge_pair(u, v);
   } else {
     landed = delta_.add_edge(u, v) ? 1 : 0;
@@ -105,29 +172,88 @@ bool StreamingGraph::add_edge(VertexId u, VertexId v) {
   return true;
 }
 
+bool StreamingGraph::remove_edge(VertexId u, VertexId v) {
+  std::int64_t landed;
+  if (config_.symmetric) {
+    landed = delta_.remove_edge_pair(u, v);
+  } else {
+    landed = delta_.remove_edge(u, v) ? 1 : 0;
+  }
+  if (landed == 0) {
+    rejected_removals_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  removed_edges_.fetch_add(landed, std::memory_order_relaxed);
+  note_pending_ingest();
+  return true;
+}
+
 VertexId StreamingGraph::add_vertex(std::span<const float> features) {
-  std::lock_guard lock(vertex_mutex_);
-  // Feature row first: any version published after add_vertices() sees a
-  // vertex whose feature row already exists.
-  const std::int64_t row = features_.append_row(features);
-  const VertexId id = delta_.add_vertices(1);
-  if (row != id)
-    throw std::logic_error("StreamingGraph: feature rows out of sync with vertex space");
+  VertexId id;
+  bool recycled = false;
+  {
+    std::lock_guard lock(vertex_mutex_);
+    // Prefer a recycled id: the dead vertex's edges were folded away by
+    // a compaction, so the slot is indistinguishable from a fresh one,
+    // and its extension feature row is reused instead of growing the
+    // store.  Reclaim + reuse stay under vertex_mutex_ so they pair
+    // atomically against remove_vertex's retire + release.
+    id = delta_.reclaim_vertex();
+    if (id >= 0) {
+      features_.reuse_row(id, features);
+      recycled = true;
+    } else {
+      // Feature row first: any version published after add_vertices()
+      // sees a vertex whose feature row already exists.
+      const std::int64_t row = features_.append_row(features);
+      id = delta_.add_vertices(1);
+      if (row != id)
+        throw std::logic_error("StreamingGraph: feature rows out of sync with vertex space");
+    }
+  }
+  if (recycled) recycled_vertices_.fetch_add(1, std::memory_order_relaxed);
   added_vertices_.fetch_add(1, std::memory_order_relaxed);
   note_pending_ingest();
   return id;
 }
 
-void StreamingGraph::update_feature(VertexId v, std::span<const float> values) {
+bool StreamingGraph::remove_vertex(VertexId v) {
+  {
+    std::lock_guard lock(vertex_mutex_);
+    const std::int64_t retracted = delta_.remove_vertex(v);
+    if (retracted < 0) return false;
+    // Zero the row and evict any pinned device copy under cache_mutex_
+    // so neither a racing update_feature nor the cache can ever serve
+    // the retracted entity's features; vertex_mutex_ is still held, so
+    // release always happens-before any reclaim/reuse of the id.
+    std::lock_guard cache_lock(cache_mutex_);
+    features_.release_row(v);
+    if (cache_ != nullptr) {
+      const VertexId ids[1] = {v};
+      cache_->evict(std::span<const VertexId>(ids, 1));
+    }
+    removed_edges_.fetch_add(retracted, std::memory_order_relaxed);
+  }
+  removed_vertices_.fetch_add(1, std::memory_order_relaxed);
+  note_pending_ingest();
+  return true;
+}
+
+bool StreamingGraph::update_feature(VertexId v, std::span<const float> values) {
   // cache_mutex_ serialises the row write with the cache refresh, so the
-  // device copy can never lag a completed update.
+  // device copy can never lag a completed update.  It also serialises
+  // against remove_vertex's release+evict, so the dead check below can
+  // never interleave with a retraction: a retracted entity's zeroed row
+  // is never repopulated.
   std::lock_guard lock(cache_mutex_);
+  if (delta_.is_dead(v)) return false;
   features_.update_row(v, values);
   if (cache_ != nullptr) {
     const VertexId ids[1] = {v};
     cache_->invalidate(std::span<const VertexId>(ids, 1));
   }
   feature_updates_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::shared_ptr<const GraphVersion> StreamingGraph::publish() {
@@ -148,18 +274,45 @@ std::shared_ptr<const GraphVersion> StreamingGraph::current() const {
 bool StreamingGraph::compact() {
   std::lock_guard maintenance(maintenance_mutex_);
   const auto base = delta_.base();
+  const bool scrubs = delta_.has_pending_scrubs();
   const DeltaStore::Snapshot snap = delta_.snapshot(/*advance_epoch=*/true);
-  if (snap.num_edges == 0 && snap.num_vertices == base->num_vertices()) return false;
+  // Raw ops, not net: cancelled insert/delete pairs reduce to no
+  // topology change but must still be truncated, or the op-count
+  // compaction trigger could never clear under churn.
+  if (snap.raw_ops == 0 && snap.num_vertices == base->num_vertices() && !scrubs) return false;
+
+  // Per-vertex tombstone/insert spans from the snapshot, so the union
+  // enumeration can drop retracted edges as it walks the base.
+  std::unordered_map<VertexId, std::size_t> slot_of;
+  slot_of.reserve(snap.touched.size());
+  for (std::size_t s = 0; s < snap.touched.size(); ++s) slot_of.emplace(snap.touched[s], s);
 
   std::vector<std::pair<VertexId, VertexId>> edges;
-  edges.reserve(static_cast<std::size_t>(base->num_edges() + snap.num_edges));
+  edges.reserve(
+      static_cast<std::size_t>(base->num_edges() + snap.num_inserts - snap.num_removes));
   for (VertexId v = 0; v < base->num_vertices(); ++v) {
-    for (VertexId u : base->neighbors(v)) edges.emplace_back(v, u);
+    const auto it = slot_of.find(v);
+    if (it == slot_of.end()) {
+      for (VertexId u : base->neighbors(v)) edges.emplace_back(v, u);
+      continue;
+    }
+    const std::size_t s = it->second;
+    const auto rem_lo = static_cast<std::size_t>(snap.remove_offsets[s]);
+    const auto rem_hi = static_cast<std::size_t>(snap.remove_offsets[s + 1]);
+    std::size_t ri = rem_lo;
+    for (VertexId u : base->neighbors(v)) {
+      while (ri < rem_hi && snap.removes[ri] < u) ++ri;
+      if (ri < rem_hi && snap.removes[ri] == u) {
+        ++ri;  // tombstoned: dropped from the fresh CSR
+        continue;
+      }
+      edges.emplace_back(v, u);
+    }
   }
   for (std::size_t s = 0; s < snap.touched.size(); ++s) {
     const VertexId v = snap.touched[s];
-    for (EdgeId e = snap.offsets[s]; e < snap.offsets[s + 1]; ++e) {
-      edges.emplace_back(v, snap.neighbors[static_cast<std::size_t>(e)]);
+    for (EdgeId e = snap.insert_offsets[s]; e < snap.insert_offsets[s + 1]; ++e) {
+      edges.emplace_back(v, snap.inserts[static_cast<std::size_t>(e)]);
     }
   }
   // The union is duplicate-free by the ingest-time check; dedup stays on
@@ -171,11 +324,12 @@ bool StreamingGraph::compact() {
   auto merged =
       std::make_shared<const CsrGraph>(build_csr(snap.num_vertices, std::move(edges), options));
 
-  // Swap-then-truncate in one exclusive section: the duplicate check
-  // never sees a base without the merged prefix still pending.
+  // Swap-then-truncate in one exclusive section: the membership check
+  // never sees a base without the merged prefix still pending.  rebase
+  // also promotes fully-folded dead streamed-in ids to the free list.
   delta_.rebase(merged, snap.epoch);
   base_max_degree_ = merged->max_degree();
-  // Republish over the new base; edges ingested after the snapshot are
+  // Republish over the new base; ops ingested after the snapshot are
   // still pending and ride along as the new overlay.
   install_version(merged, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false));
   compactions_.fetch_add(1, std::memory_order_relaxed);
@@ -215,20 +369,26 @@ void StreamingGraph::attach_cache(StaticFeatureCache* cache) {
 
 double StreamingGraph::overlay_ratio() const {
   const auto base_edges = static_cast<double>(delta_.base()->num_edges());
-  if (base_edges == 0.0) return delta_.delta_edges() > 0 ? 1.0 : 0.0;
-  return static_cast<double>(delta_.delta_edges()) / base_edges;
+  if (base_edges == 0.0) return delta_.delta_ops() > 0 ? 1.0 : 0.0;
+  return static_cast<double>(delta_.delta_ops()) / base_edges;
 }
 
 StreamStats StreamingGraph::stats() const {
   StreamStats s;
   s.ingested_edges = ingested_edges_.load(std::memory_order_relaxed);
   s.duplicate_edges = duplicate_edges_.load(std::memory_order_relaxed);
+  s.removed_edges = removed_edges_.load(std::memory_order_relaxed);
+  s.rejected_removals = rejected_removals_.load(std::memory_order_relaxed);
   s.added_vertices = added_vertices_.load(std::memory_order_relaxed);
+  s.removed_vertices = removed_vertices_.load(std::memory_order_relaxed);
+  s.recycled_vertices = recycled_vertices_.load(std::memory_order_relaxed);
   s.feature_updates = feature_updates_.load(std::memory_order_relaxed);
   s.publishes = publishes_.load(std::memory_order_relaxed);
   s.compactions = compactions_.load(std::memory_order_relaxed);
   s.overlay_edges = delta_.delta_edges();
+  s.tombstones = delta_.delta_removes();
   s.base_edges = delta_.base()->num_edges();
+  s.dead_vertices = delta_.dead_vertices();
   s.version_id = current()->id();
   {
     std::lock_guard lock(lag_mutex_);
@@ -276,11 +436,15 @@ std::string StreamStats::to_string() const {
   std::string out;
   out += "ingested=" + format_count(static_cast<std::uint64_t>(ingested_edges));
   out += " dup=" + format_count(static_cast<std::uint64_t>(duplicate_edges));
+  out += " removed=" + format_count(static_cast<std::uint64_t>(removed_edges));
   out += " vertices+=" + format_count(static_cast<std::uint64_t>(added_vertices));
+  out += " vertices-=" + format_count(static_cast<std::uint64_t>(removed_vertices));
+  out += " recycled=" + format_count(static_cast<std::uint64_t>(recycled_vertices));
   out += " feat_updates=" + format_count(static_cast<std::uint64_t>(feature_updates));
   out += " publishes=" + format_count(static_cast<std::uint64_t>(publishes));
   out += " compactions=" + format_count(static_cast<std::uint64_t>(compactions));
   out += " overlay=" + format_count(static_cast<std::uint64_t>(overlay_edges));
+  out += "+" + format_count(static_cast<std::uint64_t>(tombstones)) + "t";
   out += "/" + format_count(static_cast<std::uint64_t>(base_edges));
   out += " lag_mean=" + format_double(publish_lag_mean * 1e3, 3) + "ms";
   out += " lag_max=" + format_double(publish_lag_max * 1e3, 3) + "ms";

@@ -1,15 +1,31 @@
-// Versioned dynamic graph: immutable base CSR + delta overlay, published
-// as copy-on-publish snapshots.
+// Versioned dynamic graph: immutable base CSR + delta overlay (edge
+// insertions AND tombstones), published as copy-on-publish snapshots.
 //
-// Writers (ingest threads) append into the DeltaStore and update the
-// MutableFeatureStore; readers (samplers, serving workers) hold a
-// shared_ptr<const GraphVersion> — a fully immutable view of base CSR +
-// overlay adjacency — obtained from current().  publish() builds a fresh
-// version from a point-in-time delta snapshot and swaps the current
-// pointer atomically, so a reader either sees the whole new version or
-// the whole old one, never a mix.  compact() folds the delta into a
-// fresh CSR via graph/builder and installs it as the new base, keeping
-// post-snapshot arrivals in the buffers (epoch cut).
+// Writers (ingest threads) append signed edge ops into the DeltaStore
+// and update the MutableFeatureStore; readers (samplers, serving
+// workers) hold a shared_ptr<const GraphVersion> — a fully immutable
+// view of base CSR + overlay — obtained from current().  publish()
+// builds a fresh version from a point-in-time delta snapshot and swaps
+// the current pointer atomically, so a reader either sees the whole new
+// version or the whole old one, never a mix.  compact() folds the delta
+// into a fresh CSR via graph/builder — adding net insertions, dropping
+// tombstoned edges and isolating fully-deleted vertices — and installs
+// it as the new base, keeping post-snapshot arrivals in the buffers
+// (epoch cut).
+//
+// The live adjacency of a vertex is (base minus tombstones) merged with
+// the overlay insertions IN SORTED ORDER — identical, element for
+// element, to the adjacency a from-scratch build_csr over the live edge
+// set would produce.  That makes OverlaySampler bit-identical to
+// NeighborSampler over a rebuilt CSR for any fanout and seed, which is
+// the invariant the stream-vs-rebuild differential harness checks at
+// every publish point.
+//
+// Deleted vertices stay in the vertex space (ids are stable handles for
+// serving) with live degree 0 and a zeroed feature row; streamed-in ids
+// are recycled through add_vertex once a compaction has folded the
+// death, so churning entity feeds don't grow the extension area
+// forever.
 //
 // Lifetime: versions are shared_ptrs over a shared_ptr'd base CSR, so a
 // sampler can keep sampling an old version while newer ones are
@@ -42,55 +58,86 @@ class GraphVersion {
                DeltaStore::Snapshot overlay, std::uint64_t id);
 
   VertexId num_vertices() const { return num_vertices_; }
-  EdgeId num_edges() const { return base_->num_edges() + overlay_edges_; }
+  /// Live directed edges: base + insertions - tombstones.
+  EdgeId num_edges() const { return base_->num_edges() + inserted_edges_ - removed_edges_; }
   EdgeId base_edges() const { return base_->num_edges(); }
-  EdgeId overlay_edges() const { return overlay_edges_; }
+  EdgeId overlay_edges() const { return inserted_edges_; }   ///< net inserted
+  EdgeId removed_edges() const { return removed_edges_; }    ///< net tombstoned
 
   EdgeId base_degree(VertexId v) const {
     return v < base_->num_vertices() ? base_->degree(v) : 0;
   }
-  EdgeId overlay_degree(VertexId v) const {
-    const auto it = slot_of_.find(v);
-    if (it == slot_of_.end()) return 0;
-    return overlay_offsets_[static_cast<std::size_t>(it->second) + 1] -
-           overlay_offsets_[static_cast<std::size_t>(it->second)];
+  EdgeId inserted_degree(VertexId v) const {
+    const std::int64_t s = slot(v);
+    return s < 0 ? 0 : span_size(insert_offsets_, s);
   }
-  EdgeId degree(VertexId v) const { return base_degree(v) + overlay_degree(v); }
+  EdgeId removed_degree(VertexId v) const {
+    const std::int64_t s = slot(v);
+    return s < 0 ? 0 : span_size(remove_offsets_, s);
+  }
+  /// Exact live degree — what a rebuilt CSR would report.
+  EdgeId degree(VertexId v) const {
+    return base_degree(v) - removed_degree(v) + inserted_degree(v);
+  }
 
   std::span<const VertexId> base_neighbors(VertexId v) const {
     return v < base_->num_vertices() ? base_->neighbors(v) : std::span<const VertexId>{};
   }
-  std::span<const VertexId> overlay_neighbors(VertexId v) const;
+  std::span<const VertexId> inserted_neighbors(VertexId v) const;
+  std::span<const VertexId> removed_neighbors(VertexId v) const;
 
-  /// Appends v's combined (base then overlay) adjacency to `out`.
+  /// Appends v's LIVE adjacency to `out` in sorted order: base with
+  /// tombstoned entries skipped, merged with the (sorted) overlay
+  /// insertions — element-identical to a from-scratch CSR rebuild.
   void append_neighbors(VertexId v, std::vector<VertexId>& out) const;
 
-  /// Highest combined degree; precomputed at publish (O(overlay)).
+  /// False for vertices deleted by remove_vertex as of this version.
+  /// Dead vertices have live degree 0 and zeroed features; sampling
+  /// them yields an empty neighborhood rather than an error.
+  bool alive(VertexId v) const;
+  std::int64_t num_dead() const { return static_cast<std::int64_t>(dead_.size()); }
+
+  /// Upper bound on the live max degree (exact for overlay-touched
+  /// vertices, base max for the rest); precomputed at publish.
   EdgeId max_degree() const { return max_degree_; }
 
   const CsrGraph& base() const { return *base_; }
   std::uint64_t id() const { return id_; }
   Epoch epoch() const { return epoch_; }
 
-  /// Structural sanity for tests: offsets monotone, neighbor ids in
-  /// range, overlay disjoint from base per vertex.
+  /// Structural sanity for tests: offsets monotone, ids in range,
+  /// insertions disjoint from base, tombstones a subset of base, both
+  /// sorted per vertex, dead vertices fully retracted.
   bool validate() const;
 
  private:
+  std::int64_t slot(VertexId v) const {
+    const auto it = slot_of_.find(v);
+    return it == slot_of_.end() ? -1 : it->second;
+  }
+  static EdgeId span_size(const std::vector<EdgeId>& offsets, std::int64_t s) {
+    return offsets[static_cast<std::size_t>(s) + 1] - offsets[static_cast<std::size_t>(s)];
+  }
+
   std::shared_ptr<const CsrGraph> base_;
   VertexId num_vertices_ = 0;
-  EdgeId overlay_edges_ = 0;
+  EdgeId inserted_edges_ = 0;
+  EdgeId removed_edges_ = 0;
   EdgeId max_degree_ = 0;
   Epoch epoch_ = 0;
   std::uint64_t id_ = 0;
-  std::vector<VertexId> overlay_touched_;
-  std::vector<EdgeId> overlay_offsets_;    ///< size touched + 1
-  std::vector<VertexId> overlay_indices_;
+  std::vector<VertexId> touched_;
+  std::vector<EdgeId> insert_offsets_;  ///< size touched + 1
+  std::vector<VertexId> inserts_;       ///< sorted per touched vertex
+  std::vector<EdgeId> remove_offsets_;  ///< size touched + 1
+  std::vector<VertexId> removes_;      ///< sorted per touched vertex
+  std::vector<VertexId> dead_;         ///< sorted dead vertex ids
   std::unordered_map<VertexId, std::int64_t> slot_of_;  ///< vertex -> touched slot
 };
 
 struct StreamingConfig {
-  /// Insert both directions of every edge (datasets here are undirected).
+  /// Insert/remove both directions of every edge (datasets here are
+  /// undirected).
   bool symmetric = true;
   std::size_t num_stripes = 64;
 };
@@ -98,13 +145,19 @@ struct StreamingConfig {
 /// Point-in-time ingest/publish counters.
 struct StreamStats {
   std::int64_t ingested_edges = 0;     ///< accepted directed insertions
-  std::int64_t duplicate_edges = 0;    ///< rejected (already in base or delta)
+  std::int64_t duplicate_edges = 0;    ///< rejected inserts (already live)
+  std::int64_t removed_edges = 0;      ///< accepted directed retractions
+  std::int64_t rejected_removals = 0;  ///< removals of edges not live
   std::int64_t added_vertices = 0;
+  std::int64_t removed_vertices = 0;
+  std::int64_t recycled_vertices = 0;  ///< add_vertex calls served by a reclaimed id
   std::int64_t feature_updates = 0;
   std::int64_t publishes = 0;
   std::int64_t compactions = 0;
-  EdgeId overlay_edges = 0;            ///< pending (unmerged) delta edges
+  EdgeId overlay_edges = 0;            ///< pending (unmerged) insert ops
+  EdgeId tombstones = 0;               ///< pending (unmerged) remove ops
   EdgeId base_edges = 0;
+  std::int64_t dead_vertices = 0;
   std::uint64_t version_id = 0;
   Seconds publish_lag_mean = 0.0;  ///< oldest-pending-ingest -> publish delay
   Seconds publish_lag_max = 0.0;
@@ -115,7 +168,8 @@ struct StreamStats {
 class StreamingGraph {
  public:
   /// Copies the dataset's topology and features as the initial base.
-  /// `dataset` must outlive the graph (info/labels are referenced).
+  /// `dataset` must outlive the graph (info/labels are referenced); its
+  /// adjacency must be sorted per vertex (build_csr output always is).
   explicit StreamingGraph(const Dataset& dataset, StreamingConfig config = {});
 
   StreamingGraph(const StreamingGraph&) = delete;
@@ -124,33 +178,55 @@ class StreamingGraph {
   // ---- ingest (thread-safe, lock-striped) ----
 
   /// Inserts edge {u, v} (both directions when config.symmetric).
-  /// Returns false for self loops and edges already present.  The edge
-  /// becomes visible to samplers at the next publish().
+  /// Returns false for self loops, edges already live, and dead
+  /// endpoints.  The edge becomes visible to samplers at the next
+  /// publish().  Re-inserting a previously deleted edge is valid and
+  /// cancels the tombstone.
   bool add_edge(VertexId u, VertexId v);
 
-  /// Adds one vertex with the given feature row; returns its id.  The
-  /// vertex becomes sample-able after the next publish().
+  /// Retracts edge {u, v} (both directions when config.symmetric).
+  /// Returns false when the edge is not currently live — double
+  /// deletes are rejected, not crashed on.  Deleting a pending
+  /// (unpublished) insertion is valid.
+  bool remove_edge(VertexId u, VertexId v);
+
+  /// Adds one vertex with the given feature row; returns its id.
+  /// Recycles the id (and feature row) of a fully-compacted deleted
+  /// streamed-in vertex when one is available (symmetric config only —
+  /// directed ingest cannot prove a retirement scrubbed every
+  /// in-edge), else grows the vertex space.  The vertex becomes
+  /// sample-able after the next publish().
   VertexId add_vertex(std::span<const float> features);
+
+  /// Retracts every live edge of v, marks it dead, zeroes (and for
+  /// streamed-in vertices, reclaims) its feature row, and evicts it
+  /// from the attached cache so retracted entities are never served.
+  /// Returns false when v is already dead.  The id itself stays valid
+  /// (live degree 0) until recycled.
+  bool remove_vertex(VertexId v);
 
   /// Overwrites v's feature row and refreshes any attached
   /// StaticFeatureCache so the new values are served immediately
   /// (features are NOT versioned — freshness beats snapshot isolation
-  /// for embeddings/profiles).
-  void update_feature(VertexId v, std::span<const float> values);
+  /// for embeddings/profiles).  Returns false for dead vertices — a
+  /// retracted entity's zeroed row is never repopulated.
+  bool update_feature(VertexId v, std::span<const float> values);
 
   // ---- versions ----
 
-  /// Builds an immutable snapshot of base + pending delta and makes it
-  /// the current version.  O(overlay) copy, single atomic swap.
+  /// Builds an immutable snapshot of base + pending delta (insertions
+  /// and tombstones) and makes it the current version.  O(overlay)
+  /// copy, single atomic swap.
   std::shared_ptr<const GraphVersion> publish();
 
   /// The latest published version.  Never null; never half-published.
   std::shared_ptr<const GraphVersion> current() const;
 
-  /// Merges base + delta into a fresh CSR (graph/builder), installs it
-  /// as the new base and republishes.  Edges ingested after the internal
-  /// snapshot survive in the delta (epoch cut).  Returns false when
-  /// there was nothing to merge.
+  /// Merges base + delta into a fresh CSR (graph/builder) — net
+  /// insertions added, tombstoned edges dropped, dead vertices
+  /// isolated — installs it as the new base and republishes.  Ops
+  /// ingested after the internal snapshot survive in the delta (epoch
+  /// cut).  Returns false when there was nothing to merge.
   bool compact();
 
   // ---- feature access ----
@@ -163,13 +239,24 @@ class StreamingGraph {
   /// for ServingStats.
   StaticFeatureCache::LoadStats gather(std::span<const VertexId> nodes, Tensor& out) const;
 
-  /// Registers the cache refreshed by update_feature (pass nullptr to
-  /// detach).  The cache must be built over features().base().
+  /// Registers the cache refreshed by update_feature and evicted from
+  /// by remove_vertex (pass nullptr to detach).  The cache must be
+  /// built over features().base().
   void attach_cache(StaticFeatureCache* cache);
 
   // ---- observability ----
 
   EdgeId overlay_edges() const { return delta_.delta_edges(); }
+  EdgeId overlay_tombstones() const { return delta_.delta_removes(); }
+  /// Pending ops of either sign — the compaction trigger: tombstones
+  /// cost sampling-path skips just like insertions cost merges.
+  EdgeId overlay_ops() const { return delta_.delta_ops(); }
+  /// Dead streamed-in ids waiting for a compaction to fold their death
+  /// (the other compaction trigger: an op-less retirement — an already
+  /// isolated vertex — would otherwise never be recycled).
+  bool has_pending_scrubs() const { return delta_.has_pending_scrubs(); }
+  /// Scrubbed ids add_vertex can hand out right now.
+  std::int64_t recyclable_vertices() const { return delta_.recyclable_vertices(); }
   double overlay_ratio() const;
   VertexId num_vertices() const { return delta_.num_vertices(); }
   const Dataset& dataset() const { return *dataset_; }
@@ -208,7 +295,11 @@ class StreamingGraph {
 
   std::atomic<std::int64_t> ingested_edges_{0};
   std::atomic<std::int64_t> duplicate_edges_{0};
+  std::atomic<std::int64_t> removed_edges_{0};
+  std::atomic<std::int64_t> rejected_removals_{0};
   std::atomic<std::int64_t> added_vertices_{0};
+  std::atomic<std::int64_t> removed_vertices_{0};
+  std::atomic<std::int64_t> recycled_vertices_{0};
   std::atomic<std::int64_t> feature_updates_{0};
   std::atomic<std::int64_t> publishes_{0};
   std::atomic<std::int64_t> compactions_{0};

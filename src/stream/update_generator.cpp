@@ -19,10 +19,17 @@ UpdateGenerator::UpdateGenerator(StreamingGraph& graph, UpdateGeneratorConfig co
     throw std::invalid_argument("UpdateGenerator: num_threads must be >= 1");
   if (config_.edges_per_op < 1)
     throw std::invalid_argument("UpdateGenerator: edges_per_op must be >= 1");
+  const double fractions = config_.vertex_add_fraction + config_.vertex_delete_fraction +
+                           config_.feature_update_fraction + config_.edge_delete_fraction;
+  if (config_.vertex_add_fraction < 0.0 || config_.vertex_delete_fraction < 0.0 ||
+      config_.feature_update_fraction < 0.0 || config_.edge_delete_fraction < 0.0 ||
+      fractions > 1.0)
+    throw std::invalid_argument("UpdateGenerator: op fractions must be >= 0 and sum to <= 1");
 }
 
 UpdateReport UpdateGenerator::run() {
   const std::int64_t cols = graph_.features().cols();
+  const VertexId dataset_vertices = graph_.dataset().graph.num_vertices();
   std::atomic<std::int64_t> completed_ops{0};
 
   // The graph's own counters are the single source of truth; the report
@@ -33,19 +40,43 @@ UpdateReport UpdateGenerator::run() {
   auto worker = [&](int t, std::int64_t ops) {
     Xoshiro256 rng(config_.seed + static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ULL);
     std::vector<float> row(static_cast<std::size_t>(cols));
+    std::vector<VertexId> adjacency;
     for (std::int64_t op = 0; op < ops; ++op) {
-      const double kind = rng.uniform();
+      double kind = rng.uniform();
       const VertexId n = graph_.num_vertices();
-      if (kind < config_.vertex_add_fraction) {
+      const double add_cut = config_.vertex_add_fraction;
+      const double vdel_cut = add_cut + config_.vertex_delete_fraction;
+      const double feat_cut = vdel_cut + config_.feature_update_fraction;
+      const double edel_cut = feat_cut + config_.edge_delete_fraction;
+      if (kind < vdel_cut && kind >= add_cut && n <= dataset_vertices) {
+        kind = edel_cut;  // no streamed-in vertex to retire yet: insert instead
+      }
+      if (kind < add_cut) {
         for (float& x : row) x = static_cast<float>(rng.normal());
         const VertexId v = graph_.add_vertex(row);
         for (int e = 0; e < config_.edges_per_new_vertex; ++e) {
           graph_.add_edge(v, static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n))));
         }
-      } else if (kind < config_.vertex_add_fraction + config_.feature_update_fraction) {
+      } else if (kind < vdel_cut) {
+        const auto span = static_cast<std::uint64_t>(n - dataset_vertices);
+        graph_.remove_vertex(dataset_vertices + static_cast<VertexId>(rng.bounded(span)));
+      } else if (kind < feat_cut) {
         const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
         for (float& x : row) x = static_cast<float>(rng.normal());
         graph_.update_feature(v, row);
+      } else if (kind < edel_cut) {
+        // Retract a live edge of a random vertex per the latest
+        // published version; racing an unpublished retraction just
+        // lands in rejected_removals.
+        const auto version = graph_.current();
+        const auto u = static_cast<VertexId>(
+            rng.bounded(static_cast<std::uint64_t>(version->num_vertices())));
+        adjacency.clear();
+        version->append_neighbors(u, adjacency);
+        if (!adjacency.empty()) {
+          const auto pick = rng.bounded(static_cast<std::uint64_t>(adjacency.size()));
+          graph_.remove_edge(u, adjacency[static_cast<std::size_t>(pick)]);
+        }
       } else {
         for (int e = 0; e < config_.edges_per_op; ++e) {
           const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
@@ -81,11 +112,17 @@ UpdateReport UpdateGenerator::run() {
   report.operations = config_.operations;
   report.accepted_edges = after.ingested_edges - before.ingested_edges;
   report.duplicate_edges = after.duplicate_edges - before.duplicate_edges;
+  report.removed_edges = after.removed_edges - before.removed_edges;
+  report.rejected_removals = after.rejected_removals - before.rejected_removals;
   report.added_vertices = after.added_vertices - before.added_vertices;
+  report.removed_vertices = after.removed_vertices - before.removed_vertices;
+  report.recycled_vertices = after.recycled_vertices - before.recycled_vertices;
   report.feature_updates = after.feature_updates - before.feature_updates;
   report.publishes = after.publishes - before.publishes;
   report.edges_per_second =
-      report.wall_time > 0.0 ? static_cast<double>(report.accepted_edges) / report.wall_time : 0.0;
+      report.wall_time > 0.0
+          ? static_cast<double>(report.accepted_edges + report.removed_edges) / report.wall_time
+          : 0.0;
   return report;
 }
 
@@ -94,7 +131,9 @@ std::string UpdateReport::to_string() const {
   out += "ops=" + format_count(static_cast<std::uint64_t>(operations));
   out += " edges=" + format_count(static_cast<std::uint64_t>(accepted_edges));
   out += " dup=" + format_count(static_cast<std::uint64_t>(duplicate_edges));
+  out += " removed=" + format_count(static_cast<std::uint64_t>(removed_edges));
   out += " vertices+=" + format_count(static_cast<std::uint64_t>(added_vertices));
+  out += " vertices-=" + format_count(static_cast<std::uint64_t>(removed_vertices));
   out += " feat=" + format_count(static_cast<std::uint64_t>(feature_updates));
   out += " publishes=" + format_count(static_cast<std::uint64_t>(publishes));
   out += " rate=" + format_double(edges_per_second, 0) + " e/s";

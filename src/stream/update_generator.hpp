@@ -1,11 +1,16 @@
 // Synthetic update-stream driver for the streaming subsystem.
 //
-// Emits a deterministic (seeded) mix of edge insertions, vertex
-// arrivals (with random feature rows), and feature refreshes against a
-// StreamingGraph, publishing a new version every `publish_every`
-// accepted operations.  Paired with serving/LoadGenerator it produces
-// the mixed query/update workloads bench_streaming measures; on its own
-// it is the ingest-throughput microbenchmark.
+// Emits a deterministic (seeded) mix of edge insertions, edge
+// retractions, vertex arrivals (with random feature rows), vertex
+// retirements, and feature refreshes against a StreamingGraph,
+// publishing a new version every `publish_every` accepted operations.
+// Deletion targets are drawn from the latest published version (a real
+// feed retracts edges it knows exist), so a removal can still lose a
+// race with an unpublished retraction — those land in the rejected
+// counters, exactly like duplicate inserts.  Paired with
+// serving/LoadGenerator it produces the mixed query/update (and churn)
+// workloads bench_streaming measures; on its own it is the
+// ingest-throughput microbenchmark.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +25,15 @@ struct UpdateGeneratorConfig {
   std::int64_t operations = 1024;     ///< total ops across all threads
   int num_threads = 1;
   double vertex_add_fraction = 0.05;  ///< ops that add a vertex (plus attach edges)
+  /// Ops that retire a streamed-in vertex (no-op while none exist, the
+  /// op falls through to an edge insertion).  Dataset vertices are
+  /// never retired by the generator — entities that age out of a
+  /// fraud/recommendation feed are the streamed-in ones.
+  double vertex_delete_fraction = 0.0;
   double feature_update_fraction = 0.10;  ///< ops that rewrite a feature row
+  /// Ops that retract a live edge drawn from the latest published
+  /// version — the churn knob (CLI: --delete-frac).
+  double edge_delete_fraction = 0.0;
   int edges_per_op = 1;               ///< edge insertions per edge op
   int edges_per_new_vertex = 3;       ///< attachment edges for a streamed-in vertex
   std::int64_t publish_every = 64;    ///< accepted ops between publishes (0 = never)
@@ -31,12 +44,16 @@ struct UpdateGeneratorConfig {
 struct UpdateReport {
   Seconds wall_time = 0.0;
   std::int64_t operations = 0;
-  std::int64_t accepted_edges = 0;   ///< directed insertions that landed
-  std::int64_t duplicate_edges = 0;  ///< rejected by the ingest-time check
+  std::int64_t accepted_edges = 0;      ///< directed insertions that landed
+  std::int64_t duplicate_edges = 0;     ///< inserts rejected (already live)
+  std::int64_t removed_edges = 0;       ///< directed retractions that landed
+  std::int64_t rejected_removals = 0;   ///< retractions of edges no longer live
   std::int64_t added_vertices = 0;
+  std::int64_t removed_vertices = 0;
+  std::int64_t recycled_vertices = 0;   ///< vertex adds served by a reclaimed id
   std::int64_t feature_updates = 0;
   std::int64_t publishes = 0;
-  double edges_per_second = 0.0;     ///< accepted / wall_time
+  double edges_per_second = 0.0;        ///< (accepted + removed) / wall_time
 
   std::string to_string() const;
 };

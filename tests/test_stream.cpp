@@ -1,9 +1,13 @@
 // Tests for the streaming dynamic-graph subsystem (src/stream/):
 // delta-store epoch stamping and duplicate rejection, copy-on-publish
-// version linearizability under concurrent ingest, overlay-sampler
-// distribution vs. a rebuilt CSR, compaction exactness for unchanged
-// vertices, cache-invalidation freshness, and the queue-wait/compute
-// split in ServingStats.
+// version linearizability under concurrent ingest AND retraction,
+// overlay-sampler distribution vs. a rebuilt CSR, tombstone edge cases
+// (double delete, delete-pending, delete-then-reinsert across a
+// compaction boundary, isolated vertices, vertex retirement + id
+// recycling), compaction exactness for unchanged vertices,
+// cache-invalidation/eviction freshness, and the queue-wait/compute
+// split in ServingStats.  The randomized stream-vs-rebuild harness
+// lives in test_stream_differential.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -81,7 +85,8 @@ TEST(DeltaStore, EpochStampedSnapshotAndPrefixTruncate) {
   ASSERT_TRUE(store.add_edge(0, 1));
   ASSERT_TRUE(store.add_edge(0, 2));
   const DeltaStore::Snapshot first = store.snapshot(/*advance_epoch=*/true);
-  EXPECT_EQ(first.num_edges, 2);
+  EXPECT_EQ(first.num_inserts, 2);
+  EXPECT_EQ(first.num_removes, 0);
 
   // Edges after the cut carry the advanced epoch and survive truncation.
   ASSERT_TRUE(store.add_edge(0, 3));
@@ -89,7 +94,7 @@ TEST(DeltaStore, EpochStampedSnapshotAndPrefixTruncate) {
   store.truncate(first.epoch);
   EXPECT_EQ(store.delta_edges(), 2);
   const DeltaStore::Snapshot second = store.snapshot(false);
-  std::vector<VertexId> remaining(second.neighbors);
+  std::vector<VertexId> remaining(second.inserts);
   std::sort(remaining.begin(), remaining.end());
   EXPECT_EQ(remaining, (std::vector<VertexId>{3, 5}));
 }
@@ -215,15 +220,16 @@ TEST(StreamingGraph, ConcurrentIngestAndQueryLinearizability) {
         if (!version->validate()) violations.fetch_add(1);
         if (version->id() < last_id) violations.fetch_add(1);
         last_id = version->id();
-        if (version->num_edges() !=
-            version->base_edges() + version->overlay_edges())
+        if (version->num_edges() != version->base_edges() + version->overlay_edges() -
+                                        version->removed_edges())
           violations.fetch_add(1);
       }
     });
   }
 
-  // Writers: random symmetric inserts; one thread also publishes and
-  // compacts so base swaps happen under read load.
+  // Writers: random symmetric inserts AND retractions; one thread also
+  // publishes and compacts so base swaps (including tombstone folds)
+  // happen under read load.
   std::vector<std::thread> writers;
   for (int w = 0; w < 2; ++w) {
     writers.emplace_back([&, w] {
@@ -231,7 +237,11 @@ TEST(StreamingGraph, ConcurrentIngestAndQueryLinearizability) {
       for (int i = 0; i < 400; ++i) {
         const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
         const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
-        graph.add_edge(u, v);
+        if (rng.uniform() < 0.3) {
+          graph.remove_edge(u, v);
+        } else {
+          graph.add_edge(u, v);
+        }
         if (i % 50 == 0) graph.publish();
         if (w == 0 && i % 150 == 0) graph.compact();
       }
@@ -244,10 +254,11 @@ TEST(StreamingGraph, ConcurrentIngestAndQueryLinearizability) {
   EXPECT_EQ(violations.load(), 0);
   graph.publish();
   EXPECT_TRUE(graph.current()->validate());
-  // Conservation: accepted directed inserts all ended up in base or overlay.
+  // Conservation: every accepted directed insert landed in base or
+  // overlay, every accepted retraction took exactly one edge back out.
   const StreamStats stats = graph.stats();
   EXPECT_EQ(graph.current()->num_edges(),
-            community().graph.num_edges() + stats.ingested_edges);
+            community().graph.num_edges() + stats.ingested_edges - stats.removed_edges);
 }
 
 // ---------------------------------------------------------- OverlaySampler
@@ -511,6 +522,349 @@ TEST(ServingStats, SplitsQueueWaitFromCompute) {
   EXPECT_DOUBLE_EQ(stats.snapshot().queue_wait_mean, 0.0);
 }
 
+// -------------------------------------------------------------- tombstones
+
+TEST(Tombstones, DoubleDeleteOfBaseEdgeIsRejected) {
+  StreamingGraph graph(two_component_dataset());
+  ASSERT_TRUE(graph.remove_edge(0, 1));   // base ring edge
+  EXPECT_FALSE(graph.remove_edge(0, 1));  // double delete
+  EXPECT_FALSE(graph.remove_edge(1, 0));  // reverse direction is the same edge
+  EXPECT_FALSE(graph.remove_edge(0, 5));  // never existed
+  const StreamStats stats = graph.stats();
+  EXPECT_EQ(stats.removed_edges, 2);  // one undirected edge, both directions
+  EXPECT_EQ(stats.rejected_removals, 3);
+  const auto version = graph.publish();
+  EXPECT_EQ(version->degree(0), 1);  // ring degree 2 minus the retraction
+  EXPECT_EQ(version->num_edges(), two_component_dataset().graph.num_edges() - 2);
+  EXPECT_TRUE(version->validate());
+}
+
+TEST(Tombstones, DeletingPendingInsertionCancelsIt) {
+  StreamingGraph graph(two_component_dataset());
+  ASSERT_TRUE(graph.add_edge(0, 5));     // pending, never published
+  ASSERT_TRUE(graph.remove_edge(0, 5));  // retract before any publish
+  EXPECT_FALSE(graph.remove_edge(0, 5));
+  const auto version = graph.publish();
+  // The pair cancelled: no net overlay, no tombstone, original topology.
+  EXPECT_EQ(version->overlay_edges(), 0);
+  EXPECT_EQ(version->removed_edges(), 0);
+  EXPECT_EQ(version->num_edges(), two_component_dataset().graph.num_edges());
+  EXPECT_EQ(version->degree(0), 2);
+  EXPECT_TRUE(version->validate());
+  // A cancelled pair must also fold to a no-op.
+  ASSERT_TRUE(graph.compact());
+  EXPECT_EQ(graph.current()->num_edges(), two_component_dataset().graph.num_edges());
+}
+
+TEST(Tombstones, DeleteThenReinsertAcrossCompactionBoundary) {
+  // DeltaStore-level: deterministic interleaving of a retraction whose
+  // snapshot is mid-compaction when the re-insert arrives.
+  auto base = shared_csr(4, {{0, 1}});  // symmetrized: 0-1 both directions
+  DeltaStore store(base);
+  ASSERT_EQ(store.remove_edge_pair(0, 1), 2);
+  const DeltaStore::Snapshot snap = store.snapshot(/*advance_epoch=*/true);
+  EXPECT_EQ(snap.num_removes, 2);
+
+  // Re-insert lands while the compactor is still folding the tombstone.
+  ASSERT_EQ(store.add_edge_pair(0, 1), 2);
+
+  // Compactor folds the captured prefix: tombstone drops the base edge.
+  auto merged = shared_csr(4, {});
+  store.rebase(merged, snap.epoch);
+
+  // The post-snapshot insert survived the truncate and now applies
+  // against the merged (edge-less) base: the edge is live again.
+  const DeltaStore::Snapshot after = store.snapshot(false);
+  EXPECT_EQ(after.num_inserts, 2);
+  EXPECT_EQ(after.num_removes, 0);
+  // ...and is a duplicate for further inserts, but removable.
+  EXPECT_EQ(store.add_edge_pair(0, 1), 0);
+  EXPECT_EQ(store.remove_edge_pair(0, 1), 2);
+}
+
+TEST(Tombstones, DeleteThenReinsertRoundTripMatchesRebuild) {
+  const Dataset ds = two_component_dataset();
+  StreamingGraph graph(ds);
+  ASSERT_TRUE(graph.remove_edge(3, 4));
+  ASSERT_TRUE(graph.compact());  // fold the tombstone into a fresh base
+  ASSERT_TRUE(graph.add_edge(3, 4));  // reinsert across the boundary
+  ASSERT_TRUE(graph.compact());
+  // Round trip: identical to a one-shot build of the original topology.
+  const auto version = graph.current();
+  EXPECT_EQ(version->base().indptr(), ds.graph.indptr());
+  EXPECT_EQ(version->base().indices(), ds.graph.indices());
+  EXPECT_TRUE(version->validate());
+}
+
+TEST(Tombstones, DeletingLastEdgeIsolatesVertex) {
+  StreamingGraph graph(two_component_dataset());
+  // Vertex 0's ring edges are {0,1} and {0,19}.
+  ASSERT_TRUE(graph.remove_edge(0, 1));
+  ASSERT_TRUE(graph.remove_edge(19, 0));
+  const auto version = graph.publish();
+  EXPECT_EQ(version->degree(0), 0);
+  EXPECT_TRUE(version->alive(0));  // isolated, not dead
+  std::vector<VertexId> live;
+  version->append_neighbors(0, live);
+  EXPECT_TRUE(live.empty());
+  // Sampling an isolated vertex yields an empty neighborhood, not an error.
+  OverlaySampler sampler(version, {4}, 7);
+  const MiniBatch mb = sampler.sample({0});
+  EXPECT_EQ(mb.blocks[0].indptr, (std::vector<EdgeId>{0, 0}));
+  EXPECT_EQ(mb.blocks[0].src_degrees[0], 0);
+  // The isolated vertex survives compaction (ids are stable handles).
+  ASSERT_TRUE(graph.compact());
+  EXPECT_EQ(graph.current()->num_vertices(), 40);
+  EXPECT_EQ(graph.current()->degree(0), 0);
+  EXPECT_TRUE(graph.current()->validate());
+}
+
+TEST(Tombstones, RemoveVertexRetractsBothDirectionsAndMarksDead) {
+  const Dataset ds = two_component_dataset();
+  StreamingGraph graph(ds);
+  ASSERT_TRUE(graph.remove_vertex(0));
+  EXPECT_FALSE(graph.remove_vertex(0));        // already dead
+  EXPECT_FALSE(graph.add_edge(0, 5));          // dead endpoints reject edge ops
+  EXPECT_FALSE(graph.remove_edge(1, 0));       // its edges are already gone
+  const auto version = graph.publish();
+  EXPECT_FALSE(version->alive(0));
+  EXPECT_EQ(version->num_dead(), 1);
+  EXPECT_EQ(version->degree(0), 0);
+  EXPECT_EQ(version->degree(1), 1);   // lost its edge to 0
+  EXPECT_EQ(version->degree(19), 1);
+  EXPECT_EQ(version->num_edges(), ds.graph.num_edges() - 4);
+  EXPECT_TRUE(version->validate());
+  // The feature row is zeroed so the retracted entity gathers zeros.
+  Tensor out;
+  const VertexId nodes[1] = {0};
+  graph.gather(std::span<const VertexId>(nodes, 1), out);
+  for (std::int64_t j = 0; j < out.cols(); ++j) EXPECT_FLOAT_EQ(out.at(0, j), 0.0f);
+}
+
+TEST(Tombstones, StreamedVertexIdIsRecycledAfterCompaction) {
+  StreamingGraph graph(two_component_dataset());
+  std::vector<float> row(8, 1.0f);
+  const VertexId v = graph.add_vertex(row);
+  ASSERT_EQ(v, 40);
+  ASSERT_TRUE(graph.add_edge(v, 0));
+  ASSERT_TRUE(graph.add_edge(v, 25));
+  ASSERT_TRUE(graph.remove_vertex(v));
+  // Not recyclable until a compaction folds the death.
+  std::vector<float> other(8, 2.0f);
+  const VertexId fresh = graph.add_vertex(other);
+  EXPECT_EQ(fresh, 41);
+  ASSERT_TRUE(graph.compact());
+  EXPECT_TRUE(graph.current()->validate());
+  EXPECT_EQ(graph.current()->degree(0), 2);  // v's attachment edges folded away
+
+  // Now the dead id comes back with a fresh feature row.
+  std::vector<float> recycled_row(8, 3.0f);
+  const VertexId recycled = graph.add_vertex(recycled_row);
+  EXPECT_EQ(recycled, v);
+  EXPECT_EQ(graph.stats().recycled_vertices, 1);
+  const auto version = graph.publish();
+  EXPECT_TRUE(version->alive(v));
+  EXPECT_EQ(version->degree(v), 0);
+  Tensor out;
+  const VertexId nodes[1] = {v};
+  graph.gather(std::span<const VertexId>(nodes, 1), out);
+  for (std::int64_t j = 0; j < 8; ++j) EXPECT_FLOAT_EQ(out.at(0, j), 3.0f);
+  // Dataset vertices are never recycled: retire a base vertex, compact,
+  // and the next add still grows the space.
+  ASSERT_TRUE(graph.remove_vertex(7));
+  ASSERT_TRUE(graph.compact());
+  EXPECT_EQ(graph.add_vertex(row), 42);
+}
+
+TEST(Tombstones, AsymmetricRemoveVertexRetractsOnlyLiveDirections) {
+  // Directed (asymmetric) ingest: retiring a vertex with a one-way
+  // pending out-edge must not tombstone the non-existent reverse — a
+  // tombstone for a non-edge would reduce to a phantom insertion.
+  StreamingConfig config;
+  config.symmetric = false;
+  const Dataset ds = two_component_dataset();
+  StreamingGraph graph(ds, config);
+  ASSERT_TRUE(graph.add_edge(5, 7));  // directed 5 -> 7 only
+  ASSERT_TRUE(graph.remove_vertex(5));
+  const auto version = graph.publish();
+  // Retracted: out-edges 5->4, 5->6, 5->7 plus live reverses 4->5, 6->5.
+  EXPECT_EQ(graph.stats().removed_edges, 5);
+  EXPECT_EQ(version->degree(5), 0);
+  EXPECT_EQ(version->degree(7), 2);  // ring neighbors 6, 8 — no phantom 7->5
+  std::vector<VertexId> live;
+  version->append_neighbors(7, live);
+  EXPECT_EQ(live, (std::vector<VertexId>{6, 8}));
+  EXPECT_EQ(version->num_edges(), ds.graph.num_edges() + 1 - 5);
+  EXPECT_TRUE(version->validate());
+  ASSERT_TRUE(graph.compact());
+  EXPECT_TRUE(graph.current()->validate());
+  EXPECT_EQ(graph.current()->num_edges(), ds.graph.num_edges() + 1 - 5);
+
+  // A dangling directed in-edge of a dead vertex stays retractable —
+  // removals are decided by membership, not endpoint liveness.
+  ASSERT_TRUE(graph.add_edge(8, 10));          // directed, not a ring edge
+  ASSERT_TRUE(graph.remove_vertex(10));        // 8 -> 10 is not discoverable from 10
+  EXPECT_TRUE(graph.remove_edge(8, 10));       // ...but cleanup is still possible
+  EXPECT_FALSE(graph.remove_edge(8, 10));
+  EXPECT_FALSE(graph.add_edge(8, 10));         // re-insert to a dead vertex stays rejected
+
+  // Directed ingest cannot prove a retirement scrubbed every in-edge,
+  // so ids are never recycled in asymmetric mode.
+  std::vector<float> row(8, 1.0f);
+  const VertexId streamed = graph.add_vertex(row);
+  ASSERT_TRUE(graph.remove_vertex(streamed));
+  EXPECT_FALSE(graph.has_pending_scrubs());
+  ASSERT_TRUE(graph.compact());
+  EXPECT_EQ(graph.add_vertex(row), streamed + 1);  // fresh id, no reuse
+}
+
+TEST(Tombstones, DeadVertexRefusesFeatureUpdates) {
+  StreamingGraph graph(two_component_dataset());
+  std::vector<float> fresh(8, 9.0f);
+  ASSERT_TRUE(graph.remove_vertex(3));
+  EXPECT_FALSE(graph.update_feature(3, fresh));  // retracted entity stays zeroed
+  EXPECT_TRUE(graph.update_feature(4, fresh));
+  Tensor out;
+  const VertexId nodes[2] = {3, 4};
+  graph.gather(std::span<const VertexId>(nodes, 2), out);
+  for (std::int64_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(out.at(0, j), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(1, j), 9.0f);
+  }
+  EXPECT_EQ(graph.stats().feature_updates, 1);  // the rejected write is not counted
+}
+
+TEST(Tombstones, CompactorFoldsOpLessRetirementForRecycling) {
+  // Retiring an already-isolated streamed-in vertex appends zero edge
+  // ops; the background compactor must still fold it (pending-scrub
+  // trigger) or the id and feature row would never be recycled.
+  StreamingGraph graph(two_component_dataset());
+  std::vector<float> row(8, 1.5f);
+  const VertexId v = graph.add_vertex(row);  // no edges: already isolated
+  ASSERT_TRUE(graph.compact());              // fold the vertex-space growth
+  ASSERT_TRUE(graph.remove_vertex(v));       // op-less retirement
+  EXPECT_EQ(graph.overlay_ops(), 0);
+  EXPECT_TRUE(graph.has_pending_scrubs());
+
+  CompactionPolicy policy;
+  policy.max_overlay_edges = 1 << 20;  // unreachable: only the scrub trigger fires
+  policy.max_overlay_ratio = 1e9;
+  policy.poll_interval = 5e-4;
+  Compactor compactor(graph, policy);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (graph.has_pending_scrubs() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  compactor.stop();
+  EXPECT_FALSE(graph.has_pending_scrubs());
+  EXPECT_GE(compactor.compactions(), 1);
+  // The id is recyclable now.
+  std::vector<float> fresh(8, 2.5f);
+  EXPECT_EQ(graph.add_vertex(fresh), v);
+  EXPECT_EQ(graph.stats().recycled_vertices, 1);
+}
+
+TEST(Tombstones, SamplerSkipsTombstonesWithCorrectDistribution) {
+  // Star: vertex 0 with 8 base neighbors; delete 3 and insert 2, so the
+  // live adjacency is 7 wide.  A fanout-3 sample must hit every LIVE
+  // neighbor with probability 3/7 and a deleted neighbor never, exactly
+  // like a sampler over the rebuilt 7-neighbor CSR.
+  const VertexId n = 11;
+  std::vector<std::pair<VertexId, VertexId>> base_edges;
+  for (VertexId v = 1; v <= 8; ++v) base_edges.emplace_back(0, v);
+  Dataset ds;
+  ds.graph = build_csr(n, base_edges);
+  ds.features.resize(n, 4);
+  ds.labels.assign(static_cast<std::size_t>(n), 0);
+  ds.info.f0 = 4;
+  ds.info.f2 = 2;
+
+  StreamingGraph graph(ds);
+  for (VertexId v : {2, 5, 7}) ASSERT_TRUE(graph.remove_edge(0, v));
+  for (VertexId v : {9, 10}) ASSERT_TRUE(graph.add_edge(0, v));
+  const auto version = graph.publish();
+  ASSERT_EQ(version->degree(0), 7);
+
+  std::vector<std::pair<VertexId, VertexId>> live_edges;
+  for (VertexId v : {1, 3, 4, 6, 8, 9, 10}) live_edges.emplace_back(VertexId{0}, v);
+  const CsrGraph rebuilt = build_csr(n, live_edges);
+
+  constexpr int kTrials = 20000;
+  OverlaySampler overlay(version, {3}, 0);
+  NeighborSampler reference(rebuilt, {3}, 0);
+  std::map<VertexId, int> overlay_counts;
+  std::map<VertexId, int> rebuilt_counts;
+  for (int t = 0; t < kTrials; ++t) {
+    overlay.reseed(static_cast<std::uint64_t>(t));
+    reference.reseed(static_cast<std::uint64_t>(t));
+    const MiniBatch o = overlay.sample({0});
+    const LayerBlock& ob = o.blocks[0];
+    for (EdgeId e = ob.indptr[0]; e < ob.indptr[1]; ++e) {
+      ++overlay_counts[ob.src_nodes[static_cast<std::size_t>(
+          ob.indices[static_cast<std::size_t>(e)])]];
+    }
+    const MiniBatch r = reference.sample({0});
+    const LayerBlock& rb = r.blocks[0];
+    for (EdgeId e = rb.indptr[0]; e < rb.indptr[1]; ++e) {
+      ++rebuilt_counts[rb.src_nodes[static_cast<std::size_t>(
+          rb.indices[static_cast<std::size_t>(e)])]];
+    }
+  }
+  const double expected = 3.0 / 7.0 * kTrials;
+  for (VertexId v : {1, 3, 4, 6, 8, 9, 10}) {
+    EXPECT_NEAR(overlay_counts[v], expected, expected * 0.08) << "neighbor " << v;
+    // Identical live adjacency + identical RNG discipline: the overlay
+    // sample is bit-identical to the rebuilt sample, not just close.
+    EXPECT_EQ(overlay_counts[v], rebuilt_counts[v]) << "neighbor " << v;
+  }
+  for (VertexId v : {2, 5, 7}) EXPECT_EQ(overlay_counts[v], 0) << "tombstoned neighbor " << v;
+}
+
+TEST(FeatureCacheEvict, DeletedVertexIsNeverServedFromCache) {
+  // Regression: remove_vertex must evict the pinned device row, not
+  // just rely on invalidate-from-update_feature — otherwise a query for
+  // the retracted entity is served its stale pinned features.
+  Dataset ds = two_component_dataset();
+  GnnModel model(small_model_config());
+  const ModelSnapshot snapshot(model);
+
+  ServingConfig config;  // full neighborhood: exact logits
+  config.num_workers = 1;
+  config.cache_capacity_rows = ds.graph.num_vertices();  // everything pinned
+  StreamingGraph graph(ds);
+  InferenceServer server(graph, snapshot, config);
+
+  ASSERT_TRUE(server.cache()->cached(21));
+  ASSERT_TRUE(graph.remove_vertex(21));
+  graph.publish();
+  EXPECT_FALSE(server.cache()->cached(21));
+  EXPECT_EQ(server.cache()->evictions(), 1);
+
+  // Reference: a static server over the dataset with 21's edges dropped
+  // and its feature row zeroed — what a correct retraction must serve.
+  Dataset updated = two_component_dataset();
+  std::vector<std::pair<VertexId, VertexId>> live;
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    if (v == 21) continue;
+    for (VertexId u : ds.graph.neighbors(v)) {
+      if (u != 21) live.emplace_back(v, u);
+    }
+  }
+  EdgeListOptions options;
+  options.symmetrize = false;
+  updated.graph = build_csr(ds.graph.num_vertices(), std::move(live), options);
+  for (std::int64_t j = 0; j < updated.features.cols(); ++j) updated.features.at(21, j) = 0.0f;
+  InferenceServer reference(updated, snapshot, config);
+
+  // The dead vertex itself and its ex-neighbors must match exactly.
+  for (const std::vector<VertexId>& seeds :
+       {std::vector<VertexId>{21}, std::vector<VertexId>{20, 22}}) {
+    const InferenceResult actual = server.infer(seeds);
+    const InferenceResult expected = reference.infer(seeds);
+    EXPECT_DOUBLE_EQ(Tensor::max_abs_diff(actual.logits, expected.logits), 0.0);
+  }
+}
+
 // ----------------------------------------------- compactor + update driver
 
 TEST(Compactor, BackgroundThreadFoldsOverlayPastThreshold) {
@@ -541,24 +895,32 @@ TEST(Compactor, BackgroundThreadFoldsOverlayPastThreshold) {
 TEST(UpdateGenerator, ReportMatchesGraphCounters) {
   StreamingGraph graph(community());
   UpdateGeneratorConfig config;
-  config.operations = 200;
+  config.operations = 300;
   config.num_threads = 2;
   config.publish_every = 32;
+  config.edge_delete_fraction = 0.20;
+  config.vertex_delete_fraction = 0.05;
   config.seed = 5;
   UpdateGenerator generator(graph, config);
   const UpdateReport report = generator.run();
 
-  EXPECT_EQ(report.operations, 200);
+  EXPECT_EQ(report.operations, 300);
   const StreamStats stats = graph.stats();
   EXPECT_EQ(stats.ingested_edges, report.accepted_edges);
+  EXPECT_EQ(stats.removed_edges, report.removed_edges);
+  EXPECT_EQ(stats.rejected_removals, report.rejected_removals);
   EXPECT_EQ(stats.added_vertices, report.added_vertices);
+  EXPECT_EQ(stats.removed_vertices, report.removed_vertices);
   EXPECT_EQ(stats.feature_updates, report.feature_updates);
   EXPECT_EQ(stats.publishes, report.publishes);
+  EXPECT_GT(report.removed_edges, 0);
   EXPECT_GT(report.edges_per_second, 0.0);
   EXPECT_GT(stats.publish_lag_max, 0.0);
-  // Everything accepted is visible after the trailing publish.
+  // Everything accepted is visible after the trailing publish, and
+  // every accepted retraction took exactly one directed edge back out.
   EXPECT_EQ(graph.current()->num_edges(),
-            community().graph.num_edges() + report.accepted_edges);
+            community().graph.num_edges() + report.accepted_edges - report.removed_edges);
+  EXPECT_TRUE(graph.current()->validate());
 }
 
 TEST(StreamingSession, FacadeServesMixedLoadEndToEnd) {

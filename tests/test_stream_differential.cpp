@@ -1,0 +1,401 @@
+// Randomized stream-vs-rebuild differential harness for the streaming
+// subsystem (src/stream/), the deletion-correctness backstop.
+//
+// A seeded driver interleaves edge insertions, edge retractions, vertex
+// arrivals (with id recycling), vertex retirements, feature refreshes,
+// publishes and compactions against a StreamingGraph, while a SHADOW
+// MODEL — a plain undirected edge set plus alive flags — tracks the
+// intended live graph.  Every accept/reject decision is asserted
+// against the shadow's expectation, and at every publish point the
+// published GraphVersion is checked against a from-scratch CSR rebuilt
+// from the shadow:
+//
+//   * per-vertex live adjacency element-identical to the rebuild
+//     (tombstone skips + overlay merge = one-shot build_csr),
+//   * sampled MiniBatches BIT-IDENTICAL between OverlaySampler on the
+//     version and NeighborSampler on the rebuild (same fanouts, same
+//     seed) — the strongest possible "sampling distribution" check,
+//   * full-neighborhood computation graphs identical and the forward
+//     pass EXACTLY equal (bitwise) on shared weights and features,
+//   * edge-count conservation: base + ingested - removed.
+//
+// Deletion logic is notoriously easy to get subtly wrong (double
+// delete, delete-then-reinsert across a compaction boundary, sampling
+// weight drift); 1000+ randomized interleaved steps per seed hunt the
+// interleavings the hand-written property tests in test_stream.cpp
+// cannot enumerate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/hyscale.hpp"
+
+namespace hyscale {
+namespace {
+
+ModelConfig small_model_config() {
+  ModelConfig config;
+  config.kind = GnnKind::kSage;
+  config.dims = {8, 16, 3};
+  config.seed = 11;
+  return config;
+}
+
+/// Intended live graph: canonical (lo, hi) undirected edges with O(1)
+/// uniform pick (swap-remove vector + position map) and alive flags.
+class ShadowModel {
+ public:
+  explicit ShadowModel(const CsrGraph& base) : n_(base.num_vertices()) {
+    alive_.assign(static_cast<std::size_t>(n_), 1);
+    for (VertexId v = 0; v < n_; ++v) {
+      for (VertexId u : base.neighbors(v)) {
+        if (v < u) insert(v, u);
+      }
+    }
+  }
+
+  VertexId num_vertices() const { return n_; }
+  bool alive(VertexId v) const { return alive_[static_cast<std::size_t>(v)] != 0; }
+  std::int64_t num_alive_streamed(VertexId dataset_vertices) const {
+    std::int64_t count = 0;
+    for (VertexId v = dataset_vertices; v < n_; ++v) count += alive(v);
+    return count;
+  }
+
+  bool has(VertexId u, VertexId v) const { return pos_.count(canonical(u, v)) != 0; }
+
+  bool expect_insert(VertexId u, VertexId v) const {
+    return u != v && alive(u) && alive(v) && !has(u, v);
+  }
+  bool expect_remove(VertexId u, VertexId v) const { return u != v && has(u, v); }
+
+  void insert(VertexId u, VertexId v) {
+    const auto edge = canonical(u, v);
+    pos_.emplace(edge, edges_.size());
+    edges_.push_back(edge);
+  }
+
+  void erase(VertexId u, VertexId v) {
+    const auto it = pos_.find(canonical(u, v));
+    ASSERT_NE(it, pos_.end());
+    const std::size_t slot = it->second;
+    pos_.erase(it);
+    if (slot + 1 != edges_.size()) {
+      edges_[slot] = edges_.back();
+      pos_[edges_[slot]] = slot;
+    }
+    edges_.pop_back();
+  }
+
+  /// Marks v dead after dropping its incident edges.
+  void kill(VertexId v) {
+    std::vector<std::pair<VertexId, VertexId>> incident;
+    for (const auto& e : edges_) {
+      if (e.first == v || e.second == v) incident.push_back(e);
+    }
+    for (const auto& e : incident) erase(e.first, e.second);
+    alive_[static_cast<std::size_t>(v)] = 0;
+  }
+
+  void revive(VertexId v) {
+    if (v == n_) {
+      ++n_;
+      alive_.push_back(1);
+      return;
+    }
+    ASSERT_LT(v, n_);
+    ASSERT_FALSE(alive(v));
+    alive_[static_cast<std::size_t>(v)] = 1;
+  }
+
+  std::pair<VertexId, VertexId> pick_edge(Xoshiro256& rng) const {
+    return edges_[static_cast<std::size_t>(
+        rng.bounded(static_cast<std::uint64_t>(edges_.size())))];
+  }
+  bool empty() const { return edges_.empty(); }
+  std::int64_t directed_edges() const { return static_cast<std::int64_t>(2 * edges_.size()); }
+
+  CsrGraph rebuild() const {
+    std::vector<std::pair<VertexId, VertexId>> edges = edges_;
+    return build_csr(n_, std::move(edges));  // symmetrize + sort + dedup
+  }
+
+ private:
+  static std::pair<VertexId, VertexId> canonical(VertexId u, VertexId v) {
+    return {std::min(u, v), std::max(u, v)};
+  }
+
+  VertexId n_ = 0;
+  std::vector<char> alive_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::map<std::pair<VertexId, VertexId>, std::size_t> pos_;
+};
+
+void expect_blocks_equal(const MiniBatch& actual, const MiniBatch& expected) {
+  ASSERT_EQ(actual.blocks.size(), expected.blocks.size());
+  for (std::size_t l = 0; l < expected.blocks.size(); ++l) {
+    EXPECT_EQ(actual.blocks[l].num_dst, expected.blocks[l].num_dst) << "layer " << l;
+    EXPECT_EQ(actual.blocks[l].src_nodes, expected.blocks[l].src_nodes) << "layer " << l;
+    EXPECT_EQ(actual.blocks[l].indptr, expected.blocks[l].indptr) << "layer " << l;
+    EXPECT_EQ(actual.blocks[l].indices, expected.blocks[l].indices) << "layer " << l;
+    EXPECT_EQ(actual.blocks[l].src_degrees, expected.blocks[l].src_degrees) << "layer " << l;
+  }
+}
+
+/// Full stream-vs-rebuild check at one publish point.
+void verify_against_rebuild(const StreamingGraph& graph, const GraphVersion& version,
+                            const ShadowModel& shadow, GnnModel& model, std::uint64_t check_seed,
+                            std::int64_t step) {
+  SCOPED_TRACE("step " + std::to_string(step));
+  ASSERT_EQ(version.num_vertices(), shadow.num_vertices());
+  const CsrGraph rebuilt = shadow.rebuild();
+  ASSERT_EQ(version.num_edges(), rebuilt.num_edges());
+  ASSERT_TRUE(version.validate());
+
+  // Per-vertex live adjacency: element-identical to the rebuild (the
+  // overlay merge and skip-over-tombstone iteration both preserve the
+  // sorted order build_csr produces).
+  std::vector<VertexId> live;
+  for (VertexId v = 0; v < shadow.num_vertices(); ++v) {
+    ASSERT_EQ(version.degree(v), rebuilt.degree(v)) << "vertex " << v;
+    ASSERT_EQ(version.alive(v), shadow.alive(v)) << "vertex " << v;
+    live.clear();
+    version.append_neighbors(v, live);
+    const auto expected = rebuilt.neighbors(v);
+    ASSERT_TRUE(std::equal(live.begin(), live.end(), expected.begin(), expected.end()))
+        << "vertex " << v;
+  }
+
+  // Probe seeds: deterministic spread over the id space; dead vertices
+  // are fair game (they serve an isolated, zero-feature entity).
+  Xoshiro256 rng(check_seed);
+  std::vector<VertexId> seeds;
+  for (int i = 0; i < 4; ++i) {
+    seeds.push_back(
+        static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(shadow.num_vertices()))));
+  }
+
+  // Sampled mode: bit-identical MiniBatch for the same fanouts + seed.
+  OverlaySampler overlay(
+      std::shared_ptr<const GraphVersion>(&version, [](const GraphVersion*) {}), {4, 3},
+      check_seed);
+  NeighborSampler reference(rebuilt, {4, 3}, check_seed);
+  expect_blocks_equal(overlay.sample(seeds), reference.sample(seeds));
+
+  // Exact mode: identical full-neighborhood computation graphs, then
+  // bitwise-equal logits on shared weights and the live feature store.
+  const MiniBatch full_stream = sample_full_overlay(version, seeds, /*num_layers=*/2);
+  const MiniBatch full_rebuilt = sample_full(rebuilt, seeds, /*num_layers=*/2);
+  expect_blocks_equal(full_stream, full_rebuilt);
+  Tensor x;
+  const auto& nodes = full_stream.input_nodes();
+  graph.gather(std::span<const VertexId>(nodes.data(), nodes.size()), x);
+  const Tensor logits_stream = model.forward(full_stream, x);
+  const Tensor logits_rebuilt = model.forward(full_rebuilt, x);
+  EXPECT_DOUBLE_EQ(Tensor::max_abs_diff(logits_stream, logits_rebuilt), 0.0);
+}
+
+struct MixConfig {
+  double insert = 0.30;
+  double remove = 0.22;
+  double vertex_add = 0.06;
+  double vertex_remove = 0.05;
+  double feature = 0.08;
+  double publish = 0.17;
+  double compact = 0.08;
+  // remainder: publish + compact back to back
+};
+
+void run_differential(std::uint64_t seed, std::int64_t steps, const MixConfig& mix) {
+  const Dataset ds = make_community_dataset(3, 32, 8, 2);
+  const VertexId dataset_vertices = ds.graph.num_vertices();
+  StreamingGraph graph(ds);
+  ShadowModel shadow(ds.graph);
+  GnnModel model(small_model_config());
+  Xoshiro256 rng(seed);
+
+  std::int64_t publish_points = 0;
+  std::int64_t accepted_inserts = 0;
+  std::int64_t accepted_removes = 0;
+  std::vector<float> row(8);
+
+  auto try_insert = [&](VertexId u, VertexId v) {
+    const bool expected = shadow.expect_insert(u, v);
+    ASSERT_EQ(graph.add_edge(u, v), expected) << u << "-" << v;
+    if (expected) {
+      shadow.insert(u, v);
+      accepted_inserts += 2;
+    }
+  };
+
+  for (std::int64_t step = 0; step < steps; ++step) {
+    const double r = rng.uniform();
+    const VertexId n = shadow.num_vertices();
+    const double c_insert = mix.insert;
+    const double c_remove = c_insert + mix.remove;
+    const double c_vadd = c_remove + mix.vertex_add;
+    const double c_vdel = c_vadd + mix.vertex_remove;
+    const double c_feat = c_vdel + mix.feature;
+    const double c_publish = c_feat + mix.publish;
+    const double c_compact = c_publish + mix.compact;
+
+    if (r < c_insert) {
+      const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+      try_insert(u, v);
+    } else if (r < c_remove) {
+      // Mostly retract real edges; sometimes probe a random pair so
+      // double deletes and never-existed edges stay covered.
+      if (!shadow.empty() && rng.uniform() < 0.8) {
+        const auto [u, v] = shadow.pick_edge(rng);
+        ASSERT_TRUE(graph.remove_edge(u, v)) << u << "-" << v;
+        shadow.erase(u, v);
+        accepted_removes += 2;
+      } else {
+        const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+        const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+        const bool expected = shadow.expect_remove(u, v);
+        ASSERT_EQ(graph.remove_edge(u, v), expected) << u << "-" << v;
+        if (expected) {
+          shadow.erase(u, v);
+          accepted_removes += 2;
+        }
+      }
+    } else if (r < c_vadd) {
+      for (float& x : row) x = static_cast<float>(rng.normal());
+      const VertexId v = graph.add_vertex(row);
+      // Either the space grew or a scrubbed streamed-in id came back.
+      if (v != shadow.num_vertices()) {
+        ASSERT_GE(v, dataset_vertices);
+        ASSERT_FALSE(shadow.alive(v));
+      }
+      shadow.revive(v);
+      // A couple of attachment edges so new vertices join the topology.
+      for (int e = 0; e < 2; ++e) {
+        const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+        try_insert(v, u);
+      }
+    } else if (r < c_vdel) {
+      // Retire any alive vertex — dataset or streamed-in.
+      const auto start = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+      VertexId victim = -1;
+      for (VertexId probe = 0; probe < n; ++probe) {
+        const VertexId v = (start + probe) % n;
+        if (shadow.alive(v)) {
+          victim = v;
+          break;
+        }
+      }
+      if (victim >= 0) {
+        const std::int64_t before = shadow.directed_edges();
+        ASSERT_TRUE(graph.remove_vertex(victim));
+        ASSERT_FALSE(graph.remove_vertex(victim));  // double retire rejected
+        shadow.kill(victim);
+        accepted_removes += before - shadow.directed_edges();
+      }
+    } else if (r < c_feat) {
+      const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+      for (float& x : row) x = static_cast<float>(rng.normal());
+      // Dead vertices refuse feature writes — their zeroed row must
+      // never be repopulated.
+      ASSERT_EQ(graph.update_feature(v, row), shadow.alive(v)) << v;
+    } else if (r < c_publish) {
+      const auto version = graph.publish();
+      verify_against_rebuild(graph, *version, shadow, model, seed ^ (0xabcdULL + step), step);
+      ++publish_points;
+    } else if (r < c_compact) {
+      graph.compact();
+      verify_against_rebuild(graph, *graph.current(), shadow, model, seed ^ (0x1234ULL + step),
+                             step);
+      ++publish_points;
+    } else {
+      graph.publish();
+      graph.compact();
+      verify_against_rebuild(graph, *graph.current(), shadow, model, seed ^ (0x5678ULL + step),
+                             step);
+      ++publish_points;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // Trailing publish: conservation + one final full check.
+  const auto version = graph.publish();
+  verify_against_rebuild(graph, *version, shadow, model, seed ^ 0x9999ULL, steps);
+  ++publish_points;
+  const StreamStats stats = graph.stats();
+  EXPECT_EQ(stats.ingested_edges, accepted_inserts);
+  EXPECT_EQ(stats.removed_edges, accepted_removes);
+  EXPECT_EQ(version->num_edges(),
+            ds.graph.num_edges() + stats.ingested_edges - stats.removed_edges);
+  EXPECT_EQ(version->num_edges(), shadow.directed_edges());
+  // The mix must actually have exercised the machinery.
+  EXPECT_GT(publish_points, 20);
+  EXPECT_GT(stats.removed_edges, 0);
+  EXPECT_GT(stats.removed_vertices, 0);
+  EXPECT_GT(stats.compactions, 0);
+}
+
+TEST(StreamDifferential, InterleavedChurnMatchesRebuildSeed17) {
+  run_differential(/*seed=*/17, /*steps=*/1200, MixConfig{});
+}
+
+TEST(StreamDifferential, DeleteHeavyChurnMatchesRebuildSeed91) {
+  MixConfig mix;
+  mix.insert = 0.22;
+  mix.remove = 0.30;       // delete-heavy: retractions outnumber inserts
+  mix.vertex_add = 0.07;
+  mix.vertex_remove = 0.07;
+  mix.compact = 0.12;      // more compaction boundaries under churn
+  run_differential(/*seed=*/91, /*steps=*/1000, mix);
+}
+
+TEST(StreamDifferential, RecyclingPressureKeepsIdsConsistent) {
+  // Tight add/retire/compact loop: the same ids die, fold, recycle and
+  // re-attach over and over; every publish must still match a rebuild.
+  const Dataset ds = make_community_dataset(2, 24, 8, 2);
+  StreamingGraph graph(ds);
+  ShadowModel shadow(ds.graph);
+  GnnModel model(small_model_config());
+  Xoshiro256 rng(7);
+  std::vector<float> row(8);
+  std::int64_t recycled_total = 0;
+
+  for (int round = 0; round < 40; ++round) {
+    std::vector<VertexId> streamed;
+    for (int i = 0; i < 3; ++i) {
+      for (float& x : row) x = static_cast<float>(rng.normal());
+      const VertexId v = graph.add_vertex(row);
+      shadow.revive(v);
+      streamed.push_back(v);
+      const auto u = static_cast<VertexId>(
+          rng.bounded(static_cast<std::uint64_t>(ds.graph.num_vertices())));
+      if (shadow.expect_insert(v, u)) {
+        ASSERT_TRUE(graph.add_edge(v, u));
+        shadow.insert(v, u);
+      }
+    }
+    const auto version = graph.publish();
+    verify_against_rebuild(graph, *version, shadow, model, 1000 + round, round);
+    for (VertexId v : streamed) {
+      ASSERT_TRUE(graph.remove_vertex(v));
+      shadow.kill(v);
+    }
+    ASSERT_TRUE(graph.compact());
+    verify_against_rebuild(graph, *graph.current(), shadow, model, 2000 + round, round);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  recycled_total = graph.stats().recycled_vertices;
+  // The extension area stopped growing: later rounds were served by
+  // recycled ids, and the vertex space stayed bounded.
+  EXPECT_GT(recycled_total, 60);
+  EXPECT_LE(graph.num_vertices(), ds.graph.num_vertices() + 60);
+  EXPECT_GT(graph.features().released_rows(), 0);
+}
+
+}  // namespace
+}  // namespace hyscale
