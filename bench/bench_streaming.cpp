@@ -2,15 +2,25 @@
 // the streaming inference server while a concurrent update stream
 // mutates the graph, at increasing update intensity and churn (edge /
 // vertex deletions).  Emits BENCH_streaming.json with ingest+retract
-// throughput, staleness (publish lag), and served p50/p99 (plus the
-// queue-wait/compute split) so later PRs have a freshness/latency
-// trajectory to beat.
+// throughput, staleness (publish lag), served p50/p99 (plus the
+// queue-wait/compute split), and the lifecycle counters (full rebuilds
+// vs in-place annihilations, TTL retirements) so later PRs have a
+// freshness/latency trajectory to beat.
 //
 // The headline record is the mixed 90/10 query/update point (90% of
 // operations are queries, 10% update ops — the ISSUE-2 workload).  The
-// churn point (ISSUE-3) retracts 40% of update ops and retires 5% of
-// streamed-in vertices, exercising tombstone sampling and compaction
-// folding on the hot path.
+// churn pair (ISSUE-3/4) is a sustained cancel-heavy edge feed:
+// `churn_no_gc` runs the fold-only compactor, `churn_delete_heavy`
+// adds the in-place annihilation pass — compare their
+// `full_compactions` within this record.  `sustained_churn_slo`
+// (ISSUE-4) is the full lifecycle operating point: TTL eviction on,
+// fixed publish cadence replaced by the SLO publisher, annihilation
+// on.  Its `publisher_worst_staleness_ms` is the measured bound on how
+// long an accepted op waited before a publish STARTED (target: the
+// budget); `publish_lag_max_ms` additionally absorbs publishes
+// blocking behind an in-flight compaction fold, so its worst case is
+// budget + one fold stall — making folds non-blocking for the
+// publisher is the ROADMAP follow-on this record motivates.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -30,6 +40,12 @@ struct OperatingPoint {
   int update_threads;
   double edge_delete_fraction = 0.0;    ///< churn: update ops that retract an edge
   double vertex_delete_fraction = 0.0;  ///< churn: update ops that retire a vertex
+  double delete_recent_fraction = 0.0;  ///< churn locality: deletes that cancel recent inserts
+  bool annihilate = true;               ///< in-place tombstone GC before rebuilds
+  double slo_budget_ms = 0.0;           ///< > 0: background publisher at this budget
+  double ttl_ms = -1.0;                 ///< >= 0: TTL eviction at this idle budget
+  Seconds pacing = 0.0;                 ///< ingest inter-op sleep (sustained-feed points)
+  int edges_per_op = 4;                 ///< insertions per edge op
 };
 
 struct PointResult {
@@ -37,7 +53,11 @@ struct PointResult {
   LoadReport load;
   UpdateReport updates;
   StreamStats stream;
-  std::int64_t compactions = 0;
+  std::int64_t compactions = 0;          ///< full delta->CSR rebuilds
+  std::int64_t annihilation_passes = 0;  ///< trigger rounds resolved in place
+  std::int64_t publisher_publishes = 0;
+  std::int64_t publisher_breaches = 0;
+  double publisher_worst_staleness_ms = 0.0;
 };
 
 }  // namespace
@@ -65,15 +85,28 @@ int main() {
       {"mixed_90_10", kQueries / 9, 16, 1},
       // update-heavy: as many update ops as queries, two ingest threads.
       {"update_heavy", kQueries, 8, 2},
-      // churn: delete-heavy feed — 40% of ops retract an edge, 5%
-      // retire a streamed-in vertex, so tombstone skips, dead-vertex
-      // folding and id recycling all sit on the measured path.
-      {"churn_delete_heavy", kQueries, 8, 2, 0.40, 0.05},
+      // churn pair: sustained delete-heavy EDGE feed — 8x ops at a
+      // paced rate so the op-count trigger fires repeatedly; 50% of
+      // ops retract an edge, 90% of those cancelling an edge the feed
+      // itself just wrote (aborted orders / reverted follows).  Vertex
+      // churn is kept out so rebuilds are op-driven, not scrub-driven.
+      // First the PR-3 fold-only compactor, then the annihilation
+      // pass: the delta between their full_compactions is the
+      // tombstone-GC win.
+      {"churn_no_gc", 8 * kQueries, 8, 2, 0.50, 0.0, 0.90, /*annihilate=*/false,
+       /*slo_budget_ms=*/0.0, /*ttl_ms=*/-1.0, /*pacing=*/20e-6, /*edges_per_op=*/1},
+      {"churn_delete_heavy", 8 * kQueries, 8, 2, 0.50, 0.0, 0.90, /*annihilate=*/true,
+       /*slo_budget_ms=*/0.0, /*ttl_ms=*/-1.0, /*pacing=*/20e-6, /*edges_per_op=*/1},
+      // sustained churn, full lifecycle: edge churn + vertex
+      // retirement + SLO publisher (no fixed cadence) + TTL eviction +
+      // annihilation.
+      {"sustained_churn_slo", 4 * kQueries, 0, 2, 0.40, 0.05, 0.70, /*annihilate=*/true,
+       /*slo_budget_ms=*/5.0, /*ttl_ms=*/25.0, /*pacing=*/25e-6},
   };
 
-  bench::row({"config", "qps", "p50 ms", "p99 ms", "queue p99", "ingest e/s", "lag ms",
-              "compact"},
-             {14, 9, 9, 9, 10, 11, 9, 8});
+  bench::row({"config", "qps", "p50 ms", "p99 ms", "ingest e/s", "lag max", "rebuild",
+              "annihil", "expired"},
+             {18, 9, 9, 9, 11, 9, 8, 8, 8});
 
   std::vector<PointResult> results;
   for (const OperatingPoint& point : points) {
@@ -91,15 +124,23 @@ int main() {
     CompactionPolicy compaction;
     compaction.max_overlay_edges = 2048;
     compaction.max_overlay_ratio = 0.10;
-    StreamingSession session = system.stream(serving, {}, compaction);
+    compaction.annihilate_first = point.annihilate;
+    PublisherPolicy publisher;
+    publisher.staleness_budget = point.slo_budget_ms * 1e-3;  // <= 0: disabled
+    ExpiryPolicy expiry;
+    expiry.ttl = point.ttl_ms < 0.0 ? -1.0 : point.ttl_ms * 1e-3;
+    expiry.sweep_interval = 5e-3;
+    StreamingSession session = system.stream(serving, {}, compaction, publisher, expiry);
 
     UpdateGeneratorConfig updates;
     updates.operations = point.update_ops;
     updates.num_threads = point.update_threads;
     updates.publish_every = point.publish_every;
-    updates.edges_per_op = 4;
+    updates.edges_per_op = point.edges_per_op;
     updates.edge_delete_fraction = point.edge_delete_fraction;
     updates.vertex_delete_fraction = point.vertex_delete_fraction;
+    updates.delete_recent_fraction = point.delete_recent_fraction;
+    updates.pacing = point.pacing;
     updates.seed = 23;
 
     UpdateReport update_report;
@@ -126,15 +167,22 @@ int main() {
     result.updates = update_report;
     result.stream = session.stream().stats();
     result.compactions = result.stream.compactions;
+    result.annihilation_passes = session.compactor->annihilation_passes();
+    if (session.publisher != nullptr) {
+      result.publisher_publishes = session.publisher->publishes();
+      result.publisher_breaches = session.publisher->breaches();
+      result.publisher_worst_staleness_ms = session.publisher->worst_staleness() * 1e3;
+    }
 
     bench::row({point.name, format_double(report.qps, 1),
                 format_double(report.server.latency_p50 * 1e3, 3),
                 format_double(report.server.latency_p99 * 1e3, 3),
-                format_double(report.server.queue_wait_p99 * 1e3, 3),
                 format_double(result.updates.edges_per_second, 0),
-                format_double(result.stream.publish_lag_mean * 1e3, 3),
-                std::to_string(result.compactions)},
-               {14, 9, 9, 9, 10, 11, 9, 8});
+                format_double(result.stream.publish_lag_max * 1e3, 3),
+                std::to_string(result.compactions),
+                std::to_string(result.stream.annihilated_ops),
+                std::to_string(result.stream.expired_vertices)},
+               {18, 9, 9, 9, 11, 9, 8, 8, 8});
     results.push_back(std::move(result));
   }
 
@@ -146,8 +194,8 @@ int main() {
   json.field("fanouts", "10,5");
   json.field("queries", kQueries);
   // Wall-clock numbers are machine-condition dependent; regressions are
-  // judged point-vs-point WITHIN one record (e.g. churn vs static), not
-  // against a record from an earlier run.
+  // judged point-vs-point WITHIN one record (e.g. churn_no_gc vs
+  // churn_delete_heavy), not against a record from an earlier run.
   json.field("note", "compare points within this record; absolute numbers are not "
                      "comparable across machines/runs");
   json.key("points");
@@ -160,6 +208,10 @@ int main() {
     json.field("publish_every", r.point.publish_every);
     json.field("edge_delete_fraction", r.point.edge_delete_fraction);
     json.field("vertex_delete_fraction", r.point.vertex_delete_fraction);
+    json.field("delete_recent_fraction", r.point.delete_recent_fraction);
+    json.field("annihilate", r.point.annihilate);
+    json.field("slo_budget_ms", r.point.slo_budget_ms);
+    json.field("ttl_ms", r.point.ttl_ms);
     json.field("completed_requests", r.load.completed_requests);
     json.field("qps", r.load.qps);
     json.field("p50_ms", r.load.server.latency_p50 * 1e3);
@@ -176,10 +228,16 @@ int main() {
     json.field("dead_vertices", r.stream.dead_vertices);
     json.field("tombstones_pending", r.stream.tombstones);
     json.field("feature_updates", r.updates.feature_updates);
+    json.field("expired_vertices", r.stream.expired_vertices);
     json.field("publish_lag_mean_ms", r.stream.publish_lag_mean * 1e3);
     json.field("publish_lag_max_ms", r.stream.publish_lag_max * 1e3);
     json.field("publishes", r.stream.publishes);
-    json.field("compactions", r.compactions);
+    json.field("publisher_publishes", r.publisher_publishes);
+    json.field("publisher_breaches", r.publisher_breaches);
+    json.field("publisher_worst_staleness_ms", r.publisher_worst_staleness_ms);
+    json.field("full_compactions", r.compactions);
+    json.field("annihilation_passes", r.annihilation_passes);
+    json.field("annihilated_ops", r.stream.annihilated_ops);
     json.field("cache_hit_rate", r.load.server.cache_hit_rate);
     json.end_object();
   }

@@ -14,11 +14,14 @@
 //
 // Live serving over an evolving graph (concurrent update stream with a
 // configurable insert/delete/update mix + query load against the
-// streaming subsystem, background compaction):
+// streaming subsystem; background annihilate-then-fold compaction, an
+// SLO publisher bounding staleness, and optional TTL eviction):
 //   $ ./example_hyscale_cli stream --dataset ogbn-products --workers 4 \
-//        --clients 8 --requests 64 --updates 512 --publish-every 32 \
+//        --clients 8 --requests 64 --updates 512 \
 //        [--delete-frac 0.3] [--vertex-delete-frac 0.05] \
-//        [--update-threads 2] [--compact-edges N] [--compact-ratio R]
+//        [--delete-recent-frac 0.7] [--update-threads 2] \
+//        [--compact-edges N] [--compact-ratio R] [--no-annihilate] \
+//        [--slo-ms 5] [--ttl-ms 50] [--sweep-ms 10] [--publish-every N]
 //
 // Prints per-epoch reports (train), p50/p99 latency, QPS, batch-size
 // and cache statistics (serve), plus ingest rate, publish lag and
@@ -251,13 +254,20 @@ struct StreamOptions {
   ServeOptions serve;  ///< shared knobs (dataset, model, workers, batching…)
   std::int64_t updates = 512;
   int update_threads = 1;
-  std::int64_t publish_every = 32;
+  /// 0 (default): the SLO publisher paces visibility; > 0 restores the
+  /// fixed every-N-ops cadence.
+  std::int64_t publish_every = 0;
   double vertex_add_fraction = 0.05;
   double vertex_delete_fraction = 0.0;
   double feature_update_fraction = 0.10;
   double edge_delete_fraction = 0.0;
+  double delete_recent_fraction = 0.0;
   EdgeId compact_edges = 1 << 15;
   double compact_ratio = 0.25;
+  bool annihilate = true;    ///< in-place tombstone GC before full rebuilds
+  double slo_ms = 5.0;       ///< staleness budget; <= 0 disables the publisher
+  double ttl_ms = -1.0;      ///< idle budget for streamed-in entities; < 0 = no TTL
+  double sweep_ms = 10.0;    ///< TTL sweep interval
 };
 
 void stream_usage(const char* argv0) {
@@ -267,8 +277,13 @@ void stream_usage(const char* argv0) {
       "          [--cache-rows R] [--clients C] [--requests N] [--seed X]\n"
       "          [--updates U] [--update-threads T] [--publish-every P]\n"
       "          [--vertex-add-frac F] [--feature-update-frac F]\n"
-      "          [--delete-frac F] [--vertex-delete-frac F]\n"
-      "          [--compact-edges E] [--compact-ratio R]\n",
+      "          [--delete-frac F] [--vertex-delete-frac F] [--delete-recent-frac F]\n"
+      "          [--compact-edges E] [--compact-ratio R] [--no-annihilate]\n"
+      "          [--slo-ms MS] [--ttl-ms MS] [--sweep-ms MS]\n"
+      "\n"
+      "lifecycle: --slo-ms bounds staleness (background publisher; 0 = caller-paced\n"
+      "via --publish-every), --ttl-ms retires streamed-in entities idle that long\n"
+      "(swept every --sweep-ms), --no-annihilate disables in-place tombstone GC.\n",
       argv0);
 }
 
@@ -313,6 +328,10 @@ bool parse_stream_args(int argc, char** argv, StreamOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.vertex_delete_fraction = std::atof(v);
+    } else if (arg == "--delete-recent-frac") {
+      const char* v = next();
+      if (!v) return false;
+      options.delete_recent_fraction = std::atof(v);
     } else if (arg == "--compact-edges") {
       const char* v = next();
       if (!v) return false;
@@ -321,6 +340,20 @@ bool parse_stream_args(int argc, char** argv, StreamOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.compact_ratio = std::atof(v);
+    } else if (arg == "--no-annihilate") {
+      options.annihilate = false;
+    } else if (arg == "--slo-ms") {
+      const char* v = next();
+      if (!v) return false;
+      options.slo_ms = std::atof(v);
+    } else if (arg == "--ttl-ms") {
+      const char* v = next();
+      if (!v) return false;
+      options.ttl_ms = std::atof(v);
+    } else if (arg == "--sweep-ms") {
+      const char* v = next();
+      if (!v) return false;
+      options.sweep_ms = std::atof(v);
     } else if (arg == "--help" || arg == "-h") {
       stream_usage(argv[0]);
       std::exit(0);
@@ -381,13 +414,32 @@ int run_stream_impl(const StreamOptions& options) {
   CompactionPolicy compaction;
   compaction.max_overlay_edges = options.compact_edges;
   compaction.max_overlay_ratio = options.compact_ratio;
-  StreamingSession session = system.stream(serving, {}, compaction);
+  compaction.annihilate_first = options.annihilate;
+  PublisherPolicy publisher;
+  publisher.staleness_budget = options.slo_ms * 1e-3;  // <= 0 disables
+  ExpiryPolicy expiry;
+  expiry.ttl = options.ttl_ms < 0.0 ? -1.0 : options.ttl_ms * 1e-3;
+  expiry.sweep_interval = options.sweep_ms * 1e-3;
+  StreamingSession session = system.stream(serving, {}, compaction, publisher, expiry);
 
   std::printf("\nstreaming %s on %d workers (%lld base edges, compact at %lld overlay "
               "edges or %.0f%%)\n",
               dataset.info.name.c_str(), serve.workers,
               static_cast<long long>(dataset.graph.num_edges()),
               static_cast<long long>(options.compact_edges), options.compact_ratio * 100.0);
+  if (session.publisher != nullptr) {
+    std::printf("publisher: staleness budget %.3f ms\n", options.slo_ms);
+  } else if (options.publish_every > 0) {
+    std::printf("publisher: off (fixed cadence, publish every %lld ops)\n",
+                static_cast<long long>(options.publish_every));
+  } else {
+    std::printf("publisher: off and no cadence — updates stay invisible until the "
+                "final publish (pass --slo-ms or --publish-every)\n");
+  }
+  if (session.sweeper != nullptr) {
+    std::printf("expiry:    ttl %.1f ms, sweep every %.1f ms\n", options.ttl_ms,
+                options.sweep_ms);
+  }
 
   UpdateGeneratorConfig updates;
   updates.operations = options.updates;
@@ -397,6 +449,7 @@ int run_stream_impl(const StreamOptions& options) {
   updates.vertex_delete_fraction = options.vertex_delete_fraction;
   updates.feature_update_fraction = options.feature_update_fraction;
   updates.edge_delete_fraction = options.edge_delete_fraction;
+  updates.delete_recent_fraction = options.delete_recent_fraction;
   updates.seed = serve.seed + 2;
   UpdateGenerator update_generator(session.stream(), updates);
   UpdateReport update_report;
@@ -426,6 +479,16 @@ int run_stream_impl(const StreamOptions& options) {
               static_cast<long long>(stream_stats.recycled_vertices),
               static_cast<unsigned long long>(stream_stats.version_id),
               static_cast<long long>(stream_stats.compactions));
+  std::printf("lifecycle: %lld ops annihilated in %lld passes, %lld expired",
+              static_cast<long long>(stream_stats.annihilated_ops),
+              static_cast<long long>(stream_stats.annihilations),
+              static_cast<long long>(stream_stats.expired_vertices));
+  if (session.publisher != nullptr) {
+    std::printf(", publisher %lld publishes (worst staleness %.3f ms)",
+                static_cast<long long>(session.publisher->publishes()),
+                session.publisher->worst_staleness() * 1e3);
+  }
+  std::printf("\n");
   if (serve.cache_rows > 0) {
     const StaticFeatureCache* cache = session.server->cache();
     std::printf("cache:    hit_rate %.3f  since_invalidate %.3f (%lld invalidations)\n",

@@ -57,15 +57,20 @@ namespace hyscale {
 inline constexpr const char* kVersion = "1.0.0";
 
 /// A live streaming deployment: the evolving graph, an inference server
-/// bound to its latest published version, and the background compactor.
-/// Members are declared in dependency order so teardown is safe: the
-/// compactor stops first, then the server drains (detaching its cache),
-/// then the graph goes away.  Quiesce your ingest threads before
-/// dropping the session.
+/// bound to its latest published version, and the background lifecycle
+/// threads — compactor (annihilate-then-fold), SLO publisher (staleness
+/// budget, on by default), and TTL expiry sweeper (opt-in).  Members
+/// are declared in dependency order so teardown is safe: the sweeper
+/// stops first (it feeds retirements into the graph), then the
+/// publisher and compactor, then the server drains (detaching its
+/// cache), then the graph goes away.  Quiesce your ingest threads
+/// before dropping the session.
 struct StreamingSession {
   std::unique_ptr<StreamingGraph> graph;
   std::unique_ptr<InferenceServer> server;
   std::unique_ptr<Compactor> compactor;
+  std::unique_ptr<Publisher> publisher;  ///< null when the staleness budget is disabled
+  std::unique_ptr<ExpirySweeper> sweeper;  ///< null unless the expiry policy is enabled
 
   StreamingGraph& stream() { return *graph; }
   InferenceResult infer(std::vector<VertexId> seeds) { return server->infer(std::move(seeds)); }
@@ -92,18 +97,33 @@ class HyScale {
   /// Snapshots the current weights and starts serving over an EVOLVING
   /// copy of the dataset's graph: ingest edge/vertex insertions AND
   /// deletions (add_edge/remove_edge, add_vertex/remove_vertex) plus
-  /// feature updates through session.stream(), publish versions, and
-  /// queries see them live while the compactor folds deltas — dropping
-  /// tombstoned edges and recycling deleted streamed-in ids — into
-  /// fresh CSRs in the background.
+  /// feature updates through session.stream(), and queries see them
+  /// live.  Background lifecycle threads keep the deployment healthy
+  /// under sustained churn: the SLO Publisher (on by default) makes
+  /// every accepted op visible within `publisher.staleness_budget`
+  /// without any caller-paced publish() calls; the Compactor
+  /// annihilates cancelled op pairs in place and folds deltas —
+  /// dropping tombstoned edges and recycling deleted streamed-in ids —
+  /// into fresh CSRs only when the overlay really needs it; and, when
+  /// `expiry.enabled()`, the ExpirySweeper retires streamed-in
+  /// entities idle past their TTL, paced against the compaction
+  /// trigger.
   StreamingSession stream(ServingConfig serving = {}, StreamingConfig streaming = {},
-                          CompactionPolicy compaction = {}) {
+                          CompactionPolicy compaction = {}, PublisherPolicy publisher = {},
+                          ExpiryPolicy expiry = {}) {
     const ModelSnapshot snapshot(trainer_.model());
     StreamingSession session;
     session.graph = std::make_unique<StreamingGraph>(*dataset_, streaming);
     session.server =
         std::make_unique<InferenceServer>(*session.graph, snapshot, std::move(serving));
     session.compactor = std::make_unique<Compactor>(*session.graph, compaction);
+    if (publisher.staleness_budget > 0.0)
+      session.publisher = std::make_unique<Publisher>(*session.graph, publisher);
+    if (expiry.enabled()) {
+      if (expiry.pending_op_budget == ExpiryPolicy::kDeriveFromCompaction)
+        expiry.pending_op_budget = compaction.max_overlay_edges / 2;
+      session.sweeper = std::make_unique<ExpirySweeper>(*session.graph, expiry);
+    }
     return session;
   }
 

@@ -159,6 +159,14 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
       // Latest published version for the whole micro-batch: consistent
       // view per batch, freshest data per pickup.
       const std::shared_ptr<const GraphVersion> version = stream_->current();
+      // Max-merge across workers: two batches can read current() in
+      // one order and store in the other, and a plain store would let
+      // the gauge go backwards.
+      std::uint64_t seen = last_served_version_.load(std::memory_order_relaxed);
+      while (seen < version->id() &&
+             !last_served_version_.compare_exchange_weak(seen, version->id(),
+                                                         std::memory_order_relaxed)) {
+      }
       if (worker.overlay) {
         worker.overlay->set_version(version);
         worker.overlay->reseed(batch_stream_seed(config_.seed, combined));

@@ -99,6 +99,12 @@ class InferenceServer {
   const ServingConfig& config() const { return config_; }
   int num_classes() const { return num_classes_; }
   bool streaming() const { return stream_ != nullptr; }
+  /// Id of the newest GraphVersion any micro-batch has sampled (0 in
+  /// static mode or before the first streaming batch) — how the SLO
+  /// publisher's freshness actually reaches queries.
+  std::uint64_t last_served_version() const {
+    return last_served_version_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Per-worker state: everything GnnModel::forward / sampling mutates.
@@ -126,6 +132,7 @@ class InferenceServer {
   std::unique_ptr<ThreadPool> pool_;  ///< dedicated; keep last so it joins first
   std::atomic<std::uint64_t> next_request_id_{0};
   std::atomic<std::uint64_t> next_batch_id_{0};
+  std::atomic<std::uint64_t> last_served_version_{0};
 };
 
 }  // namespace hyscale

@@ -9,7 +9,12 @@ namespace hyscale {
 
 namespace {
 
-/// Nearest-rank percentile over an already-sorted sample.
+/// Nearest-rank percentile over an already-sorted sample: the value at
+/// rank ceil(q * n), where ranks are 1-BASED — so the rank converts to
+/// a 0-based index by subtracting one.  Using the rank as an index
+/// directly reads one sample too high (p50 over 4 samples would serve
+/// the 3rd-smallest instead of the 2nd); the small-sample regression
+/// tests in test_serving.cpp pin the conversion.
 Seconds percentile(const std::vector<Seconds>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const auto rank = static_cast<std::size_t>(

@@ -1,5 +1,6 @@
 #include "stream/compactor.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -11,6 +12,8 @@ Compactor::Compactor(StreamingGraph& graph, CompactionPolicy policy)
     throw std::invalid_argument("Compactor: max_overlay_edges must be positive");
   if (policy_.max_overlay_ratio <= 0.0)
     throw std::invalid_argument("Compactor: max_overlay_ratio must be positive");
+  if (policy_.max_backoff < 0.0)
+    throw std::invalid_argument("Compactor: max_backoff must be non-negative");
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -26,27 +29,68 @@ void Compactor::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
-bool Compactor::should_compact() const {
+Compactor::Maintenance Compactor::decide() const {
   // Pending ops of either sign: tombstones cost sampling-path skips
   // just like insertions cost merges, so both count toward the fold.
   // Pending scrubs (op-less vertex retirements) also trigger, else
   // their ids and feature rows would never be recycled — but only once
   // the free pool is dry, so a sustained retirement stream batches
   // into one fold per pool refill instead of one rebuild per death.
-  return graph_.overlay_ops() >= policy_.max_overlay_edges ||
-         graph_.overlay_ratio() >= policy_.max_overlay_ratio ||
-         (graph_.has_pending_scrubs() && graph_.recyclable_vertices() == 0);
+  const bool op_pressure = graph_.overlay_ops() >= policy_.max_overlay_edges ||
+                           graph_.overlay_ratio() >= policy_.max_overlay_ratio;
+  const bool scrub_pressure = graph_.has_pending_scrubs() && graph_.recyclable_vertices() == 0;
+  if (!op_pressure && !scrub_pressure) return Maintenance::kNone;
+  // Annihilation only shrinks op buffers, and only ever erases
+  // insert/tombstone PAIRS — with zero tombstones pending there is
+  // nothing to cancel, so an insert-only overlay goes straight to the
+  // fold instead of paying an exclusive no-op bucket scan.  A
+  // scrub-driven trigger needs the fold regardless (the free pool
+  // refills only on rebase).
+  if (op_pressure && policy_.annihilate_first && graph_.overlay_tombstones() > 0)
+    return Maintenance::kAnnihilate;
+  return Maintenance::kFold;
+}
+
+Seconds Compactor::next_backoff(Seconds current, const CompactionPolicy& policy) {
+  const Seconds grown = current <= 0.0 ? policy.poll_interval : current * 2.0;
+  return std::min(grown, policy.max_backoff);
 }
 
 void Compactor::loop() {
+  Seconds backoff = 0.0;
   std::unique_lock lock(mutex_);
   while (!stop_) {
-    cv_.wait_for(lock, std::chrono::duration<double>(policy_.poll_interval),
+    cv_.wait_for(lock, std::chrono::duration<double>(policy_.poll_interval + backoff),
                  [this] { return stop_; });
     if (stop_) break;
-    if (!should_compact()) continue;
+    const Maintenance action = decide();
+    if (action == Maintenance::kNone) {
+      backoff = 0.0;
+      continue;
+    }
     lock.unlock();
-    if (graph_.compact()) compactions_.fetch_add(1, std::memory_order_relaxed);
+    if (action == Maintenance::kAnnihilate) {
+      graph_.annihilate();
+      if (decide() == Maintenance::kNone) {
+        // The in-place pass cleared the pressure — no rebuild needed.
+        annihilation_passes_.fetch_add(1, std::memory_order_relaxed);
+        backoff = 0.0;
+        lock.lock();
+        continue;
+      }
+    }
+    if (graph_.compact()) {
+      compactions_.fetch_add(1, std::memory_order_relaxed);
+      backoff = 0.0;
+    } else if (should_compact()) {
+      // Fold refused while the trigger stays hot (e.g. a long-lived
+      // structural race): widen the next wait instead of spinning one
+      // refused snapshot per poll tick.
+      refused_folds_.fetch_add(1, std::memory_order_relaxed);
+      backoff = next_backoff(backoff, policy_);
+    } else {
+      backoff = 0.0;
+    }
     lock.lock();
   }
 }

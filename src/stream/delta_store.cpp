@@ -212,10 +212,85 @@ VertexId DeltaStore::reclaim_vertex() {
   return v;
 }
 
+VertexId DeltaStore::annihilate_bucket(Bucket& bucket, Epoch gate, EdgeId& dropped_inserts,
+                                       EdgeId& dropped_removes) {
+  // Eligible suffix: ops stamped strictly after the newest snapshot.
+  // Stamps are nondecreasing per bucket, so the suffix is contiguous.
+  const auto cut = std::upper_bound(bucket.epochs.begin(), bucket.epochs.end(), gate);
+  const auto start = static_cast<std::size_t>(cut - bucket.epochs.begin());
+  const std::size_t size = bucket.neighbors.size();
+  if (start >= size) return 0;
+
+  // Per-neighbor occurrence counts within the suffix.  Ops of one pair
+  // alternate, so an even-length run reduces to nothing and an
+  // odd-length run reduces to its LAST op (whose recorded sign is the
+  // correct successor of the pre-suffix membership state).
+  std::unordered_map<VertexId, std::pair<std::size_t, std::size_t>> runs;  // total, seen
+  for (std::size_t i = start; i < size; ++i) ++runs[bucket.neighbors[i]].first;
+
+  std::size_t write = start;
+  for (std::size_t i = start; i < size; ++i) {
+    auto& run = runs[bucket.neighbors[i]];
+    ++run.second;
+    const bool keep = (run.first & 1) != 0 && run.second == run.first;
+    if (keep) {
+      bucket.neighbors[write] = bucket.neighbors[i];
+      bucket.epochs[write] = bucket.epochs[i];
+      bucket.removes[write] = bucket.removes[i];
+      ++write;
+    } else {
+      (bucket.removes[i] != 0 ? dropped_removes : dropped_inserts) += 1;
+    }
+  }
+  const auto erased = static_cast<VertexId>(size - write);
+  bucket.neighbors.resize(write);
+  bucket.epochs.resize(write);
+  bucket.removes.resize(write);
+  return erased;
+}
+
+EdgeId DeltaStore::annihilate() {
+  std::unique_lock structure(structure_mutex_);
+  return annihilate_unlocked(last_snapshot_epoch_);
+}
+
+EdgeId DeltaStore::annihilate(Epoch gate) {
+  std::unique_lock structure(structure_mutex_);
+  return annihilate_unlocked(gate);
+}
+
+EdgeId DeltaStore::annihilate_unlocked(Epoch gate) {
+  EdgeId dropped_inserts = 0;
+  EdgeId dropped_removes = 0;
+  for (Stripe& stripe : stripes_) {
+    std::vector<VertexId> survivors;
+    for (VertexId v : stripe.touched) {
+      Bucket& bucket = buckets_[static_cast<std::size_t>(v)];
+      annihilate_bucket(bucket, gate, dropped_inserts, dropped_removes);
+      if (bucket.neighbors.empty()) {
+        bucket.listed = false;
+      } else {
+        survivors.push_back(v);
+      }
+    }
+    stripe.touched = std::move(survivors);
+  }
+  delta_inserts_.fetch_sub(dropped_inserts, std::memory_order_relaxed);
+  delta_removes_.fetch_sub(dropped_removes, std::memory_order_relaxed);
+  const EdgeId erased = dropped_inserts + dropped_removes;
+  annihilated_ops_.fetch_add(erased, std::memory_order_relaxed);
+  return erased;
+}
+
+EdgeId DeltaStore::annihilated_ops() const {
+  return annihilated_ops_.load(std::memory_order_relaxed);
+}
+
 DeltaStore::Snapshot DeltaStore::snapshot(bool advance_epoch) {
   std::unique_lock structure(structure_mutex_);
   Snapshot snap;
   snap.epoch = epoch_.load(std::memory_order_relaxed);
+  last_snapshot_epoch_ = std::max(last_snapshot_epoch_, snap.epoch);
   snap.num_vertices = num_vertices_.load(std::memory_order_relaxed);
   snap.insert_offsets.push_back(0);
   snap.remove_offsets.push_back(0);

@@ -122,6 +122,34 @@ class DeltaStore {
   /// re-initialising the feature row.
   VertexId reclaim_vertex();
 
+  /// In-place tombstone GC: erases matched insert/tombstone pairs that
+  /// reduce to nothing, WITHOUT a CSR rebuild.  Erasure is dangerous
+  /// exactly when a pair straddles an IN-FLIGHT compaction cut — the
+  /// fold's snapshot captured the insert, rebase will merge it into
+  /// the base and truncate the captured prefix, and an erased
+  /// counter-op would resurrect the edge (the bug the lifecycle
+  /// property tests pin).  Publish-only snapshots are immune: a
+  /// GraphVersion owns copies of its spans, and un-truncated ops
+  /// re-reduce to the same net at the next snapshot.  This standalone
+  /// form cannot tell which snapshots feed folds, so it protects every
+  /// op stamped at or below the newest snapshot epoch and cancels only
+  /// within the unsnapshotted suffix.  Per neighbor, an even-length
+  /// eligible run vanishes entirely and an odd-length run keeps its
+  /// last op, so per-pair alternation, the membership parity, and
+  /// epoch monotonicity are all preserved.  Returns the number of op
+  /// records erased (equal counts of inserts and tombstones).
+  /// Exclusive (structural) operation.
+  EdgeId annihilate();
+
+  /// Expert form: protects only ops stamped <= `gate`.  Pass 0 to make
+  /// every matched pair erasable — ONLY valid when the caller excludes
+  /// concurrent snapshot->rebase windows (StreamingGraph::annihilate
+  /// holds the graph's maintenance mutex for exactly this reason).
+  EdgeId annihilate(Epoch gate);
+
+  /// Cumulative op records erased by annihilate().
+  EdgeId annihilated_ops() const;
+
   /// Point-in-time REDUCED view of the pending ops, taken under the
   /// exclusive lock (single linearisation point): per touched vertex,
   /// the net insertions (sorted, disjoint from base) and net removals
@@ -204,6 +232,11 @@ class DeltaStore {
     return dead_since_[static_cast<std::size_t>(v)] != 0;
   }
   void truncate_unlocked(Epoch epoch);
+  EdgeId annihilate_unlocked(Epoch gate);
+  /// Erases cancelled pairs among ops stamped > `gate` in one bucket;
+  /// returns records erased.  Caller holds structure_mutex_ exclusively.
+  static VertexId annihilate_bucket(Bucket& bucket, Epoch gate, EdgeId& dropped_inserts,
+                                    EdgeId& dropped_removes);
 
   mutable std::shared_mutex structure_mutex_;  ///< shared: ingest; exclusive: structural ops
   std::shared_ptr<const CsrGraph> base_;       ///< swapped only under the exclusive lock
@@ -216,6 +249,10 @@ class DeltaStore {
   std::vector<VertexId> free_ids_;     ///< scrubbed ids ready for reclaim_vertex()
   VertexId reclaim_floor_ = 0;         ///< ids below this (dataset vertices) never recycle
   bool symmetric_ = true;              ///< adjacency kept symmetric -> recycling is safe
+  /// Newest epoch any snapshot has covered; ops stamped above it were
+  /// never captured, which is what makes annihilate() safe.
+  Epoch last_snapshot_epoch_ = 0;
+  std::atomic<EdgeId> annihilated_ops_{0};
   std::atomic<Epoch> epoch_{1};
   std::atomic<EdgeId> delta_inserts_{0};
   std::atomic<EdgeId> delta_removes_{0};

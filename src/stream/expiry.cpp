@@ -1,0 +1,49 @@
+#include "stream/expiry.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace hyscale {
+
+ExpirySweeper::ExpirySweeper(StreamingGraph& graph, ExpiryPolicy policy)
+    : graph_(graph), policy_(policy) {
+  if (!policy_.enabled())
+    throw std::invalid_argument("ExpirySweeper: ttl must be >= 0 (policy disabled)");
+  if (policy_.sweep_interval <= 0.0)
+    throw std::invalid_argument("ExpirySweeper: sweep_interval must be positive");
+  if (policy_.max_retire_per_sweep <= 0)
+    throw std::invalid_argument("ExpirySweeper: max_retire_per_sweep must be positive");
+  if (policy_.pending_op_budget < 0)
+    throw std::invalid_argument(
+        "ExpirySweeper: pending_op_budget must be resolved (>= 0) before construction");
+  thread_ = std::thread([this] { loop(); });
+}
+
+ExpirySweeper::~ExpirySweeper() { stop(); }
+
+void ExpirySweeper::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ExpirySweeper::loop() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(policy_.sweep_interval),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    const std::int64_t swept = graph_.sweep_expired(policy_.ttl, policy_.max_retire_per_sweep,
+                                                    policy_.pending_op_budget);
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    retired_.fetch_add(swept, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace hyscale

@@ -1,15 +1,23 @@
 #include "stream/feature_store.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 
 namespace hyscale {
 
+std::int64_t MutableFeatureStore::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 MutableFeatureStore::MutableFeatureStore(const Tensor& base)
     : base_rows_(base.rows()), cols_(base.cols()) {
   base_.resize(base.rows(), base.cols());
   std::copy(base.flat().begin(), base.flat().end(), base_.flat().begin());
+  touch_ns_.assign(static_cast<std::size_t>(base_rows_), now_ns());
 }
 
 std::int64_t MutableFeatureStore::rows() const {
@@ -35,6 +43,7 @@ void MutableFeatureStore::update_row(VertexId v, std::span<const float> values) 
                    ? base_.row(v).data()
                    : extension_.data() + static_cast<std::size_t>((v - base_rows_) * cols_);
   std::copy(values.begin(), values.end(), dst);
+  touch_ns_[static_cast<std::size_t>(v)] = now_ns();
 }
 
 std::int64_t MutableFeatureStore::append_row(std::span<const float> values) {
@@ -43,6 +52,7 @@ std::int64_t MutableFeatureStore::append_row(std::span<const float> values) {
   std::unique_lock lock(mutex_);
   extension_.insert(extension_.end(), values.begin(), values.end());
   released_.push_back(0);
+  touch_ns_.push_back(now_ns());
   ++extension_rows_;
   return base_rows_ + extension_rows_ - 1;
 }
@@ -77,11 +87,26 @@ void MutableFeatureStore::reuse_row(VertexId v, std::span<const float> values) {
   --released_count_;
   std::copy(values.begin(), values.end(),
             extension_.begin() + static_cast<std::ptrdiff_t>((v - base_rows_) * cols_));
+  touch_ns_[static_cast<std::size_t>(v)] = now_ns();
 }
 
 std::int64_t MutableFeatureStore::released_rows() const {
   std::shared_lock lock(mutex_);
   return released_count_;
+}
+
+std::int64_t MutableFeatureStore::last_touch_ns(VertexId v) const {
+  std::shared_lock lock(mutex_);
+  if (v < 0 || v >= base_rows_ + extension_rows_)
+    throw std::out_of_range("MutableFeatureStore: row out of range");
+  return touch_ns_[static_cast<std::size_t>(v)];
+}
+
+void MutableFeatureStore::touch(VertexId v) {
+  std::unique_lock lock(mutex_);
+  if (v < 0 || v >= base_rows_ + extension_rows_)
+    throw std::out_of_range("MutableFeatureStore: row out of range");
+  touch_ns_[static_cast<std::size_t>(v)] = now_ns();
 }
 
 void MutableFeatureStore::copy_row(VertexId v, std::span<float> dst) const {

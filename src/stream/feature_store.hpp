@@ -61,6 +61,19 @@ class MutableFeatureStore {
   /// Extension rows currently released and awaiting reuse.
   std::int64_t released_rows() const;
 
+  /// Monotonic (steady-clock) nanosecond timestamp of the last write to
+  /// row v — construction, append, update, reuse, or an explicit
+  /// touch().  The TTL eviction sweep retires entities whose last touch
+  /// is older than the configured idle budget.
+  std::int64_t last_touch_ns(VertexId v) const;
+
+  /// Refreshes row v's last-touch stamp without changing its values —
+  /// for LRU-style policies that want reads to keep an entity alive.
+  void touch(VertexId v);
+
+  /// Current steady-clock timestamp on the last-touch scale.
+  static std::int64_t now_ns();
+
   /// Copies row v into `dst` (size cols()).
   void copy_row(VertexId v, std::span<float> dst) const;
 
@@ -76,6 +89,7 @@ class MutableFeatureStore {
   Tensor base_;
   std::vector<float> extension_;  ///< appended rows, row-major
   std::vector<char> released_;    ///< per extension row: awaiting reuse
+  std::vector<std::int64_t> touch_ns_;  ///< per row (base + extension): last write stamp
   std::int64_t base_rows_ = 0;
   std::int64_t extension_rows_ = 0;
   std::int64_t released_count_ = 0;

@@ -1,0 +1,72 @@
+#include "stream/publisher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace hyscale {
+
+Publisher::Publisher(StreamingGraph& graph, PublisherPolicy policy)
+    : graph_(graph), policy_(policy) {
+  if (policy_.staleness_budget <= 0.0)
+    throw std::invalid_argument("Publisher: staleness_budget must be positive");
+  if (policy_.poll_floor <= 0.0 || policy_.poll_floor > policy_.staleness_budget)
+    throw std::invalid_argument("Publisher: poll_floor must be in (0, staleness_budget]");
+  thread_ = std::thread([this] { loop(); });
+}
+
+Publisher::~Publisher() { stop(); }
+
+void Publisher::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Seconds Publisher::worst_staleness() const {
+  std::lock_guard lock(stats_mutex_);
+  return worst_staleness_;
+}
+
+void Publisher::loop() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    const Seconds age = graph_.pending_staleness();
+    Seconds wait;
+    if (age <= 0.0) {
+      // Nothing pending: idle at a quarter budget so an op arriving
+      // right after the check still has three quarters of slack left.
+      wait = policy_.staleness_budget * 0.25;
+    } else {
+      // Start early enough that the publish COMPLETES by the deadline:
+      // budget less a cost margin from recent publish durations.
+      const Seconds margin = std::min(std::max(policy_.poll_floor, publish_cost_ema_ * 2.0),
+                                      policy_.staleness_budget * 0.5);
+      const Seconds slack = policy_.staleness_budget - margin - age;
+      if (slack <= policy_.poll_floor) {
+        lock.unlock();
+        {
+          std::lock_guard stats(stats_mutex_);
+          worst_staleness_ = std::max(worst_staleness_, age);
+        }
+        if (age > policy_.staleness_budget) breaches_.fetch_add(1, std::memory_order_relaxed);
+        Timer cost;
+        graph_.publish();
+        publish_cost_ema_ = 0.7 * publish_cost_ema_ + 0.3 * cost.elapsed();
+        publishes_.fetch_add(1, std::memory_order_relaxed);
+        lock.lock();
+        continue;
+      }
+      // Halve the remaining slack each wakeup: O(log) checks per cycle
+      // and a fresh burst is still re-sampled with margin to spare.
+      wait = std::max(policy_.poll_floor, slack * 0.5);
+    }
+    cv_.wait_for(lock, std::chrono::duration<double>(wait), [this] { return stop_; });
+  }
+}
+
+}  // namespace hyscale

@@ -1,0 +1,86 @@
+// SLO-driven background publisher.
+//
+// publish() is cheap but caller-paced: with the generator's fixed
+// publish-every-N cadence, staleness is unbounded the moment the caller
+// stalls (or rejects every op and never reaches N).  The Publisher
+// closes that loop: a background thread watches the age of the oldest
+// accepted-but-unpublished op (StreamingGraph::pending_staleness) and
+// publishes a new version before that age exceeds a staleness budget —
+// "no accepted op waits more than `staleness_budget` to become
+// visible".  When nothing is pending it idles; it never publishes
+// empty versions, so a quiet graph stays on its current version.
+//
+// The scheduler halves the remaining slack between checks (down to
+// `poll_floor`), so each publish cycle costs O(log(budget/floor))
+// wakeups instead of a busy poll, and a burst arriving mid-sleep is
+// still caught with slack to spare.  Because the op only becomes
+// visible when publish() RETURNS, the publisher starts each publish
+// early by a margin tracking recent publish cost (EWMA, clamped to
+// half the budget) — aiming to finish by the deadline, not to start
+// by it.  The budget is still a soft real-time target: a publish can
+// block behind an in-flight compaction fold, which is why
+// `worst_staleness()` (age observed at each publish) and `breaches()`
+// are exported — BENCH_streaming records them so the bound is
+// measured, not assumed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "stream/streaming_graph.hpp"
+
+namespace hyscale {
+
+struct PublisherPolicy {
+  /// No accepted op should wait longer than this to become visible to
+  /// queries.  <= 0 disables the background publisher (caller-paced
+  /// publishing only) — StreamingSession skips construction entirely.
+  Seconds staleness_budget = 5e-3;
+  /// Scheduling resolution: once the remaining slack is within this,
+  /// publish rather than sleep again.
+  Seconds poll_floor = 2e-4;
+};
+
+class Publisher {
+ public:
+  /// `graph` must outlive the publisher.  The background thread starts
+  /// immediately and stops (joined) on destruction or stop().
+  explicit Publisher(StreamingGraph& graph, PublisherPolicy policy = {});
+  ~Publisher();
+
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  void stop();
+
+  std::int64_t publishes() const { return publishes_.load(std::memory_order_relaxed); }
+  /// Worst pending-op age observed at the moment a publish started —
+  /// the measured staleness bound (visibility adds the publish cost
+  /// itself on top).
+  Seconds worst_staleness() const;
+  /// Publishes that started with the budget already blown (scheduling
+  /// overrun or a publish slower than the budget).
+  std::int64_t breaches() const { return breaches_.load(std::memory_order_relaxed); }
+  const PublisherPolicy& policy() const { return policy_; }
+
+ private:
+  void loop();
+
+  StreamingGraph& graph_;
+  PublisherPolicy policy_;
+  std::atomic<std::int64_t> publishes_{0};
+  std::atomic<std::int64_t> breaches_{0};
+  mutable std::mutex stats_mutex_;
+  Seconds worst_staleness_ = 0.0;
+  Seconds publish_cost_ema_ = 0.0;  ///< loop-thread only: recent publish duration
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;  ///< keep last: starts in the constructor's tail
+};
+
+}  // namespace hyscale

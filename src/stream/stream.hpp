@@ -7,14 +7,19 @@
 //   StreamingGraph      — ingest/retract, copy-on-publish versions,
 //                         tombstone-folding compaction, id recycling
 //   MutableFeatureStore — row-updatable / growable / reclaimable storage
+//                         with per-row last-touch stamps (TTL input)
 //   OverlaySampler      — degree-correct sampling over the live adjacency
-//   Compactor           — background delta -> fresh-CSR merges
+//   Compactor           — background annihilate-then-fold maintenance
+//   Publisher           — SLO-driven background publishing (staleness budget)
+//   ExpirySweeper       — TTL retirement of idle streamed-in entities
 //   UpdateGenerator     — seeded mixed insert/delete/update driver
 #pragma once
 
 #include "stream/compactor.hpp"
 #include "stream/delta_store.hpp"
+#include "stream/expiry.hpp"
 #include "stream/feature_store.hpp"
 #include "stream/overlay_sampler.hpp"
+#include "stream/publisher.hpp"
 #include "stream/streaming_graph.hpp"
 #include "stream/update_generator.hpp"

@@ -151,7 +151,8 @@ StreamingGraph::StreamingGraph(const Dataset& dataset, StreamingConfig config)
   }
   const auto base = delta_.base();
   base_max_degree_ = base->max_degree();
-  install_version(base, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false));
+  install_version(base, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false),
+                  std::nullopt);
 }
 
 bool StreamingGraph::add_edge(VertexId u, VertexId v) {
@@ -260,8 +261,11 @@ std::shared_ptr<const GraphVersion> StreamingGraph::publish() {
   std::lock_guard maintenance(maintenance_mutex_);
   auto base = delta_.base();
   const EdgeId base_max = base_max_degree_;
-  auto version =
-      install_version(std::move(base), base_max, delta_.snapshot(/*advance_epoch=*/true));
+  // Claim the marker BEFORE the snapshot: an op racing the snapshot
+  // re-arms it, so it can never be reset away while still unpublished.
+  const auto marker = take_pending_marker();
+  auto version = install_version(std::move(base), base_max,
+                                 delta_.snapshot(/*advance_epoch=*/true), marker);
   publishes_.fetch_add(1, std::memory_order_relaxed);
   return version;
 }
@@ -275,11 +279,18 @@ bool StreamingGraph::compact() {
   std::lock_guard maintenance(maintenance_mutex_);
   const auto base = delta_.base();
   const bool scrubs = delta_.has_pending_scrubs();
+  const auto marker = take_pending_marker();
   const DeltaStore::Snapshot snap = delta_.snapshot(/*advance_epoch=*/true);
   // Raw ops, not net: cancelled insert/delete pairs reduce to no
   // topology change but must still be truncated, or the op-count
   // compaction trigger could never clear under churn.
-  if (snap.raw_ops == 0 && snap.num_vertices == base->num_vertices() && !scrubs) return false;
+  if (snap.raw_ops == 0 && snap.num_vertices == base->num_vertices() && !scrubs) {
+    // Nothing merged, nothing published: hand the claim back so the
+    // pending op (e.g. an op-less dataset-vertex death) still drives
+    // the SLO publisher.
+    restore_pending_marker(marker);
+    return false;
+  }
 
   // Per-vertex tombstone/insert spans from the snapshot, so the union
   // enumeration can drop retracted edges as it walks the base.
@@ -330,10 +341,55 @@ bool StreamingGraph::compact() {
   delta_.rebase(merged, snap.epoch);
   base_max_degree_ = merged->max_degree();
   // Republish over the new base; ops ingested after the snapshot are
-  // still pending and ride along as the new overlay.
-  install_version(merged, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false));
+  // still pending and ride along as the new overlay.  The install
+  // snapshot publishes everything accepted during the fold too, so
+  // claim any marker those ops re-armed — the lag sample uses the
+  // older (cut-time) claim when both exist.
+  const auto fold_marker = take_pending_marker();
+  install_version(merged, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false),
+                  marker.has_value() ? marker : fold_marker);
   compactions_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+EdgeId StreamingGraph::annihilate() {
+  // maintenance_mutex_ excludes compact()'s snapshot -> rebase window,
+  // so no fold cut is in flight while the pass runs: every matched
+  // pair is erasable (gate 0), including pairs older than published
+  // snapshots — a GraphVersion owns copies of its spans, and the net
+  // reduction of the surviving ops is unchanged.
+  std::lock_guard maintenance(maintenance_mutex_);
+  const EdgeId erased = delta_.annihilate(/*gate=*/0);
+  if (erased > 0) annihilations_.fetch_add(1, std::memory_order_relaxed);
+  return erased;
+}
+
+std::int64_t StreamingGraph::sweep_expired(Seconds ttl, std::int64_t max_retire,
+                                           EdgeId pending_op_budget) {
+  if (ttl < 0.0) throw std::invalid_argument("StreamingGraph::sweep_expired: negative ttl");
+  if (max_retire <= 0) return 0;
+  // Stamp the cutoff once: entities touched DURING the sweep compare
+  // against the same horizon, so one pass retires a deterministic set.
+  const std::int64_t horizon_ns =
+      MutableFeatureStore::now_ns() - static_cast<std::int64_t>(ttl * 1e9);
+  const VertexId first = dataset_->graph.num_vertices();  // dataset vertices never expire
+  std::int64_t retired = 0;
+  const VertexId n = num_vertices();
+  for (VertexId v = first; v < n && retired < max_retire; ++v) {
+    if (pending_op_budget > 0 && delta_.delta_ops() >= pending_op_budget) break;
+    if (delta_.is_dead(v)) continue;
+    if (features_.last_touch_ns(v) > horizon_ns) continue;
+    if (remove_vertex(v)) ++retired;
+  }
+  expired_vertices_.fetch_add(retired, std::memory_order_relaxed);
+  return retired;
+}
+
+Seconds StreamingGraph::pending_staleness() const {
+  std::lock_guard lock(lag_mutex_);
+  if (!pending_since_.has_value()) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - *pending_since_)
+      .count();
 }
 
 StaticFeatureCache::LoadStats StreamingGraph::gather(std::span<const VertexId> nodes,
@@ -385,6 +441,9 @@ StreamStats StreamingGraph::stats() const {
   s.feature_updates = feature_updates_.load(std::memory_order_relaxed);
   s.publishes = publishes_.load(std::memory_order_relaxed);
   s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.annihilations = annihilations_.load(std::memory_order_relaxed);
+  s.annihilated_ops = static_cast<std::int64_t>(delta_.annihilated_ops());
+  s.expired_vertices = expired_vertices_.load(std::memory_order_relaxed);
   s.overlay_edges = delta_.delta_edges();
   s.tombstones = delta_.delta_removes();
   s.base_edges = delta_.base()->num_edges();
@@ -401,24 +460,23 @@ StreamStats StreamingGraph::stats() const {
 std::shared_ptr<const CsrGraph> StreamingGraph::base_snapshot() const { return delta_.base(); }
 
 std::shared_ptr<const GraphVersion> StreamingGraph::install_version(
-    std::shared_ptr<const CsrGraph> base, EdgeId base_max_degree, DeltaStore::Snapshot snapshot) {
+    std::shared_ptr<const CsrGraph> base, EdgeId base_max_degree, DeltaStore::Snapshot snapshot,
+    std::optional<std::chrono::steady_clock::time_point> pending_marker) {
   auto version = std::make_shared<const GraphVersion>(
       std::move(base), base_max_degree, std::move(snapshot),
       version_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
-  {
-    // Publish lag: delay from the oldest ingest still waiting for a
-    // version to this install.  Approximate for edges racing the
-    // snapshot itself (they are timed from the NEXT pending marker).
+  if (pending_marker.has_value()) {
+    // Publish lag: delay from the oldest ingest this version satisfies
+    // (the marker the caller claimed before its snapshot) to the
+    // install.  An op racing the snapshot re-armed a fresh marker, so
+    // it keeps driving the publisher instead of being reset away.
+    const Seconds lag =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - *pending_marker)
+            .count();
     std::lock_guard lock(lag_mutex_);
-    if (pending_since_.has_value()) {
-      const Seconds lag = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                        *pending_since_)
-                              .count();
-      lag_sum_ += lag;
-      lag_max_ = std::max(lag_max_, lag);
-      ++lag_samples_;
-      pending_since_.reset();
-    }
+    lag_sum_ += lag;
+    lag_max_ = std::max(lag_max_, lag);
+    ++lag_samples_;
   }
   {
     std::lock_guard lock(version_mutex_);
@@ -432,6 +490,22 @@ void StreamingGraph::note_pending_ingest() {
   if (!pending_since_.has_value()) pending_since_ = std::chrono::steady_clock::now();
 }
 
+std::optional<std::chrono::steady_clock::time_point> StreamingGraph::take_pending_marker() {
+  std::lock_guard lock(lag_mutex_);
+  auto marker = pending_since_;
+  pending_since_.reset();
+  return marker;
+}
+
+void StreamingGraph::restore_pending_marker(
+    std::optional<std::chrono::steady_clock::time_point> marker) {
+  if (!marker.has_value()) return;
+  std::lock_guard lock(lag_mutex_);
+  // Keep the older timestamp: the claim predates anything re-armed
+  // since.
+  if (!pending_since_.has_value() || *marker < *pending_since_) pending_since_ = marker;
+}
+
 std::string StreamStats::to_string() const {
   std::string out;
   out += "ingested=" + format_count(static_cast<std::uint64_t>(ingested_edges));
@@ -443,6 +517,8 @@ std::string StreamStats::to_string() const {
   out += " feat_updates=" + format_count(static_cast<std::uint64_t>(feature_updates));
   out += " publishes=" + format_count(static_cast<std::uint64_t>(publishes));
   out += " compactions=" + format_count(static_cast<std::uint64_t>(compactions));
+  out += " annihilated=" + format_count(static_cast<std::uint64_t>(annihilated_ops));
+  out += " expired=" + format_count(static_cast<std::uint64_t>(expired_vertices));
   out += " overlay=" + format_count(static_cast<std::uint64_t>(overlay_edges));
   out += "+" + format_count(static_cast<std::uint64_t>(tombstones)) + "t";
   out += "/" + format_count(static_cast<std::uint64_t>(base_edges));

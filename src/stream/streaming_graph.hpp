@@ -153,7 +153,10 @@ struct StreamStats {
   std::int64_t recycled_vertices = 0;  ///< add_vertex calls served by a reclaimed id
   std::int64_t feature_updates = 0;
   std::int64_t publishes = 0;
-  std::int64_t compactions = 0;
+  std::int64_t compactions = 0;        ///< full delta->CSR rebuilds
+  std::int64_t annihilations = 0;      ///< annihilate() passes that erased ops
+  std::int64_t annihilated_ops = 0;    ///< op records erased without a rebuild
+  std::int64_t expired_vertices = 0;   ///< entities retired by TTL sweeps
   EdgeId overlay_edges = 0;            ///< pending (unmerged) insert ops
   EdgeId tombstones = 0;               ///< pending (unmerged) remove ops
   EdgeId base_edges = 0;
@@ -229,6 +232,31 @@ class StreamingGraph {
   /// cut).  Returns false when there was nothing to merge.
   bool compact();
 
+  /// Cheap tombstone GC: erases cancelled insert/tombstone pairs from
+  /// the op buffers in place (DeltaStore::annihilate) — no rebuild, no
+  /// republish (published versions never saw the erased ops, and the
+  /// net overlay is unchanged).  The compactor runs this as its first
+  /// resort so delete-heavy churn stops forcing full CSR rebuilds
+  /// whose only effect is truncation.  Returns op records erased.
+  EdgeId annihilate();
+
+  /// One TTL eviction pass: retires (remove_vertex) up to `max_retire`
+  /// streamed-in vertices whose feature row was last touched more than
+  /// `ttl` seconds ago, scanning ids in ascending order (deterministic
+  /// — the differential harness's shadow expiry mirrors it).  Dataset
+  /// vertices never expire; dead vertices are skipped.  When
+  /// `pending_op_budget` > 0 the sweep stops as soon as the overlay
+  /// holds that many ops, so a retirement burst paces itself against
+  /// the compaction trigger instead of stampeding rebuilds.  Returns
+  /// the number of vertices retired.
+  std::int64_t sweep_expired(Seconds ttl, std::int64_t max_retire,
+                             EdgeId pending_op_budget = 0);
+
+  /// Age of the oldest accepted-but-unpublished op, 0 when everything
+  /// ingested is already visible — the signal the SLO publisher closes
+  /// its staleness budget against.
+  Seconds pending_staleness() const;
+
   // ---- feature access ----
 
   MutableFeatureStore& features() { return features_; }
@@ -265,10 +293,21 @@ class StreamingGraph {
 
  private:
   std::shared_ptr<const CsrGraph> base_snapshot() const;
-  std::shared_ptr<const GraphVersion> install_version(std::shared_ptr<const CsrGraph> base,
-                                                      EdgeId base_max_degree,
-                                                      DeltaStore::Snapshot snapshot);
+  std::shared_ptr<const GraphVersion> install_version(
+      std::shared_ptr<const CsrGraph> base, EdgeId base_max_degree,
+      DeltaStore::Snapshot snapshot,
+      std::optional<std::chrono::steady_clock::time_point> pending_marker);
   void note_pending_ingest();
+  /// Claims the oldest-pending-ingest marker and clears it.  MUST be
+  /// called BEFORE the delta snapshot that will satisfy it: an op
+  /// accepted after the claim re-arms the marker even if the snapshot
+  /// happens to capture it (one redundant publish at worst), so no
+  /// accepted op can ever lose its marker and sit invisible past the
+  /// publisher's staleness budget.
+  std::optional<std::chrono::steady_clock::time_point> take_pending_marker();
+  /// Hands back a claimed marker after a no-op maintenance pass,
+  /// keeping the older of it and anything re-armed since.
+  void restore_pending_marker(std::optional<std::chrono::steady_clock::time_point> marker);
 
   const Dataset* dataset_;
   StreamingConfig config_;
@@ -303,6 +342,8 @@ class StreamingGraph {
   std::atomic<std::int64_t> feature_updates_{0};
   std::atomic<std::int64_t> publishes_{0};
   std::atomic<std::int64_t> compactions_{0};
+  std::atomic<std::int64_t> annihilations_{0};
+  std::atomic<std::int64_t> expired_vertices_{0};
 };
 
 }  // namespace hyscale

@@ -25,6 +25,8 @@ UpdateGenerator::UpdateGenerator(StreamingGraph& graph, UpdateGeneratorConfig co
       config_.feature_update_fraction < 0.0 || config_.edge_delete_fraction < 0.0 ||
       fractions > 1.0)
     throw std::invalid_argument("UpdateGenerator: op fractions must be >= 0 and sum to <= 1");
+  if (config_.delete_recent_fraction < 0.0 || config_.delete_recent_fraction > 1.0)
+    throw std::invalid_argument("UpdateGenerator: delete_recent_fraction must be in [0, 1]");
 }
 
 UpdateReport UpdateGenerator::run() {
@@ -41,6 +43,19 @@ UpdateReport UpdateGenerator::run() {
     Xoshiro256 rng(config_.seed + static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ULL);
     std::vector<float> row(static_cast<std::size_t>(cols));
     std::vector<VertexId> adjacency;
+    // Ring of this thread's recent insertions — the pool
+    // delete_recent_fraction retracts from (cancelled-pair churn).
+    constexpr std::size_t kRecentCap = 64;
+    std::vector<std::pair<VertexId, VertexId>> recent;
+    std::size_t recent_cursor = 0;
+    auto note_insert = [&](VertexId a, VertexId b) {
+      if (recent.size() < kRecentCap) {
+        recent.emplace_back(a, b);
+      } else {
+        recent[recent_cursor] = {a, b};
+        recent_cursor = (recent_cursor + 1) % kRecentCap;
+      }
+    };
     for (std::int64_t op = 0; op < ops; ++op) {
       double kind = rng.uniform();
       const VertexId n = graph_.num_vertices();
@@ -65,25 +80,37 @@ UpdateReport UpdateGenerator::run() {
         for (float& x : row) x = static_cast<float>(rng.normal());
         graph_.update_feature(v, row);
       } else if (kind < edel_cut) {
-        // Retract a live edge of a random vertex per the latest
-        // published version; racing an unpublished retraction just
-        // lands in rejected_removals.
-        const auto version = graph_.current();
-        const auto u = static_cast<VertexId>(
-            rng.bounded(static_cast<std::uint64_t>(version->num_vertices())));
-        adjacency.clear();
-        version->append_neighbors(u, adjacency);
-        if (!adjacency.empty()) {
-          const auto pick = rng.bounded(static_cast<std::uint64_t>(adjacency.size()));
-          graph_.remove_edge(u, adjacency[static_cast<std::size_t>(pick)]);
+        if (!recent.empty() && rng.uniform() < config_.delete_recent_fraction) {
+          // Cancel one of this thread's own recent insertions — a
+          // double retraction (already removed, folded, or racing) just
+          // lands in rejected_removals like any stale delete.
+          const auto pick = rng.bounded(static_cast<std::uint64_t>(recent.size()));
+          const auto [a, b] = recent[static_cast<std::size_t>(pick)];
+          graph_.remove_edge(a, b);
+        } else {
+          // Retract a live edge of a random vertex per the latest
+          // published version; racing an unpublished retraction just
+          // lands in rejected_removals.
+          const auto version = graph_.current();
+          const auto u = static_cast<VertexId>(
+              rng.bounded(static_cast<std::uint64_t>(version->num_vertices())));
+          adjacency.clear();
+          version->append_neighbors(u, adjacency);
+          if (!adjacency.empty()) {
+            const auto pick = rng.bounded(static_cast<std::uint64_t>(adjacency.size()));
+            graph_.remove_edge(u, adjacency[static_cast<std::size_t>(pick)]);
+          }
         }
       } else {
         for (int e = 0; e < config_.edges_per_op; ++e) {
           const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
           const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
-          graph_.add_edge(u, v);
+          if (graph_.add_edge(u, v)) note_insert(u, v);
         }
       }
+      // `done` counts attempted ops — an all-rejected adversarial mix
+      // still crosses every cadence boundary, so fixed-cadence
+      // publishing cannot be starved (pinned by the lifecycle tests).
       const std::int64_t done = completed_ops.fetch_add(1, std::memory_order_relaxed) + 1;
       if (config_.publish_every > 0 && done % config_.publish_every == 0) {
         graph_.publish();

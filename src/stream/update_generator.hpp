@@ -2,8 +2,15 @@
 //
 // Emits a deterministic (seeded) mix of edge insertions, edge
 // retractions, vertex arrivals (with random feature rows), vertex
-// retirements, and feature refreshes against a StreamingGraph,
-// publishing a new version every `publish_every` accepted operations.
+// retirements, and feature refreshes against a StreamingGraph.
+// Publishing defaults to whoever owns the graph — normally the
+// SLO-driven background Publisher a StreamingSession runs — with an
+// optional fixed cadence (`publish_every` > 0) for deterministic
+// tests.  The cadence counts ATTEMPTED operations, accepted or not:
+// counting accepted ops only would let an adversarial mix of rejected
+// updates (double deletes, duplicate inserts) starve publishing
+// entirely, which is exactly the unbounded-staleness failure the
+// Publisher exists to rule out.
 // Deletion targets are drawn from the latest published version (a real
 // feed retracts edges it knows exist), so a removal can still lose a
 // race with an unpublished retraction — those land in the rejected
@@ -34,9 +41,20 @@ struct UpdateGeneratorConfig {
   /// Ops that retract a live edge drawn from the latest published
   /// version — the churn knob (CLI: --delete-frac).
   double edge_delete_fraction = 0.0;
+  /// Of the edge-delete ops, the fraction that retracts an edge this
+  /// thread itself inserted recently (kept in a small ring) instead of
+  /// drawing from the published version — models feeds that cancel
+  /// what they just wrote (aborted orders, reverted follows), the
+  /// insert/tombstone-pair pattern the annihilation pass GCs without a
+  /// rebuild (CLI: --delete-recent-frac).
+  double delete_recent_fraction = 0.0;
   int edges_per_op = 1;               ///< edge insertions per edge op
   int edges_per_new_vertex = 3;       ///< attachment edges for a streamed-in vertex
-  std::int64_t publish_every = 64;    ///< accepted ops between publishes (0 = never)
+  /// Fixed publish cadence in ATTEMPTED ops (accepted AND rejected, so
+  /// rejection storms cannot starve visibility).  0 — the default —
+  /// leaves mid-run publishing to the session's SLO Publisher; run()
+  /// always publishes once at the end either way.
+  std::int64_t publish_every = 0;
   std::uint64_t seed = 13;
   Seconds pacing = 0.0;               ///< optional sleep between ops (rate limiting)
 };

@@ -44,6 +44,43 @@ InferenceRequest make_request(std::vector<VertexId> seeds) {
   return request;
 }
 
+// ------------------------------------------------------------------ stats
+
+TEST(ServingStats, NearestRankPercentilesUseOneBasedRanks) {
+  // Regression for the nearest-rank off-by-one: ceil(q * n) is a
+  // 1-BASED rank and must be converted to a 0-based index.  Over the
+  // sorted samples {1, 2, 3, 4} ms, p50 is the 2nd smallest (rank
+  // ceil(0.5 * 4) = 2) — the buggy direct-index read served the 3rd.
+  ServingStats stats;
+  for (const Seconds latency : {0.004, 0.002, 0.001, 0.003}) {
+    stats.record_completion(latency, /*queue_wait=*/latency / 2);
+  }
+  const ServingSnapshot s = stats.snapshot();
+  EXPECT_DOUBLE_EQ(s.latency_p50, 0.002);
+  EXPECT_DOUBLE_EQ(s.latency_p95, 0.004);  // rank ceil(0.95 * 4) = 4 -> largest
+  EXPECT_DOUBLE_EQ(s.latency_p99, 0.004);
+  EXPECT_DOUBLE_EQ(s.queue_wait_p50, 0.001);
+}
+
+TEST(ServingStats, PercentilesOfSingleSampleAreThatSample) {
+  ServingStats stats;
+  stats.record_completion(0.007);
+  const ServingSnapshot s = stats.snapshot();
+  EXPECT_DOUBLE_EQ(s.latency_p50, 0.007);
+  EXPECT_DOUBLE_EQ(s.latency_p95, 0.007);
+  EXPECT_DOUBLE_EQ(s.latency_p99, 0.007);
+}
+
+TEST(ServingStats, PercentilesMatchNearestRankOnHundredSamples) {
+  // 1..100 ms: nearest-rank pN is exactly the Nth smallest sample.
+  ServingStats stats;
+  for (int i = 100; i >= 1; --i) stats.record_completion(static_cast<Seconds>(i) * 1e-3);
+  const ServingSnapshot s = stats.snapshot();
+  EXPECT_DOUBLE_EQ(s.latency_p50, 0.050);
+  EXPECT_DOUBLE_EQ(s.latency_p95, 0.095);
+  EXPECT_DOUBLE_EQ(s.latency_p99, 0.099);
+}
+
 // ---------------------------------------------------------------- batcher
 
 TEST(DynamicBatcher, BoundedQueueRejectsWhenFull) {

@@ -206,6 +206,8 @@ struct MixConfig {
   double vertex_add = 0.06;
   double vertex_remove = 0.05;
   double feature = 0.08;
+  double annihilate = 0.0;  ///< in-place cancelled-pair GC (net no-op)
+  double ttl_sweep = 0.0;   ///< TTL expiry pass; shadow mirrors per-vertex expiry
   double publish = 0.17;
   double compact = 0.08;
   // remainder: publish + compact back to back
@@ -241,7 +243,9 @@ void run_differential(std::uint64_t seed, std::int64_t steps, const MixConfig& m
     const double c_vadd = c_remove + mix.vertex_add;
     const double c_vdel = c_vadd + mix.vertex_remove;
     const double c_feat = c_vdel + mix.feature;
-    const double c_publish = c_feat + mix.publish;
+    const double c_annihilate = c_feat + mix.annihilate;
+    const double c_sweep = c_annihilate + mix.ttl_sweep;
+    const double c_publish = c_sweep + mix.publish;
     const double c_compact = c_publish + mix.compact;
 
     if (r < c_insert) {
@@ -304,6 +308,26 @@ void run_differential(std::uint64_t seed, std::int64_t steps, const MixConfig& m
       // Dead vertices refuse feature writes — their zeroed row must
       // never be repopulated.
       ASSERT_EQ(graph.update_feature(v, row), shadow.alive(v)) << v;
+    } else if (r < c_annihilate) {
+      // In-place cancelled-pair GC: net topology unchanged, so the
+      // shadow is untouched — the next publish point proves it.
+      graph.annihilate();
+    } else if (r < c_sweep) {
+      // TTL sweep at ttl 0 (everything idle expires) with a small
+      // burst cap: deterministic ascending-id retirement of streamed-in
+      // entities, mirrored by per-vertex expiry in the shadow.
+      constexpr std::int64_t kSweepCap = 2;
+      const std::int64_t alive_streamed = shadow.num_alive_streamed(dataset_vertices);
+      const std::int64_t retired = graph.sweep_expired(/*ttl=*/0.0, kSweepCap);
+      ASSERT_EQ(retired, std::min<std::int64_t>(kSweepCap, alive_streamed));
+      std::int64_t killed = 0;
+      for (VertexId v = dataset_vertices; v < shadow.num_vertices() && killed < retired; ++v) {
+        if (!shadow.alive(v)) continue;
+        const std::int64_t before = shadow.directed_edges();
+        shadow.kill(v);
+        accepted_removes += before - shadow.directed_edges();
+        ++killed;
+      }
     } else if (r < c_publish) {
       const auto version = graph.publish();
       verify_against_rebuild(graph, *version, shadow, model, seed ^ (0xabcdULL + step), step);
@@ -352,6 +376,24 @@ TEST(StreamDifferential, DeleteHeavyChurnMatchesRebuildSeed91) {
   mix.vertex_remove = 0.07;
   mix.compact = 0.12;      // more compaction boundaries under churn
   run_differential(/*seed=*/91, /*steps=*/1000, mix);
+}
+
+TEST(StreamDifferential, LifecycleChurnWithAnnihilationAndTtlSeed53) {
+  // The PR-4 lifecycle mix: annihilation passes and capped TTL sweeps
+  // interleave with churn, compactions and publishes — every publish
+  // point must still be bit-identical to a from-scratch rebuild of the
+  // shadow (which models per-vertex expiry explicitly).
+  MixConfig mix;
+  mix.insert = 0.24;
+  mix.remove = 0.24;
+  mix.vertex_add = 0.08;   // feed entities for the sweeps to retire
+  mix.vertex_remove = 0.03;
+  mix.feature = 0.06;
+  mix.annihilate = 0.08;
+  mix.ttl_sweep = 0.05;
+  mix.publish = 0.14;
+  mix.compact = 0.06;
+  run_differential(/*seed=*/53, /*steps=*/1100, mix);
 }
 
 TEST(StreamDifferential, RecyclingPressureKeepsIdsConsistent) {
