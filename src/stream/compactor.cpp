@@ -48,6 +48,12 @@ Compactor::Maintenance Compactor::decide() const {
   // refills only on rebase).
   if (op_pressure && policy_.annihilate_first && graph_.overlay_tombstones() > 0)
     return Maintenance::kAnnihilate;
+  // A fold is already in flight (its O(base) build runs off-lock, so
+  // this loop keeps running meanwhile): its rebase will clear the
+  // pressure, and starting a second fold would only be refused.  The
+  // gated annihilation above is still worthwhile — it erases pairs
+  // cancelled entirely after the in-flight cut.
+  if (graph_.fold_in_flight()) return Maintenance::kNone;
   return Maintenance::kFold;
 }
 
@@ -70,14 +76,30 @@ void Compactor::loop() {
     }
     lock.unlock();
     if (action == Maintenance::kAnnihilate) {
-      graph_.annihilate();
-      if (decide() == Maintenance::kNone) {
-        // The in-place pass cleared the pressure — no rebuild needed.
-        annihilation_passes_.fetch_add(1, std::memory_order_relaxed);
+      const EdgeId erased = graph_.annihilate();
+      const Maintenance after = decide();
+      const bool folding = graph_.fold_in_flight();
+      if (after == Maintenance::kNone) {
+        // Pressure gone — the in-place pass resolved the round (unless
+        // decide() only read kNone because a fold is mid-flight, in
+        // which case the rebase gets the credit).
+        if (!folding) annihilation_passes_.fetch_add(1, std::memory_order_relaxed);
         backoff = 0.0;
         lock.lock();
         continue;
       }
+      if (after == Maintenance::kAnnihilate && folding) {
+        // The landing rebase will clear the pressure — do not stack a
+        // fold that would only be refused.  A pass that erased nothing
+        // (every cancelled pair straddles the in-flight cut, so all of
+        // it is pinned) also widens the wait: a long build should not
+        // be punctuated by a fruitless exclusive bucket scan per tick.
+        backoff = erased > 0 ? 0.0 : next_backoff(backoff, policy_);
+        lock.lock();
+        continue;
+      }
+      // Pressure remains and no fold is in flight: escalate to the
+      // rebuild exactly as the pre-annihilation policy would.
     }
     if (graph_.compact()) {
       compactions_.fetch_add(1, std::memory_order_relaxed);

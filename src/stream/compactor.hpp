@@ -72,7 +72,10 @@ class Compactor {
   /// The action the loop would take right now: annihilate suffices as a
   /// first resort whenever it is enabled; a fold is demanded only when
   /// annihilation is off — or, inside the loop, when a pass just ran
-  /// and the overlay is still over threshold.
+  /// and the overlay is still over threshold.  While a fold is already
+  /// in flight (off-lock build), kFold is never returned: the pending
+  /// rebase will clear the pressure, so the loop annihilates (gated)
+  /// or waits instead of stacking refused folds and backoff.
   Maintenance decide() const;
 
   /// Pure backoff schedule: the extra wait after one more refused fold.

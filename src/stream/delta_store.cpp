@@ -256,7 +256,31 @@ EdgeId DeltaStore::annihilate() {
 
 EdgeId DeltaStore::annihilate(Epoch gate) {
   std::unique_lock structure(structure_mutex_);
+  // An in-flight fold owns the prefix at or below its cut: the merged
+  // base being built off-lock already contains those ops, so erasing
+  // one here would desynchronise the rebase.  Clamp whatever the caller
+  // passed — gate 0 is only an "erase everything matched" license when
+  // no cut is outstanding.
+  if (fold_in_flight_) gate = std::max(gate, fold_cut_);
   return annihilate_unlocked(gate);
+}
+
+void DeltaStore::begin_fold(Epoch cut) {
+  std::unique_lock structure(structure_mutex_);
+  if (fold_in_flight_) throw std::logic_error("DeltaStore::begin_fold: fold already in flight");
+  fold_in_flight_ = true;
+  fold_cut_ = cut;
+}
+
+void DeltaStore::abort_fold() {
+  std::unique_lock structure(structure_mutex_);
+  fold_in_flight_ = false;
+  fold_cut_ = 0;
+}
+
+bool DeltaStore::fold_in_flight() const {
+  std::shared_lock structure(structure_mutex_);
+  return fold_in_flight_;
 }
 
 EdgeId DeltaStore::annihilate_unlocked(Epoch gate) {
@@ -373,6 +397,13 @@ void DeltaStore::rebase(std::shared_ptr<const CsrGraph> base, Epoch merged_up_to
   std::unique_lock structure(structure_mutex_);
   if (base->num_vertices() > static_cast<VertexId>(buckets_.size()))
     throw std::invalid_argument("DeltaStore::rebase: base larger than vertex space");
+  // Re-validate an off-lock fold's cut: the merged base must have been
+  // built from exactly the frontier begin_fold declared, or truncating
+  // `merged_up_to` would drop ops the base never absorbed.
+  if (fold_in_flight_ && fold_cut_ != merged_up_to)
+    throw std::logic_error("DeltaStore::rebase: merged epoch does not match the in-flight fold cut");
+  fold_in_flight_ = false;
+  fold_cut_ = 0;
   base_ = std::move(base);
   truncate_unlocked(merged_up_to);
   // Deaths folded by this compaction are fully scrubbed: the merged

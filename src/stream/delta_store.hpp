@@ -142,13 +142,34 @@ class DeltaStore {
   EdgeId annihilate();
 
   /// Expert form: protects only ops stamped <= `gate`.  Pass 0 to make
-  /// every matched pair erasable — ONLY valid when the caller excludes
-  /// concurrent snapshot->rebase windows (StreamingGraph::annihilate
-  /// holds the graph's maintenance mutex for exactly this reason).
+  /// every matched pair erasable — ONLY valid when no fold cut is
+  /// outstanding.  When a fold IS in flight (begin_fold), the store
+  /// clamps the gate to the fold's cut regardless of what the caller
+  /// passes: the fold's snapshot captured the prefix, rebase will merge
+  /// it into the base, and erasing a pair straddling the cut would
+  /// resurrect (or re-lose) the edge after the rebase.
   EdgeId annihilate(Epoch gate);
 
   /// Cumulative op records erased by annihilate().
   EdgeId annihilated_ops() const;
+
+  /// Declares an off-lock fold in flight over the op prefix stamped
+  /// <= `cut` (the epoch of the snapshot the fold is building from).
+  /// Until the matching rebase() or abort_fold(), every annihilate()
+  /// call — whatever gate it passes — refuses to erase ops at or below
+  /// the cut, so a cancelled pair straddling the cut survives for the
+  /// rebase to truncate.  At most one fold may be in flight; a second
+  /// begin_fold throws std::logic_error.
+  void begin_fold(Epoch cut);
+
+  /// Abandons an in-flight fold without rebasing (the build failed or
+  /// was discarded).  The buffered ops are untouched — the next
+  /// snapshot reduces them exactly as if the fold never started.
+  /// No-op when no fold is in flight.
+  void abort_fold();
+
+  /// Whether a begin_fold cut is outstanding (no rebase/abort yet).
+  bool fold_in_flight() const;
 
   /// Point-in-time REDUCED view of the pending ops, taken under the
   /// exclusive lock (single linearisation point): per touched vertex,
@@ -183,7 +204,11 @@ class DeltaStore {
   /// tombstoned edges dropped) and truncates that prefix, so no edge is
   /// ever both absent from the membership check's base and absent from
   /// the buffers.  Dead streamed-in vertices whose death epoch is
-  /// covered become recyclable.
+  /// covered become recyclable.  When a fold is in flight, the rebase
+  /// re-validates the cut (`merged_up_to` must equal the begin_fold
+  /// epoch — anything else means the merged base was built from a
+  /// different frontier and would corrupt the overlay; throws
+  /// std::logic_error) and clears the fold guard.
   void rebase(std::shared_ptr<const CsrGraph> base, Epoch merged_up_to);
 
   /// The base the pending ops overlay.
@@ -252,6 +277,8 @@ class DeltaStore {
   /// Newest epoch any snapshot has covered; ops stamped above it were
   /// never captured, which is what makes annihilate() safe.
   Epoch last_snapshot_epoch_ = 0;
+  bool fold_in_flight_ = false;  ///< begin_fold cut outstanding (guarded by structure_mutex_)
+  Epoch fold_cut_ = 0;           ///< in-flight fold's snapshot epoch — annihilation floor
   std::atomic<EdgeId> annihilated_ops_{0};
   std::atomic<Epoch> epoch_{1};
   std::atomic<EdgeId> delta_inserts_{0};

@@ -109,6 +109,30 @@ void MutableFeatureStore::touch(VertexId v) {
   touch_ns_[static_cast<std::size_t>(v)] = now_ns();
 }
 
+void MutableFeatureStore::touch_rows(std::span<const VertexId> nodes) const {
+  // Lock-free pre-scan: base_rows_ is immutable after construction, so
+  // a request that names no extension rows (static serving, cache-hot
+  // dataset traffic) is detected and skipped without touching the
+  // mutex.
+  bool any = false;
+  for (VertexId v : nodes) {
+    if (v >= base_rows_) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  // One stamp and one exclusive section per gather batch: duplicates
+  // are re-stamped harmlessly, and everything in the batch shares the
+  // same "read now" instant.
+  const std::int64_t now = now_ns();
+  std::unique_lock lock(mutex_);
+  const std::int64_t end = base_rows_ + extension_rows_;
+  for (VertexId v : nodes) {
+    if (v >= base_rows_ && v < end) touch_ns_[static_cast<std::size_t>(v)] = now;
+  }
+}
+
 void MutableFeatureStore::copy_row(VertexId v, std::span<float> dst) const {
   std::shared_lock lock(mutex_);
   const std::span<const float> src = row_unlocked(v);

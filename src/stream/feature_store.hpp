@@ -71,6 +71,15 @@ class MutableFeatureStore {
   /// for LRU-style policies that want reads to keep an entity alive.
   void touch(VertexId v);
 
+  /// Batched read-path touch: re-stamps every EXTENSION row in `nodes`
+  /// under one exclusive lock (base rows are skipped — dataset vertices
+  /// never expire, and stamping them would only lengthen the critical
+  /// section; out-of-range ids are ignored).  When `nodes` holds no
+  /// extension rows the call takes no lock at all, so static serving
+  /// pays nothing.  Const because touch stamps are eviction metadata,
+  /// not feature data — this is the gather hot path's hook.
+  void touch_rows(std::span<const VertexId> nodes) const;
+
   /// Current steady-clock timestamp on the last-touch scale.
   static std::int64_t now_ns();
 
@@ -89,7 +98,9 @@ class MutableFeatureStore {
   Tensor base_;
   std::vector<float> extension_;  ///< appended rows, row-major
   std::vector<char> released_;    ///< per extension row: awaiting reuse
-  std::vector<std::int64_t> touch_ns_;  ///< per row (base + extension): last write stamp
+  /// Per row (base + extension): last write/read-touch stamp.  Mutable
+  /// so the const gather path can batch-refresh it under the lock.
+  mutable std::vector<std::int64_t> touch_ns_;
   std::int64_t base_rows_ = 0;
   std::int64_t extension_rows_ = 0;
   std::int64_t released_count_ = 0;

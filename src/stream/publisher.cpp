@@ -32,31 +32,74 @@ Seconds Publisher::worst_staleness() const {
   return worst_staleness_;
 }
 
+Seconds Publisher::worst_publish_cost() const {
+  std::lock_guard lock(stats_mutex_);
+  return worst_publish_cost_;
+}
+
 void Publisher::loop() {
   std::unique_lock lock(mutex_);
+  // Decaying high-waters, loop-thread only.  The op becomes visible
+  // when publish() RETURNS and the loop only regains control when the
+  // scheduler actually wakes it, so the deadline must be undercut by
+  // BOTH terms: the worst recent publish cost and how late wakeups
+  // actually fire on this host.  High-waters (decayed 10% per cycle)
+  // rather than means: one tardy wakeup predicts the next, and a
+  // one-off hiccup fades instead of pinning the publisher at maximum
+  // paranoia forever.
+  Seconds cost_high = 0.0;
+  Seconds wake_late_high = 0.0;
+  // Aim to COMPLETE by 3/4 of the budget: the high-waters below model
+  // the stalls this loop has SEEN, and the reserved quarter is for the
+  // one it hasn't yet — the budget is an upper bound, so finishing
+  // early is always correct, it just publishes slightly smaller
+  // batches.
+  const Seconds deadline = policy_.staleness_budget * 0.75;
   while (!stop_) {
     const Seconds age = graph_.pending_staleness();
+    // Start-early margin: aim to START the publish this far before the
+    // deadline so it COMPLETES by it.  Clamped to 80% of the deadline —
+    // past that the publisher degenerates into publish-per-op without
+    // being able to honour the budget anyway.
+    const Seconds margin =
+        std::min(std::max(policy_.poll_floor, cost_high + wake_late_high), deadline * 0.8);
     Seconds wait;
     if (age <= 0.0) {
-      // Nothing pending: idle at a quarter budget so an op arriving
-      // right after the check still has three quarters of slack left.
-      wait = policy_.staleness_budget * 0.25;
+      // Nothing pending: idle short enough that an op landing right
+      // after this check is still detected with the margin to spare.
+      wait = std::max(policy_.poll_floor, (deadline - margin) * 0.5);
     } else {
-      // Start early enough that the publish COMPLETES by the deadline:
-      // budget less a cost margin from recent publish durations.
-      const Seconds margin = std::min(std::max(policy_.poll_floor, publish_cost_ema_ * 2.0),
-                                      policy_.staleness_budget * 0.5);
-      const Seconds slack = policy_.staleness_budget - margin - age;
+      const Seconds slack = deadline - margin - age;
       if (slack <= policy_.poll_floor) {
         lock.unlock();
-        {
-          std::lock_guard stats(stats_mutex_);
-          worst_staleness_ = std::max(worst_staleness_, age);
-        }
-        if (age > policy_.staleness_budget) breaches_.fetch_add(1, std::memory_order_relaxed);
+        // The SLO is about VISIBILITY: an op is stale until publish()
+        // RETURNS, so staleness is sampled at completion — the age the
+        // oldest op had reached when the publish started, plus the
+        // publish cost itself.  Recording the pre-publish age instead
+        // under-reports by exactly the publish duration and lets a slow
+        // publish (e.g. one stalled on the rebase endpoint) blow the
+        // budget without ever counting as a breach.
+        const Seconds start_age = graph_.pending_staleness();
         Timer cost;
         graph_.publish();
-        publish_cost_ema_ = 0.7 * publish_cost_ema_ + 0.3 * cost.elapsed();
+        const Seconds took = cost.elapsed();
+        cost_high = std::max(cost_high * 0.9, took);
+        {
+          std::lock_guard stats(stats_mutex_);
+          worst_publish_cost_ = std::max(worst_publish_cost_, took);
+        }
+        // start_age can read 0 when a caller-paced publish raced us and
+        // already made everything visible; nothing waited, so nothing
+        // is accounted.
+        if (start_age > 0.0) {
+          const Seconds visible_age = start_age + took;
+          {
+            std::lock_guard stats(stats_mutex_);
+            worst_staleness_ = std::max(worst_staleness_, visible_age);
+          }
+          if (visible_age > policy_.staleness_budget)
+            breaches_.fetch_add(1, std::memory_order_relaxed);
+        }
         publishes_.fetch_add(1, std::memory_order_relaxed);
         lock.lock();
         continue;
@@ -65,7 +108,11 @@ void Publisher::loop() {
       // and a fresh burst is still re-sampled with margin to spare.
       wait = std::max(policy_.poll_floor, slack * 0.5);
     }
+    Timer slept;
     cv_.wait_for(lock, std::chrono::duration<double>(wait), [this] { return stop_; });
+    // How late past the requested wait the wakeup actually fired; a
+    // stop() wake can come early, in which case only the decay applies.
+    wake_late_high = std::max(wake_late_high * 0.9, slept.elapsed() - wait);
   }
 }
 

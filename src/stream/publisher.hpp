@@ -14,14 +14,19 @@
 // `poll_floor`), so each publish cycle costs O(log(budget/floor))
 // wakeups instead of a busy poll, and a burst arriving mid-sleep is
 // still caught with slack to spare.  Because the op only becomes
-// visible when publish() RETURNS, the publisher starts each publish
-// early by a margin tracking recent publish cost (EWMA, clamped to
-// half the budget) — aiming to finish by the deadline, not to start
-// by it.  The budget is still a soft real-time target: a publish can
-// block behind an in-flight compaction fold, which is why
-// `worst_staleness()` (age observed at each publish) and `breaches()`
-// are exported — BENCH_streaming records them so the bound is
-// measured, not assumed.
+// visible when publish() RETURNS — and the loop only regains control
+// when the scheduler actually wakes it — the publisher starts each
+// publish early by a margin covering BOTH terms it cannot avoid
+// paying: the worst recent publish cost and the observed wakeup
+// lateness on this host (decaying high-waters, clamped to 80% of the
+// budget).  Staleness is accounted the same way: `worst_staleness()`
+// and `breaches()` are sampled at publish COMPLETION (pending age at
+// start + publish cost), so a slow publish that blows the budget is a
+// breach, not an invisible under-report.  The budget is still a soft
+// real-time target (publishes serialize with the compactor's short
+// cut/rebase endpoints, never with its off-lock O(base) build), which
+// is why BENCH_streaming records the measured bound instead of
+// assuming it.
 #pragma once
 
 #include <atomic>
@@ -58,13 +63,17 @@ class Publisher {
   void stop();
 
   std::int64_t publishes() const { return publishes_.load(std::memory_order_relaxed); }
-  /// Worst pending-op age observed at the moment a publish started —
-  /// the measured staleness bound (visibility adds the publish cost
-  /// itself on top).
+  /// Worst visibility staleness measured at publish COMPLETION: the
+  /// pending-op age when the publish started plus the publish cost —
+  /// how long the oldest op actually waited to become queryable.
   Seconds worst_staleness() const;
-  /// Publishes that started with the budget already blown (scheduling
-  /// overrun or a publish slower than the budget).
+  /// Publishes whose completion-time staleness exceeded the budget
+  /// (scheduling overrun or a publish slower than its margin allowed).
   std::int64_t breaches() const { return breaches_.load(std::memory_order_relaxed); }
+  /// Slowest publish() this publisher has issued — the cost term of the
+  /// staleness bound (worst_staleness <= start age + this), exported so
+  /// a breach can be attributed: slow publishes vs late starts.
+  Seconds worst_publish_cost() const;
   const PublisherPolicy& policy() const { return policy_; }
 
  private:
@@ -76,7 +85,7 @@ class Publisher {
   std::atomic<std::int64_t> breaches_{0};
   mutable std::mutex stats_mutex_;
   Seconds worst_staleness_ = 0.0;
-  Seconds publish_cost_ema_ = 0.0;  ///< loop-thread only: recent publish duration
+  Seconds worst_publish_cost_ = 0.0;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -264,8 +264,16 @@ std::shared_ptr<const GraphVersion> StreamingGraph::publish() {
   // Claim the marker BEFORE the snapshot: an op racing the snapshot
   // re-arms it, so it can never be reset away while still unpublished.
   const auto marker = take_pending_marker();
-  auto version = install_version(std::move(base), base_max,
-                                 delta_.snapshot(/*advance_epoch=*/true), marker);
+  auto snapshot = delta_.snapshot(/*advance_epoch=*/true);
+  {
+    std::function<void()> hook;
+    {
+      std::lock_guard hook_lock(hook_mutex_);
+      hook = publish_hook_;
+    }
+    if (hook) hook();
+  }
+  auto version = install_version(std::move(base), base_max, std::move(snapshot), marker);
   publishes_.fetch_add(1, std::memory_order_relaxed);
   return version;
 }
@@ -276,88 +284,128 @@ std::shared_ptr<const GraphVersion> StreamingGraph::current() const {
 }
 
 bool StreamingGraph::compact() {
-  std::lock_guard maintenance(maintenance_mutex_);
-  const auto base = delta_.base();
-  const bool scrubs = delta_.has_pending_scrubs();
-  const auto marker = take_pending_marker();
-  const DeltaStore::Snapshot snap = delta_.snapshot(/*advance_epoch=*/true);
-  // Raw ops, not net: cancelled insert/delete pairs reduce to no
-  // topology change but must still be truncated, or the op-count
-  // compaction trigger could never clear under churn.
-  if (snap.raw_ops == 0 && snap.num_vertices == base->num_vertices() && !scrubs) {
-    // Nothing merged, nothing published: hand the claim back so the
-    // pending op (e.g. an op-less dataset-vertex death) still drives
-    // the SLO publisher.
-    restore_pending_marker(marker);
-    return false;
+  // ---- 1. CUT (locked, O(overlay)): snapshot + epoch cut + in-flight
+  // mark.  No pending-marker claim here: the cut ops stay INVISIBLE
+  // until a publish or the rebase installs them, so they must keep
+  // driving pending_staleness() — that is exactly what lets the SLO
+  // publisher make them visible while the build below runs off-lock.
+  DeltaStore::Snapshot snap;
+  std::shared_ptr<const CsrGraph> base;
+  {
+    std::lock_guard maintenance(maintenance_mutex_);
+    if (fold_in_flight_.load(std::memory_order_relaxed)) return false;  // one fold at a time
+    base = delta_.base();
+    const bool scrubs = delta_.has_pending_scrubs();
+    snap = delta_.snapshot(/*advance_epoch=*/true);
+    // Raw ops, not net: cancelled insert/delete pairs reduce to no
+    // topology change but must still be truncated, or the op-count
+    // compaction trigger could never clear under churn.
+    if (snap.raw_ops == 0 && snap.num_vertices == base->num_vertices() && !scrubs) return false;
+    delta_.begin_fold(snap.epoch);
+    fold_in_flight_.store(true, std::memory_order_release);
   }
 
-  // Per-vertex tombstone/insert spans from the snapshot, so the union
-  // enumeration can drop retracted edges as it walks the base.
-  std::unordered_map<VertexId, std::size_t> slot_of;
-  slot_of.reserve(snap.touched.size());
-  for (std::size_t s = 0; s < snap.touched.size(); ++s) slot_of.emplace(snap.touched[s], s);
+  // ---- 2. BUILD (off-lock, O(base)): `base` and `snap` are private
+  // immutable copies, so publishes, ingest and gated annihilation
+  // passes interleave freely while the merged CSR is assembled.
+  std::shared_ptr<const CsrGraph> merged;
+  try {
+    // Per-vertex tombstone/insert spans from the snapshot, so the union
+    // enumeration can drop retracted edges as it walks the base.
+    std::unordered_map<VertexId, std::size_t> slot_of;
+    slot_of.reserve(snap.touched.size());
+    for (std::size_t s = 0; s < snap.touched.size(); ++s) slot_of.emplace(snap.touched[s], s);
 
-  std::vector<std::pair<VertexId, VertexId>> edges;
-  edges.reserve(
-      static_cast<std::size_t>(base->num_edges() + snap.num_inserts - snap.num_removes));
-  for (VertexId v = 0; v < base->num_vertices(); ++v) {
-    const auto it = slot_of.find(v);
-    if (it == slot_of.end()) {
-      for (VertexId u : base->neighbors(v)) edges.emplace_back(v, u);
-      continue;
-    }
-    const std::size_t s = it->second;
-    const auto rem_lo = static_cast<std::size_t>(snap.remove_offsets[s]);
-    const auto rem_hi = static_cast<std::size_t>(snap.remove_offsets[s + 1]);
-    std::size_t ri = rem_lo;
-    for (VertexId u : base->neighbors(v)) {
-      while (ri < rem_hi && snap.removes[ri] < u) ++ri;
-      if (ri < rem_hi && snap.removes[ri] == u) {
-        ++ri;  // tombstoned: dropped from the fresh CSR
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(
+        static_cast<std::size_t>(base->num_edges() + snap.num_inserts - snap.num_removes));
+    for (VertexId v = 0; v < base->num_vertices(); ++v) {
+      const auto it = slot_of.find(v);
+      if (it == slot_of.end()) {
+        for (VertexId u : base->neighbors(v)) edges.emplace_back(v, u);
         continue;
       }
-      edges.emplace_back(v, u);
+      const std::size_t s = it->second;
+      const auto rem_lo = static_cast<std::size_t>(snap.remove_offsets[s]);
+      const auto rem_hi = static_cast<std::size_t>(snap.remove_offsets[s + 1]);
+      std::size_t ri = rem_lo;
+      for (VertexId u : base->neighbors(v)) {
+        while (ri < rem_hi && snap.removes[ri] < u) ++ri;
+        if (ri < rem_hi && snap.removes[ri] == u) {
+          ++ri;  // tombstoned: dropped from the fresh CSR
+          continue;
+        }
+        edges.emplace_back(v, u);
+      }
     }
-  }
-  for (std::size_t s = 0; s < snap.touched.size(); ++s) {
-    const VertexId v = snap.touched[s];
-    for (EdgeId e = snap.insert_offsets[s]; e < snap.insert_offsets[s + 1]; ++e) {
-      edges.emplace_back(v, snap.inserts[static_cast<std::size_t>(e)]);
+    for (std::size_t s = 0; s < snap.touched.size(); ++s) {
+      const VertexId v = snap.touched[s];
+      for (EdgeId e = snap.insert_offsets[s]; e < snap.insert_offsets[s + 1]; ++e) {
+        edges.emplace_back(v, snap.inserts[static_cast<std::size_t>(e)]);
+      }
     }
-  }
-  // The union is duplicate-free by the ingest-time check; dedup stays on
-  // as a structural belt (it is what the round-trip tests exercise).
-  EdgeListOptions options;
-  options.symmetrize = false;
-  options.remove_self_loops = false;
-  options.deduplicate = true;
-  auto merged =
-      std::make_shared<const CsrGraph>(build_csr(snap.num_vertices, std::move(edges), options));
+    // The union is duplicate-free by the ingest-time check; dedup stays
+    // on as a structural belt (it is what the round-trip tests check).
+    EdgeListOptions options;
+    options.symmetrize = false;
+    options.remove_self_loops = false;
+    options.deduplicate = true;
+    merged = std::make_shared<const CsrGraph>(
+        build_csr(snap.num_vertices, std::move(edges), options));
 
-  // Swap-then-truncate in one exclusive section: the membership check
-  // never sees a base without the merged prefix still pending.  rebase
+    std::function<void()> hook;
+    {
+      std::lock_guard hook_lock(hook_mutex_);
+      hook = fold_hook_;
+    }
+    if (hook) hook();  // test seam: park the fold here, still off-lock
+  } catch (...) {
+    // Abandon cleanly: the buffered ops were never touched, so the next
+    // snapshot reduces them as if this fold never started.
+    delta_.abort_fold();
+    fold_in_flight_.store(false, std::memory_order_release);
+    throw;
+  }
+
+  // ---- 3. REBASE (locked, O(overlay)): re-validate the cut against
+  // the store (rebase throws if the frontier moved), swap-then-truncate
+  // in one exclusive section — the membership check never sees a base
+  // without the merged prefix still pending — and republish.  rebase
   // also promotes fully-folded dead streamed-in ids to the free list.
-  delta_.rebase(merged, snap.epoch);
-  base_max_degree_ = merged->max_degree();
-  // Republish over the new base; ops ingested after the snapshot are
-  // still pending and ride along as the new overlay.  The install
-  // snapshot publishes everything accepted during the fold too, so
-  // claim any marker those ops re-armed — the lag sample uses the
-  // older (cut-time) claim when both exist.
-  const auto fold_marker = take_pending_marker();
-  install_version(merged, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false),
-                  marker.has_value() ? marker : fold_marker);
+  try {
+    std::lock_guard maintenance(maintenance_mutex_);
+    delta_.rebase(merged, snap.epoch);
+    base_max_degree_ = merged->max_degree();
+    // Ops ingested after the cut are still pending and ride along as
+    // the new overlay.  The install snapshot publishes everything
+    // accepted during the build too; claim the marker (oldest op still
+    // unpublished — a mid-build publish already credited anything it
+    // made visible) before that snapshot, as always.
+    const auto marker = take_pending_marker();
+    install_version(merged, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false), marker);
+    fold_in_flight_.store(false, std::memory_order_release);
+  } catch (...) {
+    // A rebase-section throw (failed re-validation, allocation) must
+    // not wedge the fold machinery: abandon the fold so later
+    // compact() calls are not refused forever.  abort_fold is a no-op
+    // when rebase already cleared the store-side guard.
+    delta_.abort_fold();
+    fold_in_flight_.store(false, std::memory_order_release);
+    throw;
+  }
   compactions_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 EdgeId StreamingGraph::annihilate() {
-  // maintenance_mutex_ excludes compact()'s snapshot -> rebase window,
-  // so no fold cut is in flight while the pass runs: every matched
-  // pair is erasable (gate 0), including pairs older than published
-  // snapshots — a GraphVersion owns copies of its spans, and the net
-  // reduction of the surviving ops is unchanged.
+  // maintenance_mutex_ excludes compact()'s cut and rebase endpoints,
+  // but NOT its off-lock build: when a fold is in flight the store
+  // clamps the pass to ops stamped after the fold's cut, so a pair the
+  // fold captured is never erased out from under its rebase.  With no
+  // fold in flight every matched pair is erasable (gate 0), including
+  // pairs older than published snapshots — a GraphVersion owns copies
+  // of its spans, and the net reduction of the surviving ops is
+  // unchanged.
   std::lock_guard maintenance(maintenance_mutex_);
   const EdgeId erased = delta_.annihilate(/*gate=*/0);
   if (erased > 0) annihilations_.fetch_add(1, std::memory_order_relaxed);
@@ -415,12 +463,28 @@ StaticFeatureCache::LoadStats StreamingGraph::gather(std::span<const VertexId> n
   stats.device_bytes = static_cast<double>(stats.hits) * row_bytes;
   stats.host_bytes = static_cast<double>(stats.misses) * row_bytes;
   if (cache != nullptr) cache->record(stats);
+  // LRU read-path touches, batched: one pass re-stamps every gathered
+  // streamed-in row so read-hot entities survive TTL sweeps.  The store
+  // skips base rows (dataset vertices never expire) and short-circuits
+  // to zero locking when the request has no extension rows — the common
+  // static-serving case pays nothing.
+  features_.touch_rows(nodes);
   return stats;
 }
 
 void StreamingGraph::attach_cache(StaticFeatureCache* cache) {
   std::lock_guard lock(cache_mutex_);
   cache_ = cache;
+}
+
+void StreamingGraph::set_fold_hook(std::function<void()> hook) {
+  std::lock_guard lock(hook_mutex_);
+  fold_hook_ = std::move(hook);
+}
+
+void StreamingGraph::set_publish_hook(std::function<void()> hook) {
+  std::lock_guard lock(hook_mutex_);
+  publish_hook_ = std::move(hook);
 }
 
 double StreamingGraph::overlay_ratio() const {
@@ -495,15 +559,6 @@ std::optional<std::chrono::steady_clock::time_point> StreamingGraph::take_pendin
   auto marker = pending_since_;
   pending_since_.reset();
   return marker;
-}
-
-void StreamingGraph::restore_pending_marker(
-    std::optional<std::chrono::steady_clock::time_point> marker) {
-  if (!marker.has_value()) return;
-  std::lock_guard lock(lag_mutex_);
-  // Keep the older timestamp: the claim predates anything re-armed
-  // since.
-  if (!pending_since_.has_value() || *marker < *pending_since_) pending_since_ = marker;
 }
 
 std::string StreamStats::to_string() const {

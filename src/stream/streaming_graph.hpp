@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -229,15 +230,44 @@ class StreamingGraph {
   /// insertions added, tombstoned edges dropped, dead vertices
   /// isolated — installs it as the new base and republishes.  Ops
   /// ingested after the internal snapshot survive in the delta (epoch
-  /// cut).  Returns false when there was nothing to merge.
+  /// cut).  Returns false when there was nothing to merge, or when
+  /// another fold is already in flight.
+  ///
+  /// NON-BLOCKING fold state machine: the maintenance mutex is held
+  /// only for the two cheap endpoints, never for the O(base) build —
+  ///
+  ///   1. CUT (locked): snapshot the delta, advance the epoch, mark the
+  ///      fold in flight (DeltaStore::begin_fold pins the cut so
+  ///      annihilation cannot erase a pair straddling it);
+  ///   2. BUILD (off-lock): enumerate base-minus-tombstones plus
+  ///      insertions and build the merged CSR — publishes, ingest,
+  ///      gated annihilation passes, sweeps all interleave freely, so
+  ///      the publisher's staleness bound no longer carries a fold
+  ///      stall;
+  ///   3. REBASE (locked): re-validate the cut against the store
+  ///      (rebase throws if the frontier moved), swap-then-truncate,
+  ///      republish everything pending, clear the in-flight flag.
+  ///
+  /// Ops that land mid-build are stamped above the cut, survive the
+  /// truncate, and apply identically over the merged base — the
+  /// per-pair alternation invariant continues across the swap.
   bool compact();
+
+  /// Whether a fold cut is outstanding (compact() is between its cut
+  /// and its rebase).  The compactor consults this instead of starting
+  /// a second fold that would only be refused.
+  bool fold_in_flight() const { return fold_in_flight_.load(std::memory_order_acquire); }
 
   /// Cheap tombstone GC: erases cancelled insert/tombstone pairs from
   /// the op buffers in place (DeltaStore::annihilate) — no rebuild, no
   /// republish (published versions never saw the erased ops, and the
   /// net overlay is unchanged).  The compactor runs this as its first
   /// resort so delete-heavy churn stops forcing full CSR rebuilds
-  /// whose only effect is truncation.  Returns op records erased.
+  /// whose only effect is truncation.  Safe to run while a fold's
+  /// off-lock build is in flight: the store clamps the pass to ops
+  /// stamped after the fold's cut, so a pair the fold captured is
+  /// never erased out from under its rebase.  Returns op records
+  /// erased.
   EdgeId annihilate();
 
   /// One TTL eviction pass: retires (remove_vertex) up to `max_retire`
@@ -264,13 +294,31 @@ class StreamingGraph {
 
   /// Serving gather: pinned rows from the attached cache's device copy,
   /// everything else from the feature store.  Returns hit/miss traffic
-  /// for ServingStats.
+  /// for ServingStats.  Also refreshes the last-touch stamps of every
+  /// gathered streamed-in vertex (one batched pass), so a read-hot
+  /// entity that is never re-written still survives TTL sweeps — true
+  /// LRU, not write-only TTL.
   StaticFeatureCache::LoadStats gather(std::span<const VertexId> nodes, Tensor& out) const;
 
   /// Registers the cache refreshed by update_feature and evicted from
   /// by remove_vertex (pass nullptr to detach).  The cache must be
   /// built over features().base().
   void attach_cache(StaticFeatureCache* cache);
+
+  // ---- test seams ----
+
+  /// Test-only: invoked during compact() after the off-lock CSR build
+  /// completes, before the rebase critical section — with the
+  /// maintenance mutex RELEASED and the fold cut in flight.  Tests park
+  /// the hook to hold a fold open and interleave publishes, ingest and
+  /// annihilation passes against it.  Pass nullptr to clear.
+  void set_fold_hook(std::function<void()> hook);
+
+  /// Test-only: invoked inside publish() while the maintenance mutex is
+  /// held, before the version install — inflates publish cost so the
+  /// publisher's completion-time staleness accounting can be pinned.
+  /// Pass nullptr to clear.
+  void set_publish_hook(std::function<void()> hook);
 
   // ---- observability ----
 
@@ -303,11 +351,11 @@ class StreamingGraph {
   /// accepted after the claim re-arms the marker even if the snapshot
   /// happens to capture it (one redundant publish at worst), so no
   /// accepted op can ever lose its marker and sit invisible past the
-  /// publisher's staleness budget.
+  /// publisher's staleness budget.  compact()'s CUT deliberately does
+  /// NOT claim: the cut ops stay invisible until a publish or the
+  /// rebase, so their marker must keep driving the publisher while the
+  /// build runs off-lock.
   std::optional<std::chrono::steady_clock::time_point> take_pending_marker();
-  /// Hands back a claimed marker after a no-op maintenance pass,
-  /// keeping the older of it and anything re-armed since.
-  void restore_pending_marker(std::optional<std::chrono::steady_clock::time_point> marker);
 
   const Dataset* dataset_;
   StreamingConfig config_;
@@ -320,8 +368,16 @@ class StreamingGraph {
   std::shared_ptr<const GraphVersion> current_;
   std::atomic<std::uint64_t> version_counter_{0};
 
-  std::mutex maintenance_mutex_;  ///< serializes publish() and compact()
+  /// Serializes publish() with compact()'s cut and rebase endpoints —
+  /// NOT with the O(base) build between them, which runs off-lock so
+  /// publishes never stall behind a fold.
+  std::mutex maintenance_mutex_;
+  std::atomic<bool> fold_in_flight_{false};  ///< compact() between cut and rebase
   std::mutex vertex_mutex_;       ///< keeps feature rows and vertex ids in lockstep
+
+  mutable std::mutex hook_mutex_;  ///< guards the test seams below
+  std::function<void()> fold_hook_;
+  std::function<void()> publish_hook_;
 
   mutable std::mutex cache_mutex_;  ///< guards cache_ pointer + feature update/refresh pairs
   StaticFeatureCache* cache_ = nullptr;

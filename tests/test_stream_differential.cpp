@@ -27,8 +27,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -210,6 +214,10 @@ struct MixConfig {
   double ttl_sweep = 0.0;   ///< TTL expiry pass; shadow mirrors per-vertex expiry
   double publish = 0.17;
   double compact = 0.08;
+  /// Parked-fold interleaving: cut a fold, hold its off-lock build open
+  /// (test hook), and land churn + a gated annihilation pass + a
+  /// VERIFIED publish against the in-flight cut before the rebase.
+  double fold_interleave = 0.0;
   // remainder: publish + compact back to back
 };
 
@@ -247,6 +255,7 @@ void run_differential(std::uint64_t seed, std::int64_t steps, const MixConfig& m
     const double c_sweep = c_annihilate + mix.ttl_sweep;
     const double c_publish = c_sweep + mix.publish;
     const double c_compact = c_publish + mix.compact;
+    const double c_fold = c_compact + mix.fold_interleave;
 
     if (r < c_insert) {
       const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
@@ -337,6 +346,80 @@ void run_differential(std::uint64_t seed, std::int64_t steps, const MixConfig& m
       verify_against_rebuild(graph, *graph.current(), shadow, model, seed ^ (0x1234ULL + step),
                              step);
       ++publish_points;
+    } else if (r < c_fold) {
+      // Parked-fold interleaving: cut a fold and hold its off-lock
+      // build open while churn, a gated annihilation pass and a publish
+      // land against it.  The mid-fold publish must STILL be
+      // bit-identical to a from-scratch rebuild (old base + complete
+      // overlay), and so must the state the rebase leaves behind.
+      if (graph.overlay_ops() == 0 && !graph.has_pending_scrubs()) {
+        // Nothing for the fold to merge — compact() would no-op before
+        // reaching the park point; take a verified publish instead.
+        verify_against_rebuild(graph, *graph.publish(), shadow, model,
+                               seed ^ (0x7777ULL + step), step);
+        ++publish_points;
+      } else {
+        std::mutex fold_mutex;
+        std::condition_variable fold_cv;
+        bool parked = false;
+        bool release = false;
+        std::atomic<bool> done{false};
+        graph.set_fold_hook([&] {
+          std::unique_lock lock(fold_mutex);
+          parked = true;
+          fold_cv.notify_all();
+          fold_cv.wait(lock, [&] { return release; });
+        });
+        std::thread folder([&] {
+          graph.compact();
+          {
+            // Under the mutex so the no-op case cannot slip a lost
+            // wakeup between the waiter's predicate check and its block.
+            std::lock_guard lock(fold_mutex);
+            done.store(true);
+          }
+          fold_cv.notify_all();
+        });
+        {
+          std::unique_lock lock(fold_mutex);
+          fold_cv.wait(lock, [&] { return parked || done.load(); });
+        }
+        if (parked) {
+          // NOTE: only EXPECT_* between spawn and join — a fatal
+          // failure returning early would abandon a joinable thread.
+          for (int i = 0; i < 3; ++i) {
+            const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+            const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+            const bool expected = shadow.expect_insert(u, v);
+            EXPECT_EQ(graph.add_edge(u, v), expected) << u << "-" << v;
+            if (expected) {
+              shadow.insert(u, v);
+              accepted_inserts += 2;
+            }
+          }
+          if (!shadow.empty()) {
+            const auto [u, v] = shadow.pick_edge(rng);
+            EXPECT_TRUE(graph.remove_edge(u, v)) << u << "-" << v;
+            shadow.erase(u, v);
+            accepted_removes += 2;
+          }
+          graph.annihilate();           // clamped to the in-flight cut
+          EXPECT_FALSE(graph.compact());  // second fold refused, not blocked
+          const auto mid = graph.publish();
+          verify_against_rebuild(graph, *mid, shadow, model, seed ^ (0x2222ULL + step), step);
+          ++publish_points;
+          {
+            std::lock_guard lock(fold_mutex);
+            release = true;
+          }
+          fold_cv.notify_all();
+        }
+        folder.join();
+        graph.set_fold_hook(nullptr);
+        verify_against_rebuild(graph, *graph.current(), shadow, model,
+                               seed ^ (0x3333ULL + step), step);
+        ++publish_points;
+      }
     } else {
       graph.publish();
       graph.compact();
@@ -394,6 +477,25 @@ TEST(StreamDifferential, LifecycleChurnWithAnnihilationAndTtlSeed53) {
   mix.publish = 0.14;
   mix.compact = 0.06;
   run_differential(/*seed=*/53, /*steps=*/1100, mix);
+}
+
+TEST(StreamDifferential, PublishAndChurnDuringParkedFoldsSeed71) {
+  // The non-blocking-fold mix: folds are cut and PARKED mid-build while
+  // inserts, retractions, a gated annihilation pass and a publish land
+  // against the in-flight cut — the publish must match a from-scratch
+  // rebuild both before and after the rebase, at every such step.
+  MixConfig mix;
+  mix.insert = 0.24;
+  mix.remove = 0.20;
+  mix.vertex_add = 0.06;
+  mix.vertex_remove = 0.04;
+  mix.feature = 0.06;
+  mix.annihilate = 0.06;
+  mix.ttl_sweep = 0.03;
+  mix.publish = 0.12;
+  mix.compact = 0.05;
+  mix.fold_interleave = 0.10;
+  run_differential(/*seed=*/71, /*steps=*/700, mix);
 }
 
 TEST(StreamDifferential, RecyclingPressureKeepsIdsConsistent) {

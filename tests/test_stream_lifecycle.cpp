@@ -1,16 +1,22 @@
 // Churn-lifecycle tests (src/stream/): in-place tombstone annihilation
 // (including the annihilation-vs-in-flight-snapshot safety properties —
 // a cancelled pair straddling a compaction cut must never be erased, or
-// the fold resurrects the edge), TTL eviction sweeps and their
-// tombstone-burst pacing, the SLO-driven background Publisher, the
-// compactor's annihilate-before-fold escalation and refused-fold
-// backoff, and the update generator's starvation-proof publish cadence.
-// The randomized stream-vs-rebuild harness that interleaves these steps
-// lives in test_stream_differential.cpp.
+// the fold resurrects the edge), the NON-BLOCKING fold state machine
+// (publishes, ingest and gated annihilation interleaving with a parked
+// off-lock CSR build; a second fold refused, not blocked), TTL eviction
+// sweeps and their tombstone-burst pacing (including read-path gather
+// touches), the SLO-driven background Publisher and its completion-time
+// staleness accounting, the compactor's annihilate-before-fold
+// escalation and refused-fold backoff, and the update generator's
+// starvation-proof publish cadence.  The randomized stream-vs-rebuild
+// harness that interleaves these steps lives in
+// test_stream_differential.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -52,6 +58,55 @@ std::pair<VertexId, VertexId> absent_edge(const GraphVersion& version, VertexId 
   }
   throw std::logic_error("absent_edge: graph is complete");
 }
+
+/// Holds a StreamingGraph fold open at its off-lock park point — the
+/// test seam between the merged-CSR build and the rebase critical
+/// section.  start() launches compact() on a background thread and
+/// returns once the fold is parked (cut taken, build done, rebase
+/// pending, maintenance mutex RELEASED); finish() lands it.  The graph
+/// must have something to fold before start(), or compact() no-ops
+/// without ever reaching the park point.
+class FoldPark {
+ public:
+  explicit FoldPark(StreamingGraph& graph) : graph_(graph) {
+    graph_.set_fold_hook([this] {
+      std::unique_lock lock(mutex_);
+      parked_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_; });
+    });
+  }
+
+  ~FoldPark() {
+    if (thread_.joinable()) finish();
+    graph_.set_fold_hook(nullptr);
+  }
+
+  void start() {
+    thread_ = std::thread([this] { result_ = graph_.compact(); });
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return parked_; });
+  }
+
+  bool finish() {
+    {
+      std::lock_guard lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    return result_;
+  }
+
+ private:
+  StreamingGraph& graph_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool parked_ = false;
+  bool released_ = false;
+  bool result_ = false;
+  std::thread thread_;
+};
 
 // ------------------------------------------------------------ annihilation
 
@@ -214,6 +269,147 @@ TEST(Annihilation, RandomizedChurnNeverDivergesFromNet) {
   EXPECT_GT(graph.stats().annihilated_ops, 0);
 }
 
+// ------------------------------------------------------ non-blocking folds
+
+TEST(NonBlockingFold, PublishProceedsWhileFoldParkedOffLock) {
+  // The tentpole property: a publish issued while a fold's O(base)
+  // build is in flight completes against the OLD base + full overlay —
+  // it would deadlock here if the build still held the maintenance
+  // mutex — and the landed rebase then folds the cut prefix into the
+  // new base without losing the mid-build arrival.
+  StreamingGraph graph(community());
+  const EdgeId base_edges = graph.current()->num_edges();
+  const auto [u1, v1] = absent_edge(*graph.current());
+  ASSERT_TRUE(graph.add_edge(u1, v1));  // captured by the cut
+
+  FoldPark park(graph);
+  park.start();
+  EXPECT_TRUE(graph.fold_in_flight());
+
+  const auto [u2, v2] = absent_edge(*graph.current(), 0, {u1, v1});
+  ASSERT_TRUE(graph.add_edge(u2, v2));  // lands mid-build, stamped past the cut
+  const auto mid = graph.publish();
+  EXPECT_EQ(mid->num_edges(), base_edges + 4);  // both pairs visible before the rebase
+  EXPECT_TRUE(mid->validate());
+  EXPECT_TRUE(graph.fold_in_flight());
+
+  EXPECT_TRUE(park.finish());
+  EXPECT_FALSE(graph.fold_in_flight());
+  const auto after = graph.current();
+  EXPECT_EQ(after->num_edges(), base_edges + 4);
+  EXPECT_EQ(after->base_edges(), base_edges + 2);     // cut pair folded into the base
+  EXPECT_EQ(after->overlay_edges(), 2);               // mid-build pair rides the overlay
+  EXPECT_TRUE(after->validate());
+  EXPECT_EQ(graph.stats().compactions, 1);
+}
+
+TEST(NonBlockingFold, SecondFoldRefusedNotBlockedWhileOneIsInFlight) {
+  StreamingGraph graph(community());
+  const auto [u, v] = absent_edge(*graph.current());
+  ASSERT_TRUE(graph.add_edge(u, v));
+
+  FoldPark park(graph);
+  park.start();
+  // Refused immediately — one fold frontier at a time; a blocking wait
+  // here would deadlock the test.
+  EXPECT_FALSE(graph.compact());
+  EXPECT_TRUE(park.finish());
+  EXPECT_EQ(graph.stats().compactions, 1);
+  // With the fold landed (and the overlay drained) a fresh compact is a
+  // clean no-op, not a refusal artifact.
+  EXPECT_FALSE(graph.compact());
+  EXPECT_TRUE(graph.current()->validate());
+}
+
+TEST(NonBlockingFold, AnnihilationDuringFoldSparesStraddlingPair) {
+  // The pair whose insert the fold captured and whose tombstone landed
+  // mid-build STRADDLES the cut: annihilation while the build is parked
+  // must pin it (erasing it would resurrect the edge at rebase), while
+  // a pair cancelled entirely after the cut is still erasable.
+  StreamingGraph graph(community());
+  const EdgeId base_edges = graph.current()->num_edges();
+  const auto [u1, v1] = absent_edge(*graph.current());
+  ASSERT_TRUE(graph.add_edge(u1, v1));  // insert: pre-cut
+
+  FoldPark park(graph);
+  park.start();
+  ASSERT_TRUE(graph.remove_edge(u1, v1));  // tombstone: post-cut — straddles
+  const auto [u2, v2] = absent_edge(*graph.current(), 0, {u1, v1});
+  ASSERT_TRUE(graph.add_edge(u2, v2));  // cancelled pair entirely post-cut
+  ASSERT_TRUE(graph.remove_edge(u2, v2));
+
+  EXPECT_EQ(graph.annihilate(), 4);           // only the post-cut pair went
+  EXPECT_EQ(graph.overlay_tombstones(), 2);   // straddling tombstones pinned
+  EXPECT_TRUE(park.finish());
+
+  // The rebase folded the captured insert into the base; the surviving
+  // tombstones retract it, so the net graph is exactly the original.
+  const auto version = graph.publish();
+  EXPECT_EQ(version->num_edges(), base_edges);
+  std::vector<VertexId> adjacency;
+  version->append_neighbors(u1, adjacency);
+  EXPECT_FALSE(std::binary_search(adjacency.begin(), adjacency.end(), v1));
+  EXPECT_TRUE(version->validate());
+  graph.compact();
+  EXPECT_EQ(graph.current()->num_edges(), base_edges);
+  EXPECT_TRUE(graph.current()->validate());
+}
+
+TEST(NonBlockingFold, DeltaStoreFoldGateClampsAnnihilationToTheCut) {
+  // DeltaStore-level property: begin_fold pins ops at or below the cut
+  // against ANY annihilation gate (even the expert gate-0 form), rebase
+  // re-validates the declared cut, and abort_fold restores the full
+  // erasure license.
+  auto base = std::make_shared<const CsrGraph>(build_csr(6, {{0, 1}, {1, 0}}, {}));
+  DeltaStore store(base, 4);
+
+  ASSERT_TRUE(store.add_edge(2, 3));
+  ASSERT_TRUE(store.add_edge(3, 2));
+  const DeltaStore::Snapshot cut = store.snapshot(/*advance_epoch=*/true);
+  store.begin_fold(cut.epoch);
+  EXPECT_TRUE(store.fold_in_flight());
+  EXPECT_THROW(store.begin_fold(cut.epoch), std::logic_error);  // one fold at a time
+
+  ASSERT_TRUE(store.remove_edge(2, 3));  // straddles the cut with its insert
+  ASSERT_TRUE(store.remove_edge(3, 2));
+  ASSERT_TRUE(store.add_edge(4, 5));     // cancelled entirely post-cut
+  ASSERT_TRUE(store.remove_edge(4, 5));
+
+  // Gate 0 asks for "erase everything matched"; the in-flight fold
+  // clamps it to the cut, so only the post-cut pair (2 ops) goes.
+  EXPECT_EQ(store.annihilate(/*gate=*/0), 2);
+  EXPECT_EQ(store.delta_removes(), 2);
+
+  // The rebase must present the exact frontier begin_fold declared.
+  auto merged = std::make_shared<const CsrGraph>(
+      build_csr(6, {{0, 1}, {1, 0}, {2, 3}, {3, 2}}, {}));
+  EXPECT_THROW(store.rebase(merged, cut.epoch + 1), std::logic_error);
+  EXPECT_TRUE(store.fold_in_flight());  // failed re-validation keeps the guard
+  store.rebase(merged, cut.epoch);
+  EXPECT_FALSE(store.fold_in_flight());
+
+  // The straddling tombstones survived to retract the folded edge.
+  const DeltaStore::Snapshot after = store.snapshot(/*advance_epoch=*/false);
+  EXPECT_EQ(after.num_removes, 2);
+  EXPECT_EQ(after.num_inserts, 0);
+}
+
+TEST(NonBlockingFold, AbortFoldRestoresFullAnnihilationLicense) {
+  auto base = std::make_shared<const CsrGraph>(build_csr(4, {{0, 1}, {1, 0}}, {}));
+  DeltaStore store(base, 4);
+  ASSERT_TRUE(store.add_edge(2, 3));
+  const DeltaStore::Snapshot cut = store.snapshot(/*advance_epoch=*/true);
+  store.begin_fold(cut.epoch);
+  ASSERT_TRUE(store.remove_edge(2, 3));
+  EXPECT_EQ(store.annihilate(/*gate=*/0), 0);  // straddles the in-flight cut
+  store.abort_fold();
+  EXPECT_FALSE(store.fold_in_flight());
+  // Build abandoned: nothing was merged, so the matched pair is free
+  // again under the expert gate (no snapshot->rebase window remains).
+  EXPECT_EQ(store.annihilate(/*gate=*/0), 2);
+  EXPECT_EQ(store.delta_ops(), 0);
+}
+
 // ------------------------------------------------------------- TTL expiry
 
 TEST(Expiry, SweepRetiresIdleStreamedEntitiesDeterministically) {
@@ -344,6 +540,32 @@ TEST(Expiry, ExplicitTouchKeepsEntityAliveLikeAnLruRead) {
   EXPECT_TRUE(version->alive(read));
 }
 
+TEST(Expiry, GatherTouchKeepsReadHotVertexAliveAcrossSweep) {
+  // The serving read path: a streamed-in entity that is GATHERED every
+  // request but never re-written must survive TTL sweeps — gather()
+  // batch-refreshes last-touch stamps (true LRU), so only the genuinely
+  // idle entity is retired.
+  StreamingGraph graph(community());
+  Xoshiro256 rng(25);
+  const VertexId idle = graph.add_vertex(random_row(rng, graph.features().cols()));
+  const VertexId hot = graph.add_vertex(random_row(rng, graph.features().cols()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // Read-only access, as a serving worker would issue it; the dataset
+  // vertex in the batch exercises the base-row skip.
+  Tensor out;
+  const VertexId ids[2] = {0, hot};
+  graph.gather(std::span<const VertexId>(ids, 2), out);
+
+  EXPECT_EQ(graph.sweep_expired(/*ttl=*/0.030, /*max_retire=*/64), 1);
+  const auto version = graph.publish();
+  EXPECT_FALSE(version->alive(idle));
+  EXPECT_TRUE(version->alive(hot));
+  // The gather did not disturb the dataset vertex either way — base
+  // rows are never TTL candidates.
+  EXPECT_TRUE(version->alive(0));
+}
+
 TEST(Expiry, RecycledEntityGetsFreshTtl) {
   // An id recycled through add_vertex must not inherit the retired
   // entity's last-touch stamp: reuse_row re-stamps it.
@@ -395,6 +617,35 @@ TEST(Publisher, IdlesWhenNothingIsPending) {
   // Never publishes empty versions — a quiet graph keeps its version.
   EXPECT_EQ(publisher.publishes(), 0);
   EXPECT_EQ(graph.stats().publishes, 0);
+}
+
+TEST(Publisher, SlowPublishCountsAsBreachAtCompletion) {
+  // Staleness is about VISIBILITY: an op accepted just before a publish
+  // STARTS has near-zero age then, but if the publish itself takes 4x
+  // the budget the op was invisible 4x the budget — that must be
+  // recorded as the staleness and counted as a breach.  (The pre-fix
+  // accounting sampled age before publish() and would report ~0 here.)
+  StreamingGraph graph(community());
+  PublisherPolicy policy;
+  policy.staleness_budget = 5e-3;
+  constexpr auto kStall = std::chrono::milliseconds(20);
+  graph.set_publish_hook([kStall] { std::this_thread::sleep_for(kStall); });
+  Publisher publisher(graph, policy);
+
+  const auto [u, v] = absent_edge(*graph.current());
+  ASSERT_TRUE(graph.add_edge(u, v));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (publisher.publishes() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  publisher.stop();
+  graph.set_publish_hook(nullptr);
+
+  ASSERT_GE(publisher.publishes(), 1);
+  EXPECT_GE(publisher.breaches(), 1);
+  // Completion-time staleness includes the full publish cost.
+  EXPECT_GE(publisher.worst_staleness(),
+            std::chrono::duration<double>(kStall).count());
 }
 
 TEST(Publisher, RejectsUnusablePolicies) {
@@ -521,6 +772,41 @@ TEST(Compactor, BackgroundAnnihilationKeepsOverlayBoundedUnderCancelledChurn) {
   EXPECT_GE(compactor.annihilation_passes(), 1);
   EXPECT_EQ(graph.publish()->num_edges(), community().graph.num_edges());
   EXPECT_TRUE(graph.current()->validate());
+}
+
+TEST(Compactor, DecideNeverDemandsSecondFoldWhileOneIsInFlight) {
+  // With a fold parked mid-build, pressure that would normally demand
+  // kFold must not: a second fold would only be refused (spurious
+  // refused_folds + backoff growth).  The gated annihilation pass is
+  // still offered when there is something it could cancel.
+  StreamingGraph graph(community());
+  CompactionPolicy fold_only;
+  fold_only.max_overlay_edges = 2;
+  fold_only.max_overlay_ratio = 1e9;
+  fold_only.annihilate_first = false;
+  Compactor compactor(graph, fold_only);
+  compactor.stop();  // decide() only
+
+  const auto [u1, v1] = absent_edge(*graph.current());
+  ASSERT_TRUE(graph.add_edge(u1, v1));
+  ASSERT_GE(graph.overlay_ops(), fold_only.max_overlay_edges);
+  EXPECT_EQ(compactor.decide(), Compactor::Maintenance::kFold);
+
+  FoldPark park(graph);
+  park.start();
+  EXPECT_EQ(compactor.decide(), Compactor::Maintenance::kNone);  // fold already running
+
+  // Tombstones pending mid-build: an annihilate-first policy still
+  // offers the (cut-gated) in-place pass.
+  CompactionPolicy annihilating = fold_only;
+  annihilating.annihilate_first = true;
+  Compactor annihilator(graph, annihilating);
+  annihilator.stop();
+  ASSERT_TRUE(graph.remove_edge(u1, v1));
+  EXPECT_EQ(annihilator.decide(), Compactor::Maintenance::kAnnihilate);
+
+  EXPECT_TRUE(park.finish());
+  EXPECT_EQ(graph.stats().compactions, 1);
 }
 
 TEST(Compactor, BackoffScheduleDoublesToCapAndValidates) {

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate the committed BENCH_streaming.json on the publisher's SLO.
+
+The non-blocking-fold work (ISSUE-5) tightened the streaming staleness
+bound to the publisher budget alone: `sustained_churn_slo` must report
+zero breaches and a worst completion-time staleness within its budget.
+This script fails loudly if a regression (e.g. publishes stalling
+behind compaction folds again) sneaks back into a regenerated record.
+
+Usage:
+    tools/check_bench_slo.py [BENCH_streaming.json] [--tolerance FACTOR]
+
+`--tolerance` scales the budget before comparing (default 1.0: the
+record must meet the budget exactly as the acceptance criteria state).
+Exit status: 0 on pass, 1 on SLO violation or a malformed record.
+"""
+
+import argparse
+import json
+import sys
+
+POINT = "sustained_churn_slo"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("record", nargs="?", default="BENCH_streaming.json",
+                        help="path to the streaming bench record")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="budget multiplier before comparison (default 1.0)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.record, encoding="utf-8") as f:
+            record = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"check_bench_slo: cannot read {args.record}: {err}", file=sys.stderr)
+        return 1
+
+    points = {p.get("name"): p for p in record.get("points", [])}
+    point = points.get(POINT)
+    if point is None:
+        print(f"check_bench_slo: {args.record} has no '{POINT}' point", file=sys.stderr)
+        return 1
+
+    budget_ms = point.get("slo_budget_ms", 0.0)
+    worst_ms = point.get("publisher_worst_staleness_ms")
+    breaches = point.get("publisher_breaches")
+    if budget_ms <= 0.0 or worst_ms is None or breaches is None:
+        print(f"check_bench_slo: '{POINT}' is missing SLO fields "
+              f"(slo_budget_ms={budget_ms}, worst={worst_ms}, breaches={breaches})",
+              file=sys.stderr)
+        return 1
+
+    limit_ms = budget_ms * args.tolerance
+    failures = []
+    if worst_ms > limit_ms:
+        failures.append(f"publisher_worst_staleness_ms {worst_ms:.3f} > "
+                        f"{limit_ms:.3f} (budget {budget_ms:.3f} x tolerance {args.tolerance})")
+    if breaches != 0:
+        failures.append(f"publisher_breaches {breaches} != 0")
+
+    if failures:
+        print(f"check_bench_slo: '{POINT}' violates the publisher SLO:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("  (a publish stalling behind compaction again? see ISSUE-5 / "
+              "StreamingGraph::compact's fold state machine)", file=sys.stderr)
+        return 1
+
+    print(f"check_bench_slo: '{POINT}' ok — worst staleness "
+          f"{worst_ms:.3f} ms <= {limit_ms:.3f} ms, breaches 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
