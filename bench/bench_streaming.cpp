@@ -7,6 +7,13 @@
 // vs in-place annihilations, TTL retirements) so later PRs have a
 // freshness/latency trajectory to beat.
 //
+// Every reported number is read back from the telemetry plane: each
+// point binds one Telemetry to the serving + streaming stack and the
+// JSON record is built from a single MetricsRegistry snapshot taken
+// after the load drains — the bench exercises the same instruments an
+// operator would export.  Latency percentiles come from the shared
+// fixed-bucket histograms (~15% bucket growth), not exact reservoirs.
+//
 // The headline record is the mixed 90/10 query/update point (90% of
 // operations are queries, 10% update ops — the ISSUE-2 workload).  The
 // churn pair (ISSUE-3/4) is a sustained cancel-heavy edge feed:
@@ -23,6 +30,12 @@
 // term — and `publisher_breaches` should read 0.
 // tools/check_bench_slo.py gates the committed record on exactly that,
 // so the stall this point once exhibited cannot silently return.
+//
+// The record also carries a `telemetry_overhead` note: the static
+// point re-run with telemetry off vs on (interleaved, min-of-N per
+// arm, exact reservoir p50 on both arms so the comparison is
+// apples-to-apples) — the measured cost of leaving the plane on.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -52,16 +65,28 @@ struct OperatingPoint {
 
 struct PointResult {
   OperatingPoint point;
-  LoadReport load;
-  UpdateReport updates;
-  StreamStats stream;
-  std::int64_t compactions = 0;          ///< full delta->CSR rebuilds
-  std::int64_t annihilation_passes = 0;  ///< trigger rounds resolved in place
-  std::int64_t publisher_publishes = 0;
-  std::int64_t publisher_breaches = 0;
-  double publisher_worst_staleness_ms = 0.0;
-  double publisher_worst_publish_cost_ms = 0.0;
+  MetricsSnapshot snap;
 };
+
+double value_or(const MetricsSnapshot& snap, const std::string& name) {
+  return snap.has(name) ? snap.value(name) : 0.0;
+}
+
+std::int64_t count_or(const MetricsSnapshot& snap, const std::string& name) {
+  return static_cast<std::int64_t>(value_or(snap, name));
+}
+
+double safe_ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+double hist_mean_ms(const MetricsSnapshot& snap, const std::string& name) {
+  const MetricsSnapshot::HistogramView* h = snap.histogram(name);
+  return h != nullptr ? h->mean_ms() : 0.0;
+}
+
+double hist_max_ms(const MetricsSnapshot& snap, const std::string& name) {
+  const MetricsSnapshot::HistogramView* h = snap.histogram(name);
+  return h != nullptr ? h->max_ms : 0.0;
+}
 
 }  // namespace
 
@@ -118,11 +143,11 @@ int main() {
               "annihil", "expired"},
              {18, 9, 9, 9, 11, 9, 8, 8, 8});
 
-  std::vector<PointResult> results;
-  for (const OperatingPoint& point : points) {
-    HyScale system(dataset, cpu_fpga_platform(2), train_config);
-    system.train_epoch();
-
+  // One closed-loop session at `point` against `system`, reporting
+  // through `telemetry` when non-null; returns the exact reservoir p50
+  // (seconds) for the overhead note.
+  const auto run_point = [&](HyScale& system, const OperatingPoint& point,
+                             Telemetry* telemetry) -> Seconds {
     ServingConfig serving;
     serving.fanouts = {10, 5};
     serving.num_workers = 2;
@@ -130,6 +155,10 @@ int main() {
     serving.batch.max_batch_requests = 16;
     serving.batch.max_wait = 2e-3;
     serving.seed = 7;
+    serving.telemetry = telemetry;
+
+    StreamingConfig streaming;
+    streaming.telemetry = telemetry;
 
     CompactionPolicy compaction;
     compaction.max_overlay_edges = 2048;
@@ -140,7 +169,7 @@ int main() {
     ExpiryPolicy expiry;
     expiry.ttl = point.ttl_ms < 0.0 ? -1.0 : point.ttl_ms * 1e-3;
     expiry.sweep_interval = 5e-3;
-    StreamingSession session = system.stream(serving, {}, compaction, publisher, expiry);
+    StreamingSession session = system.stream(serving, streaming, compaction, publisher, expiry);
 
     UpdateGeneratorConfig updates;
     updates.operations = point.update_ops;
@@ -153,12 +182,11 @@ int main() {
     updates.pacing = point.pacing;
     updates.seed = 23;
 
-    UpdateReport update_report;
     std::thread update_thread;
     if (point.update_ops > 0) {
-      update_thread = std::thread([&session, updates, &update_report] {
+      update_thread = std::thread([&session, updates] {
         UpdateGenerator generator(session.stream(), updates);
-        update_report = generator.run();
+        (void)generator.run();
       });
     }
 
@@ -167,35 +195,54 @@ int main() {
     load.requests_per_client = kRequestsPerClient;
     load.seeds_per_request = 4;
     load.seed = 21;
+    load.telemetry = telemetry;
     LoadGenerator generator(*session.server, dataset, load);
     const LoadReport report = generator.run();
     if (update_thread.joinable()) update_thread.join();
+    return report.server.latency_p50;
+  };
 
-    PointResult result;
-    result.point = point;
-    result.load = report;
-    result.updates = update_report;
-    result.stream = session.stream().stats();
-    result.compactions = result.stream.compactions;
-    result.annihilation_passes = session.compactor->annihilation_passes();
-    if (session.publisher != nullptr) {
-      result.publisher_publishes = session.publisher->publishes();
-      result.publisher_breaches = session.publisher->breaches();
-      result.publisher_worst_staleness_ms = session.publisher->worst_staleness() * 1e3;
-      result.publisher_worst_publish_cost_ms = session.publisher->worst_publish_cost() * 1e3;
-    }
+  std::vector<PointResult> results;
+  for (const OperatingPoint& point : points) {
+    HyScale system(dataset, cpu_fpga_platform(2), train_config);
+    system.train_epoch();
 
-    bench::row({point.name, format_double(report.qps, 1),
-                format_double(report.server.latency_p50 * 1e3, 3),
-                format_double(report.server.latency_p99 * 1e3, 3),
-                format_double(result.updates.edges_per_second, 0),
-                format_double(result.stream.publish_lag_max * 1e3, 3),
-                std::to_string(result.compactions),
-                std::to_string(result.stream.annihilated_ops),
-                std::to_string(result.stream.expired_vertices)},
+    Telemetry telemetry;  // outlives the session created inside run_point
+    (void)run_point(system, point, &telemetry);
+    MetricsSnapshot snap = telemetry.registry().snapshot();
+
+    bench::row({point.name, format_double(value_or(snap, "load.qps"), 1),
+                format_double(snap.percentile_ms("serving.latency_ms", 0.50), 3),
+                format_double(snap.percentile_ms("serving.latency_ms", 0.99), 3),
+                format_double(value_or(snap, "ingest.edges_per_second"), 0),
+                format_double(hist_max_ms(snap, "stream.publish_lag_ms"), 3),
+                std::to_string(count_or(snap, "stream.compactions")),
+                std::to_string(count_or(snap, "stream.annihilated_ops")),
+                std::to_string(count_or(snap, "stream.expired_vertices"))},
                {18, 9, 9, 9, 11, 9, 8, 8, 8});
-    results.push_back(std::move(result));
+    results.push_back({point, std::move(snap)});
   }
+
+  // Telemetry overhead on the static point: off vs on, interleaved so
+  // drift hits both arms, min-of-N per arm (min is the low-noise
+  // estimator for a latency floor).  Both arms report the exact
+  // reservoir p50 from the server's own stats — identical methodology,
+  // so the delta is the cost of the metrics mirrors + tracer alone.
+  constexpr int kOverheadReps = 2;
+  Seconds p50_off = 1e30, p50_on = 1e30;
+  {
+    HyScale system(dataset, cpu_fpga_platform(2), train_config);
+    system.train_epoch();
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+      p50_off = std::min(p50_off, run_point(system, points[0], nullptr));
+      Telemetry telemetry;
+      p50_on = std::min(p50_on, run_point(system, points[0], &telemetry));
+    }
+  }
+  const double overhead_pct = safe_ratio(p50_on - p50_off, p50_off) * 100.0;
+  std::printf("\ntelemetry overhead (static point, min of %d): off p50 %.3f ms, on p50 %.3f ms "
+              "(%+.2f%%)\n",
+              kOverheadReps, p50_off * 1e3, p50_on * 1e3, overhead_pct);
 
   bench::JsonWriter json;
   json.begin_object();
@@ -204,6 +251,7 @@ int main() {
   json.field("materialized_vertices", static_cast<std::int64_t>(dataset.num_vertices()));
   json.field("fanouts", "10,5");
   json.field("queries", kQueries);
+  json.field("source", "metrics_registry_snapshot");
   // Wall-clock numbers are machine-condition dependent; regressions are
   // judged point-vs-point WITHIN one record (e.g. churn_no_gc vs
   // churn_delete_heavy), not against a record from an earlier run.
@@ -212,6 +260,7 @@ int main() {
   json.key("points");
   json.begin_array();
   for (const PointResult& r : results) {
+    const MetricsSnapshot& snap = r.snap;
     json.begin_object();
     json.field("name", r.point.name);
     json.field("update_ops", r.point.update_ops);
@@ -223,46 +272,62 @@ int main() {
     json.field("annihilate", r.point.annihilate);
     json.field("slo_budget_ms", r.point.slo_budget_ms);
     json.field("ttl_ms", r.point.ttl_ms);
-    json.field("completed_requests", r.load.completed_requests);
-    json.field("qps", r.load.qps);
-    json.field("p50_ms", r.load.server.latency_p50 * 1e3);
-    json.field("p99_ms", r.load.server.latency_p99 * 1e3);
-    json.field("queue_wait_p99_ms", r.load.server.queue_wait_p99 * 1e3);
-    json.field("compute_mean_ms", r.load.server.compute_mean * 1e3);
-    json.field("ingest_edges_per_second", r.updates.edges_per_second);
-    json.field("accepted_edges", r.updates.accepted_edges);
-    json.field("removed_edges", r.updates.removed_edges);
-    json.field("rejected_removals", r.updates.rejected_removals);
-    json.field("added_vertices", r.updates.added_vertices);
-    json.field("removed_vertices", r.updates.removed_vertices);
-    json.field("recycled_vertices", r.updates.recycled_vertices);
-    json.field("dead_vertices", r.stream.dead_vertices);
-    json.field("tombstones_pending", r.stream.tombstones);
-    json.field("feature_updates", r.updates.feature_updates);
-    json.field("expired_vertices", r.stream.expired_vertices);
-    json.field("publish_lag_mean_ms", r.stream.publish_lag_mean * 1e3);
-    json.field("publish_lag_max_ms", r.stream.publish_lag_max * 1e3);
-    json.field("publishes", r.stream.publishes);
-    json.field("publisher_publishes", r.publisher_publishes);
-    json.field("publisher_breaches", r.publisher_breaches);
-    json.field("publisher_worst_staleness_ms", r.publisher_worst_staleness_ms);
-    json.field("publisher_worst_publish_cost_ms", r.publisher_worst_publish_cost_ms);
-    json.field("full_compactions", r.compactions);
-    json.field("annihilation_passes", r.annihilation_passes);
-    json.field("annihilated_ops", r.stream.annihilated_ops);
-    json.field("cache_hit_rate", r.load.server.cache_hit_rate);
+    json.field("completed_requests", count_or(snap, "load.completed_requests"));
+    json.field("qps", value_or(snap, "load.qps"));
+    json.field("p50_ms", snap.percentile_ms("serving.latency_ms", 0.50));
+    json.field("p99_ms", snap.percentile_ms("serving.latency_ms", 0.99));
+    json.field("queue_wait_p99_ms", snap.percentile_ms("serving.queue_wait_ms", 0.99));
+    json.field("compute_mean_ms", hist_mean_ms(snap, "serving.latency_ms") -
+                                      hist_mean_ms(snap, "serving.queue_wait_ms"));
+    json.field("last_served_version", count_or(snap, "serving.last_served_version"));
+    json.field("ingest_edges_per_second", value_or(snap, "ingest.edges_per_second"));
+    json.field("accepted_edges", count_or(snap, "stream.ingested_edges"));
+    json.field("removed_edges", count_or(snap, "stream.removed_edges"));
+    json.field("rejected_removals", count_or(snap, "stream.rejected_removals"));
+    json.field("added_vertices", count_or(snap, "stream.added_vertices"));
+    json.field("removed_vertices", count_or(snap, "stream.removed_vertices"));
+    json.field("recycled_vertices", count_or(snap, "stream.recycled_vertices"));
+    json.field("dead_vertices", count_or(snap, "stream.dead_vertices"));
+    json.field("tombstones_pending", count_or(snap, "stream.tombstones"));
+    json.field("feature_updates", count_or(snap, "stream.feature_updates"));
+    json.field("expired_vertices", count_or(snap, "stream.expired_vertices"));
+    json.field("publish_lag_mean_ms", hist_mean_ms(snap, "stream.publish_lag_ms"));
+    json.field("publish_lag_max_ms", hist_max_ms(snap, "stream.publish_lag_ms"));
+    json.field("publishes", count_or(snap, "stream.publishes"));
+    json.field("publisher_publishes", count_or(snap, "publisher.publishes"));
+    json.field("publisher_breaches", count_or(snap, "publisher.breaches"));
+    json.field("publisher_worst_staleness_ms", value_or(snap, "publisher.worst_staleness_ms"));
+    json.field("publisher_worst_publish_cost_ms",
+               value_or(snap, "publisher.worst_publish_cost_ms"));
+    json.field("full_compactions", count_or(snap, "stream.compactions"));
+    json.field("annihilation_passes", count_or(snap, "compactor.annihilation_passes"));
+    json.field("annihilated_ops", count_or(snap, "stream.annihilated_ops"));
+    json.field("cache_hit_rate",
+               safe_ratio(value_or(snap, "serving.cache_hits"),
+                          value_or(snap, "serving.cache_hits") +
+                              value_or(snap, "serving.cache_misses")));
     json.end_object();
   }
   json.end_array();
-  const PointResult& headline = results[1];  // mixed 90/10
+  const MetricsSnapshot& headline = results[1].snap;  // mixed 90/10
   json.key("headline");
   json.begin_object();
-  json.field("name", headline.point.name);
-  json.field("qps", headline.load.qps);
-  json.field("p50_ms", headline.load.server.latency_p50 * 1e3);
-  json.field("p99_ms", headline.load.server.latency_p99 * 1e3);
-  json.field("ingest_edges_per_second", headline.updates.edges_per_second);
-  json.field("publish_lag_mean_ms", headline.stream.publish_lag_mean * 1e3);
+  json.field("name", results[1].point.name);
+  json.field("qps", value_or(headline, "load.qps"));
+  json.field("p50_ms", headline.percentile_ms("serving.latency_ms", 0.50));
+  json.field("p99_ms", headline.percentile_ms("serving.latency_ms", 0.99));
+  json.field("ingest_edges_per_second", value_or(headline, "ingest.edges_per_second"));
+  json.field("publish_lag_mean_ms", hist_mean_ms(headline, "stream.publish_lag_ms"));
+  json.end_object();
+  json.key("telemetry_overhead");
+  json.begin_object();
+  json.field("point", "static");
+  json.field("reps_per_arm", kOverheadReps);
+  json.field("p50_off_ms", p50_off * 1e3);
+  json.field("p50_on_ms", p50_on * 1e3);
+  json.field("overhead_pct", overhead_pct);
+  json.field("note", "exact reservoir p50 both arms, interleaved, min per arm; "
+                     "acceptance bound: <= 3%");
   json.end_object();
   json.end_object();
 

@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -146,6 +147,11 @@ struct ServeOptions {
   int requests = 64;
   int seeds_per_request = 4;
   std::uint64_t seed = 1;
+  std::string metrics_out;      ///< JSON-lines telemetry dump; "-" = stderr
+  int metrics_interval_ms = 0;  ///< periodic exporter cadence; 0 = final dump only
+  bool stage_trace = false;     ///< per-request / lifecycle stage tracing
+
+  bool telemetry_enabled() const { return !metrics_out.empty() || stage_trace; }
 };
 
 void serve_usage(const char* argv0) {
@@ -154,7 +160,13 @@ void serve_usage(const char* argv0) {
       "          [--train-epochs N] [--checkpoint FILE] [--save-checkpoint FILE]\n"
       "          [--fanouts a,b,...|--full] [--workers K] [--cache-rows R]\n"
       "          [--max-batch B] [--max-wait-ms MS] [--queue-cap Q]\n"
-      "          [--clients C] [--requests N] [--seeds-per-request S] [--seed X]\n",
+      "          [--clients C] [--requests N] [--seeds-per-request S] [--seed X]\n"
+      "          [--metrics-out FILE|-] [--metrics-interval-ms MS] [--trace]\n"
+      "\n"
+      "telemetry: --metrics-out dumps registry snapshots + lifecycle events as\n"
+      "JSON lines (one final snapshot, or every --metrics-interval-ms; '-' =\n"
+      "stderr); --trace also records per-request stage spans, summarized in the\n"
+      "snapshot lines.\n",
       argv0);
 }
 
@@ -237,6 +249,16 @@ bool parse_serve_args(int argc, char** argv, ServeOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      options.metrics_out = v;
+    } else if (arg == "--metrics-interval-ms") {
+      const char* v = next();
+      if (!v) return false;
+      options.metrics_interval_ms = std::atoi(v);
+    } else if (arg == "--trace") {
+      options.stage_trace = true;
     } else if (arg == "--help" || arg == "-h") {
       serve_usage(argv[0]);
       std::exit(0);
@@ -246,6 +268,52 @@ bool parse_serve_args(int argc, char** argv, ServeOptions& options) {
     }
   }
   return true;
+}
+
+// Telemetry stack for a CLI session: registry (+ stage tracer when
+// --trace) and, when --metrics-out is given, the JSON-lines exporter.
+// Members in this order so the exporter (destroyed first) writes its
+// final snapshot before the registry goes away; component callback
+// gauges freeze on detach, so a dump after session teardown still
+// reads their last values.
+struct CliTelemetry {
+  std::unique_ptr<Telemetry> telemetry;
+  std::unique_ptr<TelemetryExporter> exporter;
+
+  Telemetry* get() const { return telemetry.get(); }
+};
+
+CliTelemetry make_telemetry(const ServeOptions& options) {
+  CliTelemetry out;
+  if (!options.telemetry_enabled()) return out;
+  TelemetryConfig config;
+  config.tracing = options.stage_trace;
+  out.telemetry = std::make_unique<Telemetry>(config);
+  if (!options.metrics_out.empty()) {
+    ExporterConfig exporter;
+    exporter.path = options.metrics_out == "-" ? "" : options.metrics_out;
+    exporter.interval_ms = options.metrics_interval_ms;
+    out.exporter = std::make_unique<TelemetryExporter>(*out.telemetry, exporter);
+  }
+  return out;
+}
+
+void print_telemetry_summary(const CliTelemetry& telemetry, const ServeOptions& options) {
+  if (!telemetry.telemetry) return;
+  std::printf("telemetry:");
+  if (options.stage_trace) {
+    const StageTracer& tracer = telemetry.telemetry->tracer();
+    std::printf(" %lld stage spans recorded (%lld dropped),",
+                static_cast<long long>(tracer.recorded()),
+                static_cast<long long>(tracer.dropped()));
+  }
+  if (!options.metrics_out.empty()) {
+    std::printf(" JSON lines -> %s",
+                options.metrics_out == "-" ? "stderr" : options.metrics_out.c_str());
+  } else {
+    std::printf(" metrics in-process only (pass --metrics-out to export)");
+  }
+  std::printf("\n");
 }
 
 // ------------------------------------------------------------ stream mode
@@ -280,6 +348,7 @@ void stream_usage(const char* argv0) {
       "          [--delete-frac F] [--vertex-delete-frac F] [--delete-recent-frac F]\n"
       "          [--compact-edges E] [--compact-ratio R] [--no-annihilate]\n"
       "          [--slo-ms MS] [--ttl-ms MS] [--sweep-ms MS]\n"
+      "          [--metrics-out FILE|-] [--metrics-interval-ms MS] [--trace]\n"
       "\n"
       "lifecycle: --slo-ms bounds staleness (background publisher; 0 = caller-paced\n"
       "via --publish-every), --ttl-ms retires streamed-in entities idle that long\n"
@@ -411,6 +480,11 @@ int run_stream_impl(const StreamOptions& options) {
   serving.batch.max_wait = serve.max_wait_ms * 1e-3;
   serving.batch.queue_capacity = static_cast<std::size_t>(serve.queue_cap);
 
+  CliTelemetry telemetry = make_telemetry(serve);
+  serving.telemetry = telemetry.get();
+  StreamingConfig streaming;
+  streaming.telemetry = telemetry.get();
+
   CompactionPolicy compaction;
   compaction.max_overlay_edges = options.compact_edges;
   compaction.max_overlay_ratio = options.compact_ratio;
@@ -420,7 +494,7 @@ int run_stream_impl(const StreamOptions& options) {
   ExpiryPolicy expiry;
   expiry.ttl = options.ttl_ms < 0.0 ? -1.0 : options.ttl_ms * 1e-3;
   expiry.sweep_interval = options.sweep_ms * 1e-3;
-  StreamingSession session = system.stream(serving, {}, compaction, publisher, expiry);
+  StreamingSession session = system.stream(serving, streaming, compaction, publisher, expiry);
 
   std::printf("\nstreaming %s on %d workers (%lld base edges, compact at %lld overlay "
               "edges or %.0f%%)\n",
@@ -460,9 +534,11 @@ int run_stream_impl(const StreamOptions& options) {
   load.requests_per_client = serve.requests;
   load.seeds_per_request = serve.seeds_per_request;
   load.seed = serve.seed + 1;
+  load.telemetry = telemetry.get();
   LoadGenerator generator(*session.server, dataset, load);
   const LoadReport report = generator.run();
   update_thread.join();
+  if (telemetry.exporter) telemetry.exporter->flush("load_drained");
 
   const StreamStats stream_stats = session.stream().stats();
   const ServingSnapshot& stats = report.server;
@@ -495,6 +571,7 @@ int run_stream_impl(const StreamOptions& options) {
                 cache->totals().hit_rate(), cache->since_invalidate().hit_rate(),
                 static_cast<long long>(cache->invalidations()));
   }
+  print_telemetry_summary(telemetry, serve);
   return 0;
 }
 
@@ -553,6 +630,9 @@ int run_serve_impl(const ServeOptions& options) {
   serving.batch.max_wait = options.max_wait_ms * 1e-3;
   serving.batch.queue_capacity = static_cast<std::size_t>(options.queue_cap);
 
+  CliTelemetry telemetry = make_telemetry(options);
+  serving.telemetry = telemetry.get();
+
   const ModelSnapshot snapshot(trainer.model());
   InferenceServer server(dataset, snapshot, serving);
 
@@ -572,8 +652,10 @@ int run_serve_impl(const ServeOptions& options) {
   load.requests_per_client = options.requests;
   load.seeds_per_request = options.seeds_per_request;
   load.seed = options.seed + 1;
+  load.telemetry = telemetry.get();
   LoadGenerator generator(server, dataset, load);
   const LoadReport report = generator.run();
+  if (telemetry.exporter) telemetry.exporter->flush("load_drained");
 
   std::printf("\n%s\n", report.to_string().c_str());
   const ServingSnapshot& stats = report.server;
@@ -588,6 +670,7 @@ int run_serve_impl(const ServeOptions& options) {
               static_cast<long long>(stats.max_batch_requests));
   std::printf("cache:    hit_rate %.3f (%s device, %s host)\n", stats.cache_hit_rate,
               format_bytes(stats.device_bytes).c_str(), format_bytes(stats.host_bytes).c_str());
+  print_telemetry_summary(telemetry, options);
   return 0;
 }
 

@@ -1,0 +1,101 @@
+// Lifecycle event journal + JSON-lines exporter.
+//
+// The journal is a bounded ring of discrete lifecycle events (version
+// published, fold completed, SLO breach, TTL sweep) that the exporter
+// drains into JSON lines.  The exporter runs an optional periodic
+// thread — each tick emits one `snapshot` line (every registry
+// instrument plus a trace summary) and one `event` line per journal
+// entry since the last tick — and always writes a final `snapshot`
+// line with reason "final" when stopped, so even a crash-adjacent run
+// leaves a parseable record of its last state.
+//
+// Output is strictly one JSON object per line (JSON-lines), to a file
+// or stderr; CI parses it back with `json.loads` per line.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hyscale {
+
+class Telemetry;
+
+/// One discrete lifecycle occurrence.  `detail` is free text (it is
+/// JSON-escaped on export, so any content is safe).
+struct JournalEvent {
+  std::int64_t t_ns = 0;  ///< StageTracer::now_ns() at log time
+  std::string kind;       ///< e.g. "publish", "fold", "slo_breach"
+  std::string detail;
+};
+
+/// Mutex-guarded bounded ring of events; oldest entries are dropped
+/// once `capacity` is reached (the drop count is retained).
+class EventJournal {
+ public:
+  explicit EventJournal(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void log(std::string kind, std::string detail);
+
+  /// Removes and returns every retained event (exporter ticks).
+  std::vector<JournalEvent> drain();
+  /// Copy without consuming (tests, end-of-run summaries).
+  std::vector<JournalEvent> events() const;
+  std::int64_t dropped() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<JournalEvent> events_;
+  std::int64_t dropped_ = 0;
+};
+
+/// Minimal JSON string escaping for exporter output.
+std::string json_escape(const std::string& raw);
+
+struct ExporterConfig {
+  std::string path;        ///< output file; empty = stderr
+  int interval_ms = 0;     ///< 0 = no periodic thread, final dump only
+};
+
+class TelemetryExporter {
+ public:
+  /// `telemetry` must outlive the exporter.  Throws std::runtime_error
+  /// if `config.path` cannot be opened.
+  TelemetryExporter(Telemetry& telemetry, ExporterConfig config);
+  ~TelemetryExporter();  ///< stops the thread and writes the final dump
+
+  /// Emits pending event lines plus one snapshot line tagged `reason`.
+  void flush(const std::string& reason);
+  /// Stops the periodic thread and writes the "final" snapshot; safe to
+  /// call more than once (the destructor calls it too).
+  void stop();
+
+  std::int64_t lines_written() const;
+
+ private:
+  void loop();
+  void write_line(const std::string& line);
+  std::string snapshot_line(const std::string& reason);
+  std::string event_line(const JournalEvent& event);
+
+  Telemetry& telemetry_;
+  ExporterConfig config_;
+  mutable std::mutex io_mutex_;
+  void* file_ = nullptr;  ///< FILE*; stderr when config_.path is empty
+  bool owns_file_ = false;
+  std::int64_t lines_ = 0;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hyscale

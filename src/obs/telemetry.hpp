@@ -1,0 +1,48 @@
+// The telemetry bundle every subsystem wires against: one registry,
+// one tracer, one journal.
+//
+// Ownership: the application (bench binary, CLI, test) declares a
+// Telemetry before building the serving/streaming session and hands a
+// raw pointer down through the config structs (ServingConfig.telemetry,
+// StreamingConfig.telemetry, ...).  A null pointer everywhere means
+// telemetry off — instruments are never consulted and spans cost one
+// branch — so the hot path pays nothing by default.
+//
+// Components that register snapshot-time callbacks against the
+// registry must registry.detach(this) in their destructor; see
+// obs/metrics.hpp.
+#pragma once
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hyscale {
+
+struct TelemetryConfig {
+  bool tracing = true;                 ///< allocate + fill trace rings
+  std::size_t trace_ring_capacity = 4096;  ///< spans retained per thread
+  std::size_t trace_max_threads = 64;
+  std::size_t journal_capacity = 1024;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {})
+      : tracer_(config.tracing, config.trace_ring_capacity, config.trace_max_threads),
+        journal_(config.journal_capacity) {}
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  StageTracer& tracer() { return tracer_; }
+  const StageTracer& tracer() const { return tracer_; }
+  EventJournal& journal() { return journal_; }
+  const EventJournal& journal() const { return journal_; }
+
+ private:
+  MetricsRegistry registry_;
+  StageTracer tracer_;
+  EventJournal journal_;
+};
+
+}  // namespace hyscale

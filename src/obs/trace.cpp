@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hyscale {
+
+const char* trace_stage_name(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kQueue: return "queue";
+    case TraceStage::kSample: return "sample";
+    case TraceStage::kGather: return "gather";
+    case TraceStage::kForward: return "forward";
+    case TraceStage::kReply: return "reply";
+    case TraceStage::kPublish: return "publish";
+    case TraceStage::kCut: return "cut";
+    case TraceStage::kBuild: return "build";
+    case TraceStage::kRebase: return "rebase";
+    case TraceStage::kAnnihilate: return "annihilate";
+    case TraceStage::kTtlSweep: return "ttl_sweep";
+  }
+  return "unknown";
+}
+
+StageTracer::StageTracer(bool enabled, std::size_t ring_capacity,
+                         std::size_t max_threads)
+    : enabled_(enabled),
+      capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      max_threads_(max_threads == 0 ? 1 : max_threads),
+      rings_(max_threads_) {
+  if (!enabled_) return;
+  for (Ring& ring : rings_) ring.cells = std::make_unique<Cell[]>(capacity_);
+}
+
+std::int64_t StageTracer::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t StageTracer::slot_index() const {
+  // Tracer identity, not address, keys the thread-local slot cache so a
+  // tracer reallocated at a dead tracer's address can never alias into
+  // a slot another thread now owns (single-writer-per-ring invariant).
+  static std::atomic<std::uint64_t> next_id{1};
+  static thread_local std::uint64_t cached_tracer = 0;
+  static thread_local std::size_t cached_slot = 0;
+  // Lazily stamp this tracer with a unique id.
+  if (id_ == 0) {
+    std::uint64_t expect = 0;
+    id_.compare_exchange_strong(expect, next_id.fetch_add(1, std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+  }
+  const std::uint64_t id = id_.load(std::memory_order_relaxed);
+  if (cached_tracer != id) {
+    cached_tracer = id;
+    cached_slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cached_slot;
+}
+
+void StageTracer::record(TraceStage stage, std::uint64_t context, std::uint64_t aux,
+                         std::int64_t begin_ns, std::int64_t end_ns) {
+  if (!enabled_) return;
+  const std::size_t slot = slot_index();
+  if (slot >= max_threads_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Ring& ring = rings_[slot];
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  Cell& cell = ring.cells[head % capacity_];
+  // Canonical atomic seqlock write (Boehm): odd seq marks the write in
+  // flight, the release fence orders it before the field stores, the
+  // release store of the even seq publishes them.
+  const std::uint32_t seq = cell.seq.load(std::memory_order_relaxed);
+  cell.seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  cell.begin_ns.store(begin_ns, std::memory_order_relaxed);
+  cell.end_ns.store(end_ns, std::memory_order_relaxed);
+  cell.context.store(context, std::memory_order_relaxed);
+  cell.aux.store(aux, std::memory_order_relaxed);
+  cell.stage.store(static_cast<std::uint8_t>(stage), std::memory_order_relaxed);
+  cell.seq.store(seq + 2, std::memory_order_release);
+  ring.head.store(head + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceRecord> StageTracer::collect() const {
+  std::vector<TraceRecord> out;
+  if (!enabled_) return out;
+  for (const Ring& ring : rings_) {
+    if (!ring.cells) continue;
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    const std::uint64_t retained = std::min<std::uint64_t>(head, capacity_);
+    for (std::uint64_t i = 0; i < retained; ++i) {
+      const Cell& cell = ring.cells[i];
+      TraceRecord rec;
+      bool consistent = false;
+      for (int attempt = 0; attempt < 4 && !consistent; ++attempt) {
+        const std::uint32_t s1 = cell.seq.load(std::memory_order_acquire);
+        if (s1 & 1u) continue;  // write in flight
+        rec.begin_ns = cell.begin_ns.load(std::memory_order_relaxed);
+        rec.end_ns = cell.end_ns.load(std::memory_order_relaxed);
+        rec.context = cell.context.load(std::memory_order_relaxed);
+        rec.aux = cell.aux.load(std::memory_order_relaxed);
+        rec.stage = static_cast<TraceStage>(cell.stage.load(std::memory_order_relaxed));
+        std::atomic_thread_fence(std::memory_order_acquire);
+        consistent = cell.seq.load(std::memory_order_relaxed) == s1;
+      }
+      // A cell being overwritten right now is simply skipped; the span
+      // it held was about to be evicted anyway.
+      if (consistent) out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceRecord> StageTracer::context_path(std::uint64_t context) const {
+  std::vector<TraceRecord> all = collect();
+  std::vector<TraceRecord> path;
+  for (const TraceRecord& rec : all)
+    if (rec.context == context) path.push_back(rec);
+  std::sort(path.begin(), path.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns : a.end_ns < b.end_ns;
+  });
+  return path;
+}
+
+}  // namespace hyscale

@@ -33,6 +33,12 @@ int argmax_row(const Tensor& logits, std::int64_t row) {
   return best;
 }
 
+/// steady_clock time_point on the StageTracer::now_ns timeline.
+std::int64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(tp.time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 InferenceServer::InferenceServer(const Dataset& dataset, const ModelSnapshot& snapshot,
@@ -46,6 +52,7 @@ InferenceServer::InferenceServer(const Dataset& dataset, const ModelSnapshot& sn
     cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, dataset_.features,
                                                   config_.cache_capacity_rows);
   }
+  bind_telemetry();
   init_workers(snapshot);
 }
 
@@ -64,7 +71,26 @@ InferenceServer::InferenceServer(StreamingGraph& stream, const ModelSnapshot& sn
                                                   config_.cache_capacity_rows);
     stream.attach_cache(cache_.get());
   }
+  bind_telemetry();
   init_workers(snapshot);
+}
+
+void InferenceServer::bind_telemetry() {
+  if (config_.telemetry == nullptr) return;
+  stats_.bind(config_.telemetry);
+  batcher_.bind(config_.telemetry);
+  tracer_ = &config_.telemetry->tracer();
+  MetricsRegistry& reg = config_.telemetry->registry();
+  m_served_version_ = &reg.gauge("serving.last_served_version");
+  if (cache_) {
+    // Pulled at snapshot time; frozen by detach() in the destructor
+    // before the cache dies.
+    const StaticFeatureCache* cache = cache_.get();
+    reg.register_callback("cache.invalidations", this,
+                          [cache] { return static_cast<double>(cache->invalidations()); });
+    reg.register_callback("cache.evictions", this,
+                          [cache] { return static_cast<double>(cache->evictions()); });
+  }
 }
 
 void InferenceServer::init_workers(const ModelSnapshot& snapshot) {
@@ -102,6 +128,7 @@ InferenceServer::~InferenceServer() {
   batcher_.shutdown();
   pool_.reset();  // joins the worker loops after they drain the queue
   if (stream_ != nullptr && cache_) stream_->attach_cache(nullptr);
+  if (config_.telemetry != nullptr) config_.telemetry->registry().detach(this);
 }
 
 std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
@@ -146,6 +173,16 @@ void InferenceServer::worker_loop(Worker& worker) {
 void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest>& batch) {
   const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
   const auto pickup = std::chrono::steady_clock::now();
+  // Queue spans close at pickup: one per request, correlated to this
+  // batch by context so context_path(batch_id) reconstructs the full
+  // queue -> sample -> gather -> forward -> reply critical path.
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const std::int64_t pickup_ns = to_trace_ns(pickup);
+    for (const auto& request : batch) {
+      tracer_->record(TraceStage::kQueue, batch_id, request.id,
+                      to_trace_ns(request.enqueue_time), pickup_ns);
+    }
+  }
   try {
     // Coalesce: request seeds concatenate in arrival order, so logits
     // row blocks map back to requests by offset.
@@ -155,46 +192,60 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
     }
 
     MiniBatch mb;
-    if (stream_ != nullptr) {
-      // Latest published version for the whole micro-batch: consistent
-      // view per batch, freshest data per pickup.
-      const std::shared_ptr<const GraphVersion> version = stream_->current();
-      // Max-merge across workers: two batches can read current() in
-      // one order and store in the other, and a plain store would let
-      // the gauge go backwards.
-      std::uint64_t seen = last_served_version_.load(std::memory_order_relaxed);
-      while (seen < version->id() &&
-             !last_served_version_.compare_exchange_weak(seen, version->id(),
-                                                         std::memory_order_relaxed)) {
-      }
-      if (worker.overlay) {
-        worker.overlay->set_version(version);
-        worker.overlay->reseed(batch_stream_seed(config_.seed, combined));
-        mb = worker.overlay->sample(combined);
+    {
+      StageTracer::Scope span(tracer_, TraceStage::kSample, batch_id, combined.size());
+      if (stream_ != nullptr) {
+        // Latest published version for the whole micro-batch: consistent
+        // view per batch, freshest data per pickup.
+        const std::shared_ptr<const GraphVersion> version = stream_->current();
+        // Max-merge across workers: two batches can read current() in
+        // one order and store in the other, and a plain store would let
+        // the gauge go backwards.
+        std::uint64_t seen = last_served_version_.load(std::memory_order_relaxed);
+        while (seen < version->id() &&
+               !last_served_version_.compare_exchange_weak(seen, version->id(),
+                                                           std::memory_order_relaxed)) {
+        }
+        if (m_served_version_ != nullptr)
+          m_served_version_->set_max(static_cast<double>(version->id()));
+        if (worker.overlay) {
+          worker.overlay->set_version(version);
+          worker.overlay->reseed(batch_stream_seed(config_.seed, combined));
+          mb = worker.overlay->sample(combined);
+        } else {
+          mb = sample_full_overlay(*version, combined, num_layers_);
+        }
+      } else if (worker.sampler) {
+        worker.sampler->reseed(batch_stream_seed(config_.seed, combined));
+        mb = worker.sampler->sample(combined);
       } else {
-        mb = sample_full_overlay(*version, combined, num_layers_);
+        mb = sample_full(dataset_.graph, combined, num_layers_);
       }
-    } else if (worker.sampler) {
-      worker.sampler->reseed(batch_stream_seed(config_.seed, combined));
-      mb = worker.sampler->sample(combined);
-    } else {
-      mb = sample_full(dataset_.graph, combined, num_layers_);
     }
 
     Tensor x;
-    if (stream_ != nullptr) {
-      const auto& nodes = mb.input_nodes();
-      const auto gather_stats =
-          stream_->gather(std::span<const VertexId>(nodes.data(), nodes.size()), x);
-      if (cache_) stats_.record_gather(gather_stats);
-    } else if (cache_) {
-      stats_.record_gather(cache_->load(mb, x));
-    } else {
-      worker.loader->load(mb, x);
+    {
+      StageTracer::Scope span(tracer_, TraceStage::kGather, batch_id,
+                              mb.input_nodes().size());
+      if (stream_ != nullptr) {
+        const auto& nodes = mb.input_nodes();
+        const auto gather_stats =
+            stream_->gather(std::span<const VertexId>(nodes.data(), nodes.size()), x);
+        if (cache_) stats_.record_gather(gather_stats);
+      } else if (cache_) {
+        stats_.record_gather(cache_->load(mb, x));
+      } else {
+        worker.loader->load(mb, x);
+      }
     }
 
-    const Tensor logits = worker.model->forward(mb, x);
+    Tensor logits;
+    {
+      StageTracer::Scope span(tracer_, TraceStage::kForward, batch_id, batch.size());
+      logits = worker.model->forward(mb, x);
+    }
 
+    StageTracer::Scope reply_span(tracer_, TraceStage::kReply, batch_id, batch.size());
     const auto completion = std::chrono::steady_clock::now();
     const auto batch_seeds = static_cast<std::int64_t>(combined.size());
     stats_.record_batch(static_cast<std::int64_t>(batch.size()), batch_seeds);

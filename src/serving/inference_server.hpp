@@ -64,6 +64,10 @@ struct ServingConfig {
   /// gathers go through a per-worker FeatureLoader.
   std::int64_t cache_capacity_rows = 0;
   std::uint64_t seed = 1;
+  /// Telemetry plane (obs/) to report through: serving.* instruments,
+  /// request/batch stage spans.  Null = telemetry off (default); must
+  /// outlive the server when set.
+  Telemetry* telemetry = nullptr;
 };
 
 class InferenceServer {
@@ -116,6 +120,7 @@ class InferenceServer {
   };
 
   void init_workers(const ModelSnapshot& snapshot);
+  void bind_telemetry();
   void worker_loop(Worker& worker);
   void execute_batch(Worker& worker, std::vector<InferenceRequest>& batch);
 
@@ -133,6 +138,9 @@ class InferenceServer {
   std::atomic<std::uint64_t> next_request_id_{0};
   std::atomic<std::uint64_t> next_batch_id_{0};
   std::atomic<std::uint64_t> last_served_version_{0};
+
+  StageTracer* tracer_ = nullptr;        ///< from config_.telemetry, may be null
+  Gauge* m_served_version_ = nullptr;    ///< serving.last_served_version
 };
 
 }  // namespace hyscale

@@ -59,6 +59,13 @@ LoadReport LoadGenerator::run() {
   if (report.wall_time > 0.0)
     report.qps = static_cast<double>(report.completed_requests) / report.wall_time;
   report.server = server_.stats();
+  if (config_.telemetry != nullptr) {
+    MetricsRegistry& reg = config_.telemetry->registry();
+    reg.counter("load.completed_requests").add(report.completed_requests);
+    reg.counter("load.rejected_submits").add(report.rejected_submits);
+    reg.gauge("load.wall_seconds").set(report.wall_time);
+    reg.gauge("load.qps").set(report.qps);
+  }
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.hpp"
 #include "common/strutil.hpp"
 
 namespace hyscale {
@@ -30,25 +31,33 @@ void ServingStats::record_completion(Seconds latency, Seconds queue_wait) {
   ++completed_;
   latency_sum_ += latency;
   latency_max_ = std::max(latency_max_, latency);
-  if (latencies_.size() < kLatencyWindow) {
-    latencies_.push_back(latency);
-  } else {
-    latencies_[latency_cursor_] = latency;
-    latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
-  }
   queue_wait_sum_ += queue_wait;
   queue_wait_max_ = std::max(queue_wait_max_, queue_wait);
-  if (queue_waits_.size() < kLatencyWindow) {
+  // Algorithm R: keep the first kLatencyWindow samples, then replace a
+  // uniformly drawn slot with probability window/seen.  One draw covers
+  // both reservoirs so latency and queue wait stay paired per request.
+  ++reservoir_seen_;
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(latency);
     queue_waits_.push_back(queue_wait);
   } else {
-    queue_waits_[queue_wait_cursor_] = queue_wait;
-    queue_wait_cursor_ = (queue_wait_cursor_ + 1) % kLatencyWindow;
+    const std::uint64_t j = splitmix64(reservoir_rng_) % reservoir_seen_;
+    if (j < kLatencyWindow) {
+      latencies_[j] = latency;
+      queue_waits_[j] = queue_wait;
+    }
+  }
+  if (m_completed_ != nullptr) {
+    m_completed_->add(1);
+    m_latency_->observe_seconds(latency);
+    m_queue_wait_->observe_seconds(queue_wait);
   }
 }
 
 void ServingStats::record_rejection() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++rejected_;
+  if (m_rejected_ != nullptr) m_rejected_->add(1);
 }
 
 void ServingStats::record_batch(std::int64_t requests, std::int64_t seeds) {
@@ -59,6 +68,13 @@ void ServingStats::record_batch(std::int64_t requests, std::int64_t seeds) {
   min_batch_requests_ =
       batches_ == 1 ? requests : std::min(min_batch_requests_, requests);
   max_batch_requests_ = std::max(max_batch_requests_, requests);
+  if (m_batches_ != nullptr) {
+    m_batches_->add(1);
+    m_batch_requests_->add(requests);
+    m_seeds_->add(seeds);
+    m_min_batch_->set(static_cast<double>(min_batch_requests_));
+    m_max_batch_->set(static_cast<double>(max_batch_requests_));
+  }
 }
 
 void ServingStats::record_gather(const StaticFeatureCache::LoadStats& stats) {
@@ -67,6 +83,37 @@ void ServingStats::record_gather(const StaticFeatureCache::LoadStats& stats) {
   gather_.misses += stats.misses;
   gather_.device_bytes += stats.device_bytes;
   gather_.host_bytes += stats.host_bytes;
+  if (m_cache_hits_ != nullptr) {
+    m_cache_hits_->add(stats.hits);
+    m_cache_misses_->add(stats.misses);
+    m_device_bytes_->set(static_cast<double>(gather_.device_bytes));
+    m_host_bytes_->set(static_cast<double>(gather_.host_bytes));
+  }
+}
+
+void ServingStats::bind(Telemetry* telemetry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (telemetry == nullptr) {
+    m_completed_ = m_rejected_ = m_batches_ = m_seeds_ = m_batch_requests_ = nullptr;
+    m_cache_hits_ = m_cache_misses_ = nullptr;
+    m_device_bytes_ = m_host_bytes_ = m_min_batch_ = m_max_batch_ = nullptr;
+    m_latency_ = m_queue_wait_ = nullptr;
+    return;
+  }
+  MetricsRegistry& reg = telemetry->registry();
+  m_completed_ = &reg.counter("serving.requests_completed");
+  m_rejected_ = &reg.counter("serving.requests_rejected");
+  m_batches_ = &reg.counter("serving.batches");
+  m_seeds_ = &reg.counter("serving.seeds");
+  m_batch_requests_ = &reg.counter("serving.batch_requests_total");
+  m_cache_hits_ = &reg.counter("serving.cache_hits");
+  m_cache_misses_ = &reg.counter("serving.cache_misses");
+  m_device_bytes_ = &reg.gauge("serving.cache_device_bytes");
+  m_host_bytes_ = &reg.gauge("serving.cache_host_bytes");
+  m_min_batch_ = &reg.gauge("serving.min_batch_requests");
+  m_max_batch_ = &reg.gauge("serving.max_batch_requests");
+  m_latency_ = &reg.histogram("serving.latency_ms");
+  m_queue_wait_ = &reg.histogram("serving.queue_wait_ms");
 }
 
 ServingSnapshot ServingStats::snapshot() const {
@@ -125,9 +172,9 @@ ServingSnapshot ServingStats::snapshot() const {
 void ServingStats::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   latencies_.clear();
-  latency_cursor_ = 0;
   queue_waits_.clear();
-  queue_wait_cursor_ = 0;
+  reservoir_seen_ = 0;
+  reservoir_rng_ = 0x9e3779b97f4a7c15ULL;
   completed_ = 0;
   latency_sum_ = 0.0;
   latency_max_ = 0.0;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/feature_cache.hpp"
 
 namespace hyscale {
@@ -30,8 +31,10 @@ struct ServingSnapshot {
   double seeds_per_second = 0.0;
 
   Seconds latency_mean = 0.0;     ///< enqueue -> result, over ALL completions
-  /// Percentiles over the most recent sample window (the server keeps a
-  /// bounded reservoir so memory stays constant on long-lived servers).
+  /// Percentiles over a bounded UNIFORM reservoir of all completions
+  /// (Vitter's Algorithm R), so memory stays constant on long-lived
+  /// servers while the estimate keeps covering the whole run instead of
+  /// sliding to the most recent window.
   Seconds latency_p50 = 0.0;
   Seconds latency_p95 = 0.0;
   Seconds latency_p99 = 0.0;
@@ -70,20 +73,32 @@ class ServingStats {
   void record_batch(std::int64_t requests, std::int64_t seeds);
   void record_gather(const StaticFeatureCache::LoadStats& stats);
 
+  /// Mirrors every subsequent record_* into `telemetry`'s registry
+  /// (serving.* counters, latency/queue-wait histograms, batch-shape
+  /// gauges), so the server is instrumented at exactly one choke point.
+  /// Pass nullptr to unbind.  The Telemetry must outlive the stats.
+  void bind(Telemetry* telemetry);
+
   ServingSnapshot snapshot() const;
   void reset();
 
-  /// Latency samples retained for percentile estimates; older samples
-  /// are overwritten ring-buffer style once the window is full.
+  /// Latency/queue-wait samples retained for percentile estimates.
+  /// Retention is a uniform bounded reservoir (Vitter's Algorithm R):
+  /// once full, completion number n replaces a random slot with
+  /// probability kLatencyWindow/n, so every completion of the run is
+  /// equally likely to be in the sample — percentiles stay stable past
+  /// the cap instead of tracking whichever window arrived last.  The
+  /// latency and queue-wait reservoirs share one accept/slot draw so
+  /// the two samples describe the same subset of requests.
   static constexpr std::size_t kLatencyWindow = 1 << 16;
 
  private:
   mutable std::mutex mutex_;
   Timer uptime_;
-  std::vector<Seconds> latencies_;  ///< bounded to kLatencyWindow
-  std::size_t latency_cursor_ = 0;
-  std::vector<Seconds> queue_waits_;  ///< same ring-buffer discipline
-  std::size_t queue_wait_cursor_ = 0;
+  std::vector<Seconds> latencies_;    ///< bounded to kLatencyWindow
+  std::vector<Seconds> queue_waits_;  ///< paired with latencies_
+  std::uint64_t reservoir_seen_ = 0;  ///< completions offered to the reservoir
+  std::uint64_t reservoir_rng_ = 0x9e3779b97f4a7c15ULL;  ///< splitmix64 state
   std::int64_t completed_ = 0;
   Seconds latency_sum_ = 0.0;
   Seconds latency_max_ = 0.0;
@@ -96,6 +111,23 @@ class ServingStats {
   std::int64_t min_batch_requests_ = 0;
   std::int64_t max_batch_requests_ = 0;
   StaticFeatureCache::LoadStats gather_;
+
+  // Registry mirrors; null until bind().  Instrument operations are
+  // atomic, so mirroring happens inside the record_* critical sections
+  // without extra synchronization cost beyond the increments.
+  Counter* m_completed_ = nullptr;
+  Counter* m_rejected_ = nullptr;
+  Counter* m_batches_ = nullptr;
+  Counter* m_seeds_ = nullptr;
+  Counter* m_batch_requests_ = nullptr;
+  Counter* m_cache_hits_ = nullptr;
+  Counter* m_cache_misses_ = nullptr;
+  Gauge* m_device_bytes_ = nullptr;
+  Gauge* m_host_bytes_ = nullptr;
+  Gauge* m_min_batch_ = nullptr;
+  Gauge* m_max_batch_ = nullptr;
+  Histogram* m_latency_ = nullptr;
+  Histogram* m_queue_wait_ = nullptr;
 };
 
 }  // namespace hyscale

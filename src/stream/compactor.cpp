@@ -14,6 +14,12 @@ Compactor::Compactor(StreamingGraph& graph, CompactionPolicy policy)
     throw std::invalid_argument("Compactor: max_overlay_ratio must be positive");
   if (policy_.max_backoff < 0.0)
     throw std::invalid_argument("Compactor: max_backoff must be non-negative");
+  if (Telemetry* telemetry = graph_.telemetry(); telemetry != nullptr) {
+    MetricsRegistry& reg = telemetry->registry();
+    m_compactions_ = &reg.counter("compactor.folds");
+    m_annihilation_passes_ = &reg.counter("compactor.annihilation_passes");
+    m_refused_folds_ = &reg.counter("compactor.refused_folds");
+  }
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -83,7 +89,10 @@ void Compactor::loop() {
         // Pressure gone — the in-place pass resolved the round (unless
         // decide() only read kNone because a fold is mid-flight, in
         // which case the rebase gets the credit).
-        if (!folding) annihilation_passes_.fetch_add(1, std::memory_order_relaxed);
+        if (!folding) {
+          annihilation_passes_.fetch_add(1, std::memory_order_relaxed);
+          if (m_annihilation_passes_ != nullptr) m_annihilation_passes_->add(1);
+        }
         backoff = 0.0;
         lock.lock();
         continue;
@@ -103,12 +112,14 @@ void Compactor::loop() {
     }
     if (graph_.compact()) {
       compactions_.fetch_add(1, std::memory_order_relaxed);
+      if (m_compactions_ != nullptr) m_compactions_->add(1);
       backoff = 0.0;
     } else if (should_compact()) {
       // Fold refused while the trigger stays hot (e.g. a long-lived
       // structural race): widen the next wait instead of spinning one
       // refused snapshot per poll tick.
       refused_folds_.fetch_add(1, std::memory_order_relaxed);
+      if (m_refused_folds_ != nullptr) m_refused_folds_->add(1);
       backoff = next_backoff(backoff, policy_);
     } else {
       backoff = 0.0;

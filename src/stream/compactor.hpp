@@ -97,6 +97,10 @@ class Compactor {
 
   StreamingGraph& graph_;
   CompactionPolicy policy_;
+  // Registry mirrors from graph_.telemetry(); null when telemetry off.
+  Counter* m_compactions_ = nullptr;
+  Counter* m_annihilation_passes_ = nullptr;
+  Counter* m_refused_folds_ = nullptr;
   std::atomic<std::int64_t> compactions_{0};
   std::atomic<std::int64_t> annihilation_passes_{0};
   std::atomic<std::int64_t> refused_folds_{0};

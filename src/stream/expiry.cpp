@@ -16,6 +16,11 @@ ExpirySweeper::ExpirySweeper(StreamingGraph& graph, ExpiryPolicy policy)
   if (policy_.pending_op_budget < 0)
     throw std::invalid_argument(
         "ExpirySweeper: pending_op_budget must be resolved (>= 0) before construction");
+  if (Telemetry* telemetry = graph_.telemetry(); telemetry != nullptr) {
+    MetricsRegistry& reg = telemetry->registry();
+    m_sweeps_ = &reg.counter("expiry.sweeps");
+    m_retired_ = &reg.counter("expiry.retired");
+  }
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -42,6 +47,10 @@ void ExpirySweeper::loop() {
                                                     policy_.pending_op_budget);
     sweeps_.fetch_add(1, std::memory_order_relaxed);
     retired_.fetch_add(swept, std::memory_order_relaxed);
+    if (m_sweeps_ != nullptr) {
+      m_sweeps_->add(1);
+      m_retired_->add(swept);
+    }
     lock.lock();
   }
 }

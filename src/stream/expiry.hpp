@@ -69,6 +69,9 @@ class ExpirySweeper {
 
   StreamingGraph& graph_;
   ExpiryPolicy policy_;
+  // Registry mirrors from graph_.telemetry(); null when telemetry off.
+  Counter* m_sweeps_ = nullptr;
+  Counter* m_retired_ = nullptr;
   std::atomic<std::int64_t> sweeps_{0};
   std::atomic<std::int64_t> retired_{0};
   std::mutex mutex_;

@@ -12,6 +12,15 @@ Publisher::Publisher(StreamingGraph& graph, PublisherPolicy policy)
     throw std::invalid_argument("Publisher: staleness_budget must be positive");
   if (policy_.poll_floor <= 0.0 || policy_.poll_floor > policy_.staleness_budget)
     throw std::invalid_argument("Publisher: poll_floor must be in (0, staleness_budget]");
+  if (Telemetry* telemetry = graph_.telemetry(); telemetry != nullptr) {
+    MetricsRegistry& reg = telemetry->registry();
+    m_publishes_ = &reg.counter("publisher.publishes");
+    m_breaches_ = &reg.counter("publisher.breaches");
+    m_worst_staleness_ = &reg.gauge("publisher.worst_staleness_ms");
+    m_worst_cost_ = &reg.gauge("publisher.worst_publish_cost_ms");
+    m_staleness_ = &reg.histogram("publisher.visible_staleness_ms");
+    journal_ = &telemetry->journal();
+  }
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -88,6 +97,7 @@ void Publisher::loop() {
           std::lock_guard stats(stats_mutex_);
           worst_publish_cost_ = std::max(worst_publish_cost_, took);
         }
+        if (m_worst_cost_ != nullptr) m_worst_cost_->set_max(took * 1e3);
         // start_age can read 0 when a caller-paced publish raced us and
         // already made everything visible; nothing waited, so nothing
         // is accounted.
@@ -97,10 +107,20 @@ void Publisher::loop() {
             std::lock_guard stats(stats_mutex_);
             worst_staleness_ = std::max(worst_staleness_, visible_age);
           }
-          if (visible_age > policy_.staleness_budget)
+          if (m_worst_staleness_ != nullptr) m_worst_staleness_->set_max(visible_age * 1e3);
+          if (m_staleness_ != nullptr) m_staleness_->observe_seconds(visible_age);
+          if (visible_age > policy_.staleness_budget) {
             breaches_.fetch_add(1, std::memory_order_relaxed);
+            if (m_breaches_ != nullptr) m_breaches_->add(1);
+            if (journal_ != nullptr)
+              journal_->log("slo_breach",
+                            "visible_staleness_ms=" + std::to_string(visible_age * 1e3) +
+                                " budget_ms=" +
+                                std::to_string(policy_.staleness_budget * 1e3));
+          }
         }
         publishes_.fetch_add(1, std::memory_order_relaxed);
+        if (m_publishes_ != nullptr) m_publishes_->add(1);
         lock.lock();
         continue;
       }

@@ -81,6 +81,13 @@ class Publisher {
 
   StreamingGraph& graph_;
   PublisherPolicy policy_;
+  // Registry mirrors from graph_.telemetry(); null when telemetry off.
+  Counter* m_publishes_ = nullptr;
+  Counter* m_breaches_ = nullptr;
+  Gauge* m_worst_staleness_ = nullptr;
+  Gauge* m_worst_cost_ = nullptr;
+  Histogram* m_staleness_ = nullptr;  ///< completion-time visible staleness
+  EventJournal* journal_ = nullptr;
   std::atomic<std::int64_t> publishes_{0};
   std::atomic<std::int64_t> breaches_{0};
   mutable std::mutex stats_mutex_;

@@ -151,8 +151,57 @@ StreamingGraph::StreamingGraph(const Dataset& dataset, StreamingConfig config)
   }
   const auto base = delta_.base();
   base_max_degree_ = base->max_degree();
+  bind_telemetry();
   install_version(base, base_max_degree_, delta_.snapshot(/*advance_epoch=*/false),
                   std::nullopt);
+}
+
+StreamingGraph::~StreamingGraph() {
+  if (config_.telemetry != nullptr) config_.telemetry->registry().detach(this);
+}
+
+void StreamingGraph::bind_telemetry() {
+  if (config_.telemetry == nullptr) return;
+  tracer_ = &config_.telemetry->tracer();
+  journal_ = &config_.telemetry->journal();
+  MetricsRegistry& reg = config_.telemetry->registry();
+  m_ingested_ = &reg.counter("stream.ingested_edges");
+  m_duplicates_ = &reg.counter("stream.duplicate_edges");
+  m_removed_ = &reg.counter("stream.removed_edges");
+  m_rejected_removals_ = &reg.counter("stream.rejected_removals");
+  m_added_vertices_ = &reg.counter("stream.added_vertices");
+  m_removed_vertices_ = &reg.counter("stream.removed_vertices");
+  m_recycled_vertices_ = &reg.counter("stream.recycled_vertices");
+  m_feature_updates_ = &reg.counter("stream.feature_updates");
+  m_publishes_ = &reg.counter("stream.publishes");
+  m_compactions_ = &reg.counter("stream.compactions");
+  m_annihilations_ = &reg.counter("stream.annihilations");
+  m_expired_ = &reg.counter("stream.expired_vertices");
+  m_publish_lag_ = &reg.histogram("stream.publish_lag_ms");
+  // Structural state is pulled at snapshot time (callback gauges) —
+  // overlay/tombstone/base sizes change on every op and counting them
+  // twice would put a second atomic on the ingest path for nothing.
+  // Detached (values frozen) in the destructor.
+  reg.register_callback("stream.overlay_edges", this,
+                        [this] { return static_cast<double>(delta_.delta_edges()); });
+  reg.register_callback("stream.tombstones", this,
+                        [this] { return static_cast<double>(delta_.delta_removes()); });
+  reg.register_callback("stream.base_edges", this,
+                        [this] { return static_cast<double>(delta_.base()->num_edges()); });
+  reg.register_callback("stream.dead_vertices", this,
+                        [this] { return static_cast<double>(delta_.dead_vertices()); });
+  reg.register_callback("stream.num_vertices", this,
+                        [this] { return static_cast<double>(delta_.num_vertices()); });
+  reg.register_callback("stream.version_id", this,
+                        [this] { return static_cast<double>(current()->id()); });
+  reg.register_callback("stream.annihilated_ops", this,
+                        [this] { return static_cast<double>(delta_.annihilated_ops()); });
+  reg.register_callback("stream.recyclable_vertices", this,
+                        [this] { return static_cast<double>(delta_.recyclable_vertices()); });
+  reg.register_callback("featstore.rows", this,
+                        [this] { return static_cast<double>(features_.rows()); });
+  reg.register_callback("featstore.released_rows", this,
+                        [this] { return static_cast<double>(features_.released_rows()); });
 }
 
 bool StreamingGraph::add_edge(VertexId u, VertexId v) {
@@ -166,9 +215,11 @@ bool StreamingGraph::add_edge(VertexId u, VertexId v) {
   }
   if (landed == 0) {
     duplicate_edges_.fetch_add(1, std::memory_order_relaxed);
+    if (m_duplicates_ != nullptr) m_duplicates_->add(1);
     return false;
   }
   ingested_edges_.fetch_add(landed, std::memory_order_relaxed);
+  if (m_ingested_ != nullptr) m_ingested_->add(landed);
   note_pending_ingest();
   return true;
 }
@@ -182,9 +233,11 @@ bool StreamingGraph::remove_edge(VertexId u, VertexId v) {
   }
   if (landed == 0) {
     rejected_removals_.fetch_add(1, std::memory_order_relaxed);
+    if (m_rejected_removals_ != nullptr) m_rejected_removals_->add(1);
     return false;
   }
   removed_edges_.fetch_add(landed, std::memory_order_relaxed);
+  if (m_removed_ != nullptr) m_removed_->add(landed);
   note_pending_ingest();
   return true;
 }
@@ -212,8 +265,12 @@ VertexId StreamingGraph::add_vertex(std::span<const float> features) {
         throw std::logic_error("StreamingGraph: feature rows out of sync with vertex space");
     }
   }
-  if (recycled) recycled_vertices_.fetch_add(1, std::memory_order_relaxed);
+  if (recycled) {
+    recycled_vertices_.fetch_add(1, std::memory_order_relaxed);
+    if (m_recycled_vertices_ != nullptr) m_recycled_vertices_->add(1);
+  }
   added_vertices_.fetch_add(1, std::memory_order_relaxed);
+  if (m_added_vertices_ != nullptr) m_added_vertices_->add(1);
   note_pending_ingest();
   return id;
 }
@@ -234,8 +291,10 @@ bool StreamingGraph::remove_vertex(VertexId v) {
       cache_->evict(std::span<const VertexId>(ids, 1));
     }
     removed_edges_.fetch_add(retracted, std::memory_order_relaxed);
+    if (m_removed_ != nullptr) m_removed_->add(retracted);
   }
   removed_vertices_.fetch_add(1, std::memory_order_relaxed);
+  if (m_removed_vertices_ != nullptr) m_removed_vertices_->add(1);
   note_pending_ingest();
   return true;
 }
@@ -254,10 +313,13 @@ bool StreamingGraph::update_feature(VertexId v, std::span<const float> values) {
     cache_->invalidate(std::span<const VertexId>(ids, 1));
   }
   feature_updates_.fetch_add(1, std::memory_order_relaxed);
+  if (m_feature_updates_ != nullptr) m_feature_updates_->add(1);
   return true;
 }
 
 std::shared_ptr<const GraphVersion> StreamingGraph::publish() {
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::int64_t begin_ns = traced ? StageTracer::now_ns() : 0;
   std::lock_guard maintenance(maintenance_mutex_);
   auto base = delta_.base();
   const EdgeId base_max = base_max_degree_;
@@ -273,8 +335,17 @@ std::shared_ptr<const GraphVersion> StreamingGraph::publish() {
     }
     if (hook) hook();
   }
+  const std::uint64_t ops =
+      static_cast<std::uint64_t>(snapshot.num_inserts + snapshot.num_removes);
   auto version = install_version(std::move(base), base_max, std::move(snapshot), marker);
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  if (m_publishes_ != nullptr) m_publishes_->add(1);
+  if (traced)
+    tracer_->record(TraceStage::kPublish, version->id(), ops, begin_ns,
+                    StageTracer::now_ns());
+  if (journal_ != nullptr)
+    journal_->log("publish", "version=" + std::to_string(version->id()) +
+                                 " overlay_ops=" + std::to_string(ops));
   return version;
 }
 
@@ -291,6 +362,8 @@ bool StreamingGraph::compact() {
   // publisher make them visible while the build below runs off-lock.
   DeltaStore::Snapshot snap;
   std::shared_ptr<const CsrGraph> base;
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  std::int64_t phase_begin_ns = traced ? StageTracer::now_ns() : 0;
   {
     std::lock_guard maintenance(maintenance_mutex_);
     if (fold_in_flight_.load(std::memory_order_relaxed)) return false;  // one fold at a time
@@ -303,6 +376,15 @@ bool StreamingGraph::compact() {
     if (snap.raw_ops == 0 && snap.num_vertices == base->num_vertices() && !scrubs) return false;
     delta_.begin_fold(snap.epoch);
     fold_in_flight_.store(true, std::memory_order_release);
+  }
+  // The fold's three phases share the cut epoch as trace context, so
+  // context_path(epoch) reconstructs CUT -> BUILD -> REBASE end to end.
+  const auto fold_ctx = static_cast<std::uint64_t>(snap.epoch);
+  if (traced) {
+    tracer_->record(TraceStage::kCut, fold_ctx,
+                    static_cast<std::uint64_t>(snap.raw_ops), phase_begin_ns,
+                    StageTracer::now_ns());
+    phase_begin_ns = StageTracer::now_ns();
   }
 
   // ---- 2. BUILD (off-lock, O(base)): `base` and `snap` are private
@@ -358,6 +440,10 @@ bool StreamingGraph::compact() {
       std::lock_guard hook_lock(hook_mutex_);
       hook = fold_hook_;
     }
+    if (traced)
+      tracer_->record(TraceStage::kBuild, fold_ctx,
+                      static_cast<std::uint64_t>(merged->num_edges()), phase_begin_ns,
+                      StageTracer::now_ns());
     if (hook) hook();  // test seam: park the fold here, still off-lock
   } catch (...) {
     // Abandon cleanly: the buffered ops were never touched, so the next
@@ -373,6 +459,7 @@ bool StreamingGraph::compact() {
   // without the merged prefix still pending — and republish.  rebase
   // also promotes fully-folded dead streamed-in ids to the free list.
   try {
+    phase_begin_ns = traced ? StageTracer::now_ns() : 0;
     std::lock_guard maintenance(maintenance_mutex_);
     delta_.rebase(merged, snap.epoch);
     base_max_degree_ = merged->max_degree();
@@ -394,6 +481,14 @@ bool StreamingGraph::compact() {
     throw;
   }
   compactions_.fetch_add(1, std::memory_order_relaxed);
+  if (m_compactions_ != nullptr) m_compactions_->add(1);
+  if (traced)
+    tracer_->record(TraceStage::kRebase, fold_ctx,
+                    static_cast<std::uint64_t>(merged->num_edges()), phase_begin_ns,
+                    StageTracer::now_ns());
+  if (journal_ != nullptr)
+    journal_->log("fold", "epoch=" + std::to_string(fold_ctx) +
+                              " base_edges=" + std::to_string(merged->num_edges()));
   return true;
 }
 
@@ -406,9 +501,19 @@ EdgeId StreamingGraph::annihilate() {
   // pairs older than published snapshots — a GraphVersion owns copies
   // of its spans, and the net reduction of the surviving ops is
   // unchanged.
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::int64_t begin_ns = traced ? StageTracer::now_ns() : 0;
   std::lock_guard maintenance(maintenance_mutex_);
   const EdgeId erased = delta_.annihilate(/*gate=*/0);
-  if (erased > 0) annihilations_.fetch_add(1, std::memory_order_relaxed);
+  if (erased > 0) {
+    annihilations_.fetch_add(1, std::memory_order_relaxed);
+    if (m_annihilations_ != nullptr) m_annihilations_->add(1);
+    if (journal_ != nullptr)
+      journal_->log("annihilate", "erased_ops=" + std::to_string(erased));
+  }
+  if (traced)
+    tracer_->record(TraceStage::kAnnihilate, static_cast<std::uint64_t>(erased), 0,
+                    begin_ns, StageTracer::now_ns());
   return erased;
 }
 
@@ -420,6 +525,8 @@ std::int64_t StreamingGraph::sweep_expired(Seconds ttl, std::int64_t max_retire,
   // against the same horizon, so one pass retires a deterministic set.
   const std::int64_t horizon_ns =
       MutableFeatureStore::now_ns() - static_cast<std::int64_t>(ttl * 1e9);
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::int64_t begin_ns = traced ? StageTracer::now_ns() : 0;
   const VertexId first = dataset_->graph.num_vertices();  // dataset vertices never expire
   std::int64_t retired = 0;
   const VertexId n = num_vertices();
@@ -430,6 +537,14 @@ std::int64_t StreamingGraph::sweep_expired(Seconds ttl, std::int64_t max_retire,
     if (remove_vertex(v)) ++retired;
   }
   expired_vertices_.fetch_add(retired, std::memory_order_relaxed);
+  if (retired > 0) {
+    if (m_expired_ != nullptr) m_expired_->add(retired);
+    if (journal_ != nullptr)
+      journal_->log("ttl_sweep", "retired=" + std::to_string(retired));
+  }
+  if (traced)
+    tracer_->record(TraceStage::kTtlSweep, static_cast<std::uint64_t>(retired), 0,
+                    begin_ns, StageTracer::now_ns());
   return retired;
 }
 
@@ -537,6 +652,7 @@ std::shared_ptr<const GraphVersion> StreamingGraph::install_version(
     const Seconds lag =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - *pending_marker)
             .count();
+    if (m_publish_lag_ != nullptr) m_publish_lag_->observe_seconds(lag);
     std::lock_guard lock(lag_mutex_);
     lag_sum_ += lag;
     lag_max_ = std::max(lag_max_, lag);

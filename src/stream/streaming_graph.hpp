@@ -45,6 +45,7 @@
 
 #include "common/timer.hpp"
 #include "graph/datasets.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/feature_cache.hpp"
 #include "stream/delta_store.hpp"
 #include "stream/feature_store.hpp"
@@ -141,6 +142,13 @@ struct StreamingConfig {
   /// undirected).
   bool symmetric = true;
   std::size_t num_stripes = 64;
+  /// Telemetry plane to report through: stream.* counters and callback
+  /// gauges, publish/fold/annihilate/sweep spans, lifecycle journal
+  /// events.  The background maintenance components (Publisher,
+  /// Compactor, ExpirySweeper) and the UpdateGenerator reach the same
+  /// plane via StreamingGraph::telemetry().  Null = off (default);
+  /// must outlive the graph when set.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Point-in-time ingest/publish counters.
@@ -175,6 +183,7 @@ class StreamingGraph {
   /// `dataset` must outlive the graph (info/labels are referenced); its
   /// adjacency must be sorted per vertex (build_csr output always is).
   explicit StreamingGraph(const Dataset& dataset, StreamingConfig config = {});
+  ~StreamingGraph();  ///< detaches this graph's callback gauges
 
   StreamingGraph(const StreamingGraph&) = delete;
   StreamingGraph& operator=(const StreamingGraph&) = delete;
@@ -337,9 +346,13 @@ class StreamingGraph {
   VertexId num_vertices() const { return delta_.num_vertices(); }
   const Dataset& dataset() const { return *dataset_; }
   const StreamingConfig& config() const { return config_; }
+  /// The telemetry plane this graph was configured with (null = off).
+  /// Background maintenance components report through it.
+  Telemetry* telemetry() const { return config_.telemetry; }
   StreamStats stats() const;
 
  private:
+  void bind_telemetry();
   std::shared_ptr<const CsrGraph> base_snapshot() const;
   std::shared_ptr<const GraphVersion> install_version(
       std::shared_ptr<const CsrGraph> base, EdgeId base_max_degree,
@@ -400,6 +413,23 @@ class StreamingGraph {
   std::atomic<std::int64_t> compactions_{0};
   std::atomic<std::int64_t> annihilations_{0};
   std::atomic<std::int64_t> expired_vertices_{0};
+
+  // Registry mirrors + tracer/journal; all null when telemetry is off.
+  StageTracer* tracer_ = nullptr;
+  EventJournal* journal_ = nullptr;
+  Counter* m_ingested_ = nullptr;
+  Counter* m_duplicates_ = nullptr;
+  Counter* m_removed_ = nullptr;
+  Counter* m_rejected_removals_ = nullptr;
+  Counter* m_added_vertices_ = nullptr;
+  Counter* m_removed_vertices_ = nullptr;
+  Counter* m_recycled_vertices_ = nullptr;
+  Counter* m_feature_updates_ = nullptr;
+  Counter* m_publishes_ = nullptr;
+  Counter* m_compactions_ = nullptr;
+  Counter* m_annihilations_ = nullptr;
+  Counter* m_expired_ = nullptr;
+  Histogram* m_publish_lag_ = nullptr;
 };
 
 }  // namespace hyscale

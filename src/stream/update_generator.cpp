@@ -150,6 +150,14 @@ UpdateReport UpdateGenerator::run() {
       report.wall_time > 0.0
           ? static_cast<double>(report.accepted_edges + report.removed_edges) / report.wall_time
           : 0.0;
+  if (Telemetry* telemetry = graph_.telemetry(); telemetry != nullptr) {
+    // Session-level ingest summary; the per-op stream.* counters were
+    // mirrored live by the graph as each op landed.
+    MetricsRegistry& reg = telemetry->registry();
+    reg.counter("ingest.operations").add(report.operations);
+    reg.gauge("ingest.wall_seconds").set(report.wall_time);
+    reg.gauge("ingest.edges_per_second").set(report.edges_per_second);
+  }
   return report;
 }
 

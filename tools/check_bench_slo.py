@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
-"""Gate the committed BENCH_streaming.json on the publisher's SLO.
+"""Gate committed BENCH_*.json records: schema first, then the SLO.
 
-The non-blocking-fold work (ISSUE-5) tightened the streaming staleness
-bound to the publisher budget alone: `sustained_churn_slo` must report
-zero breaches and a worst completion-time staleness within its budget.
-This script fails loudly if a regression (e.g. publishes stalling
-behind compaction folds again) sneaks back into a regenerated record.
+Schema gate (all records): every point must carry the required keys for
+its bench kind (keyed off the record's "bench" field), counters must be
+non-negative integers, and rate/latency fields non-negative numbers.
+The benches build every point from a MetricsRegistry snapshot; this
+gate catches a renamed instrument or a dropped field before the record
+is committed with silently-zero data.
+
+SLO gate (streaming records): the non-blocking-fold work (ISSUE-5)
+tightened the streaming staleness bound to the publisher budget alone:
+`sustained_churn_slo` must report zero breaches and a worst
+completion-time staleness within its budget.  This script fails loudly
+if a regression (e.g. publishes stalling behind compaction folds
+again) sneaks back into a regenerated record.
 
 Usage:
-    tools/check_bench_slo.py [BENCH_streaming.json] [--tolerance FACTOR]
+    tools/check_bench_slo.py [BENCH_streaming.json ...] [--tolerance FACTOR]
 
 `--tolerance` scales the budget before comparing (default 1.0: the
 record must meet the budget exactly as the acceptance criteria state).
@@ -19,59 +27,154 @@ import argparse
 import json
 import sys
 
-POINT = "sustained_churn_slo"
+SLO_POINT = "sustained_churn_slo"
+
+# Per-kind point schema: required keys, the subset that must be
+# non-negative integers (counters), and the subset that must be
+# non-negative numbers (rates/latencies).  Config echoes (fractions,
+# budgets) only need presence.
+COUNTER_KEYS = {
+    "serving": [
+        "completed_requests", "rejected_submits",
+    ],
+    "streaming": [
+        "completed_requests", "last_served_version", "accepted_edges",
+        "removed_edges", "rejected_removals", "added_vertices",
+        "removed_vertices", "recycled_vertices", "dead_vertices",
+        "tombstones_pending", "feature_updates", "expired_vertices",
+        "publishes", "publisher_publishes", "publisher_breaches",
+        "full_compactions", "annihilation_passes", "annihilated_ops",
+    ],
+}
+NONNEG_KEYS = {
+    "serving": [
+        "qps", "p50_ms", "p95_ms", "p99_ms", "mean_batch_requests",
+        "cache_hit_rate",
+    ],
+    "streaming": [
+        "qps", "p50_ms", "p99_ms", "queue_wait_p99_ms",
+        "ingest_edges_per_second", "publish_lag_mean_ms",
+        "publish_lag_max_ms", "publisher_worst_staleness_ms",
+        "publisher_worst_publish_cost_ms", "cache_hit_rate",
+    ],
+}
+REQUIRED_KEYS = {
+    "serving": ["name", "workers", "cache_rows", "clients"]
+                + COUNTER_KEYS["serving"] + NONNEG_KEYS["serving"],
+    "streaming": ["name", "update_ops", "update_threads", "publish_every",
+                  "slo_budget_ms", "ttl_ms", "compute_mean_ms"]
+                  + COUNTER_KEYS["streaming"] + NONNEG_KEYS["streaming"],
+}
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("record", nargs="?", default="BENCH_streaming.json",
-                        help="path to the streaming bench record")
-    parser.add_argument("--tolerance", type=float, default=1.0,
-                        help="budget multiplier before comparison (default 1.0)")
-    args = parser.parse_args()
+def check_schema(path, record):
+    """Returns a list of schema-failure strings (empty = pass)."""
+    failures = []
+    kind = record.get("bench")
+    if kind not in REQUIRED_KEYS:
+        return [f"unknown bench kind {kind!r} (expected one of "
+                f"{sorted(REQUIRED_KEYS)})"]
+    points = record.get("points")
+    if not isinstance(points, list) or not points:
+        return [f"'{kind}' record has no points array"]
+    for i, point in enumerate(points):
+        label = f"points[{i}] ({point.get('name', '?')})"
+        for key in REQUIRED_KEYS[kind]:
+            if key not in point:
+                failures.append(f"{label}: missing required key '{key}'")
+        for key in COUNTER_KEYS[kind]:
+            value = point.get(key)
+            if value is None:
+                continue  # missing already reported
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                failures.append(f"{label}: counter '{key}' must be a "
+                                f"non-negative integer, got {value!r}")
+        for key in NONNEG_KEYS[kind]:
+            value = point.get(key)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                failures.append(f"{label}: '{key}' must be a non-negative "
+                                f"number, got {value!r}")
+    return failures
 
-    try:
-        with open(args.record, encoding="utf-8") as f:
-            record = json.load(f)
-    except (OSError, ValueError) as err:
-        print(f"check_bench_slo: cannot read {args.record}: {err}", file=sys.stderr)
-        return 1
 
+def check_slo(record, tolerance):
+    """Returns (failures, ok_message) for the streaming publisher SLO."""
     points = {p.get("name"): p for p in record.get("points", [])}
-    point = points.get(POINT)
+    point = points.get(SLO_POINT)
     if point is None:
-        print(f"check_bench_slo: {args.record} has no '{POINT}' point", file=sys.stderr)
-        return 1
+        return [f"record has no '{SLO_POINT}' point"], None
 
     budget_ms = point.get("slo_budget_ms", 0.0)
     worst_ms = point.get("publisher_worst_staleness_ms")
     breaches = point.get("publisher_breaches")
     if budget_ms <= 0.0 or worst_ms is None or breaches is None:
-        print(f"check_bench_slo: '{POINT}' is missing SLO fields "
-              f"(slo_budget_ms={budget_ms}, worst={worst_ms}, breaches={breaches})",
-              file=sys.stderr)
-        return 1
+        return [f"'{SLO_POINT}' is missing SLO fields (slo_budget_ms="
+                f"{budget_ms}, worst={worst_ms}, breaches={breaches})"], None
 
-    limit_ms = budget_ms * args.tolerance
+    limit_ms = budget_ms * tolerance
     failures = []
     if worst_ms > limit_ms:
         failures.append(f"publisher_worst_staleness_ms {worst_ms:.3f} > "
-                        f"{limit_ms:.3f} (budget {budget_ms:.3f} x tolerance {args.tolerance})")
+                        f"{limit_ms:.3f} (budget {budget_ms:.3f} x tolerance "
+                        f"{tolerance})")
     if breaches != 0:
         failures.append(f"publisher_breaches {breaches} != 0")
+    ok = (f"worst staleness {worst_ms:.3f} ms <= {limit_ms:.3f} ms, "
+          f"breaches 0")
+    return failures, ok
 
-    if failures:
-        print(f"check_bench_slo: '{POINT}' violates the publisher SLO:", file=sys.stderr)
-        for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
-        print("  (a publish stalling behind compaction again? see ISSUE-5 / "
-              "StreamingGraph::compact's fold state machine)", file=sys.stderr)
-        return 1
 
-    print(f"check_bench_slo: '{POINT}' ok — worst staleness "
-          f"{worst_ms:.3f} ms <= {limit_ms:.3f} ms, breaches 0")
-    return 0
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("records", nargs="*", default=["BENCH_streaming.json"],
+                        help="paths to bench records (serving and/or streaming)")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="budget multiplier before comparison (default 1.0)")
+    args = parser.parse_args()
+
+    status = 0
+    for path in args.records:
+        try:
+            with open(path, encoding="utf-8") as f:
+                record = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"check_bench_slo: cannot read {path}: {err}", file=sys.stderr)
+            status = 1
+            continue
+
+        schema_failures = check_schema(path, record)
+        if schema_failures:
+            print(f"check_bench_slo: {path} fails the schema gate:",
+                  file=sys.stderr)
+            for failure in schema_failures:
+                print(f"  - {failure}", file=sys.stderr)
+            status = 1
+            continue
+        kind = record["bench"]
+        print(f"check_bench_slo: {path} schema ok "
+              f"({kind}, {len(record['points'])} points)")
+
+        if kind != "streaming":
+            continue
+        slo_failures, ok = check_slo(record, args.tolerance)
+        if slo_failures:
+            print(f"check_bench_slo: '{SLO_POINT}' violates the publisher SLO:",
+                  file=sys.stderr)
+            for failure in slo_failures:
+                print(f"  - {failure}", file=sys.stderr)
+            print("  (a publish stalling behind compaction again? see ISSUE-5 /"
+                  " StreamingGraph::compact's fold state machine)",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"check_bench_slo: '{SLO_POINT}' ok — {ok}")
+    return status
 
 
 if __name__ == "__main__":
     sys.exit(main())
+
+
