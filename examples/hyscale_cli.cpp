@@ -150,8 +150,11 @@ struct ServeOptions {
   std::string metrics_out;      ///< JSON-lines telemetry dump; "-" = stderr
   int metrics_interval_ms = 0;  ///< periodic exporter cadence; 0 = final dump only
   bool stage_trace = false;     ///< per-request / lifecycle stage tracing
+  std::string flight_record_out;  ///< post-mortem JSON bundle; "-" = stderr
 
-  bool telemetry_enabled() const { return !metrics_out.empty() || stage_trace; }
+  bool telemetry_enabled() const {
+    return !metrics_out.empty() || stage_trace || !flight_record_out.empty();
+  }
 };
 
 void serve_usage(const char* argv0) {
@@ -162,12 +165,30 @@ void serve_usage(const char* argv0) {
       "          [--max-batch B] [--max-wait-ms MS] [--queue-cap Q]\n"
       "          [--clients C] [--requests N] [--seeds-per-request S] [--seed X]\n"
       "          [--metrics-out FILE|-] [--metrics-interval-ms MS] [--trace]\n"
+      "          [--flight-record-out FILE|-]\n"
       "\n"
       "telemetry: --metrics-out dumps registry snapshots + lifecycle events as\n"
       "JSON lines (one final snapshot, or every --metrics-interval-ms; '-' =\n"
       "stderr); --trace also records per-request stage spans, summarized in the\n"
-      "snapshot lines.\n",
+      "snapshot lines; --flight-record-out arms a liveness watchdog + flight\n"
+      "recorder that dumps a post-mortem JSON bundle (metrics, journal tail,\n"
+      "heartbeat ages, slowest-request traces) on a stall, an SLO breach, or\n"
+      "teardown.\n",
       argv0);
+}
+
+// Probe an output path at parse time so a typo'd directory fails
+// before minutes of load generation, not after.  "-" means stderr and
+// the empty string means "unset"; both always pass.
+bool probe_writable(const std::string& path, const char* flag) {
+  if (path.empty() || path == "-") return true;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot open '%s' for writing\n", flag, path.c_str());
+    return false;
+  }
+  std::fclose(f);
+  return true;
 }
 
 bool parse_serve_args(int argc, char** argv, ServeOptions& options) {
@@ -253,10 +274,22 @@ bool parse_serve_args(int argc, char** argv, ServeOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.metrics_out = v;
+      if (!probe_writable(options.metrics_out, "--metrics-out")) return false;
     } else if (arg == "--metrics-interval-ms") {
       const char* v = next();
       if (!v) return false;
       options.metrics_interval_ms = std::atoi(v);
+      // 0 is only meaningful as the default (final dump only); an
+      // EXPLICIT non-positive cadence is a mistake, not a request.
+      if (options.metrics_interval_ms <= 0) {
+        std::fprintf(stderr, "--metrics-interval-ms must be a positive cadence (got %s)\n", v);
+        return false;
+      }
+    } else if (arg == "--flight-record-out") {
+      const char* v = next();
+      if (!v) return false;
+      options.flight_record_out = v;
+      if (!probe_writable(options.flight_record_out, "--flight-record-out")) return false;
     } else if (arg == "--trace") {
       options.stage_trace = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -271,14 +304,19 @@ bool parse_serve_args(int argc, char** argv, ServeOptions& options) {
 }
 
 // Telemetry stack for a CLI session: registry (+ stage tracer when
-// --trace) and, when --metrics-out is given, the JSON-lines exporter.
-// Members in this order so the exporter (destroyed first) writes its
-// final snapshot before the registry goes away; component callback
-// gauges freeze on detach, so a dump after session teardown still
-// reads their last values.
+// --trace), the JSON-lines exporter when --metrics-out is given, and
+// a flight recorder + liveness watchdog when --flight-record-out is.
+// Declaration order is teardown order reversed: the watchdog stops
+// sweeping first (no trips into a dying recorder), the recorder then
+// writes its teardown bundle, the exporter its final snapshot, and
+// only then does the registry go away; component callback gauges
+// freeze on detach, so a dump after session teardown still reads
+// their last values.
 struct CliTelemetry {
   std::unique_ptr<Telemetry> telemetry;
   std::unique_ptr<TelemetryExporter> exporter;
+  std::unique_ptr<FlightRecorder> flight;
+  std::unique_ptr<Watchdog> watchdog;
 
   Telemetry* get() const { return telemetry.get(); }
 };
@@ -294,6 +332,12 @@ CliTelemetry make_telemetry(const ServeOptions& options) {
     exporter.path = options.metrics_out == "-" ? "" : options.metrics_out;
     exporter.interval_ms = options.metrics_interval_ms;
     out.exporter = std::make_unique<TelemetryExporter>(*out.telemetry, exporter);
+  }
+  if (!options.flight_record_out.empty()) {
+    FlightRecorderConfig flight;
+    flight.path = options.flight_record_out;
+    out.flight = std::make_unique<FlightRecorder>(*out.telemetry, flight);
+    out.watchdog = std::make_unique<Watchdog>(*out.telemetry);
   }
   return out;
 }
@@ -312,6 +356,14 @@ void print_telemetry_summary(const CliTelemetry& telemetry, const ServeOptions& 
                 options.metrics_out == "-" ? "stderr" : options.metrics_out.c_str());
   } else {
     std::printf(" metrics in-process only (pass --metrics-out to export)");
+  }
+  if (telemetry.watchdog) {
+    std::printf(", watchdog %lld stalls", static_cast<long long>(telemetry.watchdog->stalls()));
+  }
+  if (telemetry.flight) {
+    std::printf(", flight record -> %s (%lld dumps so far + teardown)",
+                options.flight_record_out == "-" ? "stderr" : options.flight_record_out.c_str(),
+                static_cast<long long>(telemetry.flight->dumps()));
   }
   std::printf("\n");
 }
@@ -349,6 +401,7 @@ void stream_usage(const char* argv0) {
       "          [--compact-edges E] [--compact-ratio R] [--no-annihilate]\n"
       "          [--slo-ms MS] [--ttl-ms MS] [--sweep-ms MS]\n"
       "          [--metrics-out FILE|-] [--metrics-interval-ms MS] [--trace]\n"
+      "          [--flight-record-out FILE|-]\n"
       "\n"
       "lifecycle: --slo-ms bounds staleness (background publisher; 0 = caller-paced\n"
       "via --publish-every), --ttl-ms retires streamed-in entities idle that long\n"
@@ -491,6 +544,10 @@ int run_stream_impl(const StreamOptions& options) {
   compaction.annihilate_first = options.annihilate;
   PublisherPolicy publisher;
   publisher.staleness_budget = options.slo_ms * 1e-3;  // <= 0 disables
+  // A tiny --slo-ms (sub-poll-floor budgets are legitimate for breach
+  // demos) must not trip the poll_floor <= budget precondition.
+  if (publisher.staleness_budget > 0.0)
+    publisher.poll_floor = std::min(publisher.poll_floor, publisher.staleness_budget / 2.0);
   ExpiryPolicy expiry;
   expiry.ttl = options.ttl_ms < 0.0 ? -1.0 : options.ttl_ms * 1e-3;
   expiry.sweep_interval = options.sweep_ms * 1e-3;

@@ -34,6 +34,7 @@
 #include "nn/metrics.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/drm.hpp"
 #include "runtime/feature_cache.hpp"

@@ -1,0 +1,111 @@
+#include "obs/assembler.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hyscale {
+
+const StageSpanView& RequestTrace::stage(TraceStage s) const {
+  switch (s) {
+    case TraceStage::kQueue: return queue;
+    case TraceStage::kSample: return sample;
+    case TraceStage::kGather: return gather;
+    case TraceStage::kForward: return forward;
+    default: return reply;
+  }
+}
+
+TraceAssembler::TraceAssembler(std::vector<TraceRecord> records)
+    : records_(std::move(records)) {}
+
+RequestTrace TraceAssembler::build(const TraceRecord& queue_record) const {
+  RequestTrace trace;
+  trace.request_id = queue_record.aux;
+  trace.batch_id = queue_record.context;
+  trace.enqueue_ns = queue_record.begin_ns;
+  trace.queue = {queue_record.begin_ns, queue_record.end_ns, true};
+  trace.done_ns = queue_record.end_ns;  // until the reply span is found
+  // Batch stages correlate by context.  The ring can retain spans from
+  // a context-colliding earlier life only if batch ids repeat, which
+  // they do not within one server (monotone counter), so first match
+  // per stage wins.
+  for (const TraceRecord& r : records_) {
+    if (r.context != queue_record.context) continue;
+    StageSpanView view{r.begin_ns, r.end_ns, true};
+    switch (r.stage) {
+      case TraceStage::kSample:
+        if (!trace.sample.present) { trace.sample = view; trace.batch_seeds = static_cast<std::int64_t>(r.aux); }
+        break;
+      case TraceStage::kGather:
+        if (!trace.gather.present) trace.gather = view;
+        break;
+      case TraceStage::kForward:
+        if (!trace.forward.present) { trace.forward = view; trace.batch_requests = static_cast<std::int64_t>(r.aux); }
+        break;
+      case TraceStage::kReply:
+        if (!trace.reply.present) { trace.reply = view; trace.done_ns = r.end_ns; }
+        break;
+      default:
+        break;
+    }
+  }
+  return trace;
+}
+
+std::vector<RequestTrace> TraceAssembler::assemble() const {
+  // request id -> its queue span; a map keeps the output sorted.
+  std::map<std::uint64_t, const TraceRecord*> queues;
+  for (const TraceRecord& r : records_) {
+    if (r.stage == TraceStage::kQueue) queues.emplace(r.aux, &r);
+  }
+  std::vector<RequestTrace> out;
+  out.reserve(queues.size());
+  for (const auto& [id, record] : queues) out.push_back(build(*record));
+  return out;
+}
+
+std::optional<RequestTrace> TraceAssembler::request(std::uint64_t request_id) const {
+  for (const TraceRecord& r : records_) {
+    if (r.stage == TraceStage::kQueue && r.aux == request_id) return build(r);
+  }
+  return std::nullopt;
+}
+
+bool ExemplarRing::offer(const RequestTrace& trace) {
+  if (capacity_ == 0) return false;
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: the ring is full and this request is faster than the
+  // fastest retained exemplar — a stale read of the threshold only
+  // costs one spurious lock acquisition, never a wrong rejection of a
+  // genuinely slower trace (the threshold is monotone non-decreasing).
+  if (trace.total_ns() <= threshold_ns_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard lock(mutex_);
+  if (traces_.size() < capacity_) {
+    traces_.push_back(trace);
+  } else {
+    auto fastest = std::min_element(
+        traces_.begin(), traces_.end(),
+        [](const RequestTrace& a, const RequestTrace& b) { return a.total_ns() < b.total_ns(); });
+    if (fastest->total_ns() >= trace.total_ns()) return false;
+    *fastest = trace;
+  }
+  if (traces_.size() == capacity_) {
+    auto fastest = std::min_element(
+        traces_.begin(), traces_.end(),
+        [](const RequestTrace& a, const RequestTrace& b) { return a.total_ns() < b.total_ns(); });
+    threshold_ns_.store(fastest->total_ns(), std::memory_order_relaxed);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<RequestTrace> ExemplarRing::slowest() const {
+  std::lock_guard lock(mutex_);
+  std::vector<RequestTrace> out = traces_;
+  std::sort(out.begin(), out.end(), [](const RequestTrace& a, const RequestTrace& b) {
+    return a.total_ns() > b.total_ns();
+  });
+  return out;
+}
+
+}  // namespace hyscale

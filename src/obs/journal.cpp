@@ -87,7 +87,11 @@ TelemetryExporter::TelemetryExporter(Telemetry& telemetry, ExporterConfig config
       throw std::runtime_error("TelemetryExporter: cannot open " + config_.path);
     owns_file_ = true;
   }
-  if (config_.interval_ms > 0) thread_ = std::thread([this] { loop(); });
+  if (config_.interval_ms > 0) {
+    heart_ = &telemetry_.heartbeats().register_thread(
+        "obs.exporter", static_cast<std::int64_t>(config_.interval_ms) * 1'000'000);
+    thread_ = std::thread([this] { loop(); });
+  }
 }
 
 TelemetryExporter::~TelemetryExporter() { stop(); }
@@ -111,13 +115,17 @@ void TelemetryExporter::stop() {
 void TelemetryExporter::loop() {
   std::unique_lock lock(wake_mutex_);
   while (!stop_requested_) {
+    if (heart_ != nullptr) heart_->idle_enter();
     wake_cv_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms),
                       [this] { return stop_requested_; });
+    if (heart_ != nullptr) heart_->idle_exit();
     if (stop_requested_) break;
     lock.unlock();
     flush("periodic");
+    if (heart_ != nullptr) heart_->beat();
     lock.lock();
   }
+  if (heart_ != nullptr) heart_->retire();
 }
 
 void TelemetryExporter::flush(const std::string& reason) {

@@ -25,6 +25,7 @@
 namespace hyscale {
 
 class Telemetry;
+class Heartbeat;
 
 /// One discrete lifecycle occurrence.  `detail` is free text (it is
 /// JSON-escaped on export, so any content is safe).
@@ -86,6 +87,7 @@ class TelemetryExporter {
 
   Telemetry& telemetry_;
   ExporterConfig config_;
+  Heartbeat* heart_ = nullptr;  ///< liveness stamp for the periodic thread
   mutable std::mutex io_mutex_;
   void* file_ = nullptr;  ///< FILE*; stderr when config_.path is empty
   bool owns_file_ = false;

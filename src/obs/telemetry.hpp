@@ -1,5 +1,8 @@
 // The telemetry bundle every subsystem wires against: one registry,
-// one tracer, one journal.
+// one tracer, one journal — plus the diagnosis plane built on them:
+// tail exemplars (full traces of the slowest requests), a heartbeat
+// registry for the liveness watchdog, and the trip channel that turns
+// a watchdog stall or SLO breach into a flight-recorder dump.
 //
 // Ownership: the application (bench binary, CLI, test) declares a
 // Telemetry before building the serving/streaming session and hands a
@@ -13,9 +16,17 @@
 // obs/metrics.hpp.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/assembler.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace hyscale {
 
@@ -24,13 +35,33 @@ struct TelemetryConfig {
   std::size_t trace_ring_capacity = 4096;  ///< spans retained per thread
   std::size_t trace_max_threads = 64;
   std::size_t journal_capacity = 1024;
+  std::size_t exemplar_capacity = 16;  ///< slowest-request traces retained; 0 disables
+};
+
+/// One escalation: a watchdog stall, a publisher SLO breach, or an
+/// explicit operator request.
+struct TripRecord {
+  std::int64_t t_ns = 0;
+  std::string reason;
 };
 
 class Telemetry {
  public:
   explicit Telemetry(TelemetryConfig config = {})
       : tracer_(config.tracing, config.trace_ring_capacity, config.trace_max_threads),
-        journal_(config.journal_capacity) {}
+        journal_(config.journal_capacity),
+        exemplars_(config.exemplar_capacity) {
+    // Journal overflow is otherwise silent; surfacing the drop count as
+    // a registry instrument puts it in every exporter snapshot line and
+    // every flight record.  Registered first so it precedes all
+    // component instruments in registration order.
+    registry_.register_callback("journal.dropped_events", this,
+                                [this] { return static_cast<double>(journal_.dropped()); });
+  }
+  ~Telemetry() { registry_.detach(this); }
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
 
   MetricsRegistry& registry() { return registry_; }
   const MetricsRegistry& registry() const { return registry_; }
@@ -38,11 +69,50 @@ class Telemetry {
   const StageTracer& tracer() const { return tracer_; }
   EventJournal& journal() { return journal_; }
   const EventJournal& journal() const { return journal_; }
+  ExemplarRing& exemplars() { return exemplars_; }
+  const ExemplarRing& exemplars() const { return exemplars_; }
+  HeartbeatRegistry& heartbeats() { return heartbeats_; }
+  const HeartbeatRegistry& heartbeats() const { return heartbeats_; }
+
+  /// Escalation channel.  trip() records the reason (bounded history)
+  /// and invokes the handler — the FlightRecorder's dump — UNDER the
+  /// trip mutex, so a handler owner that clears itself in its
+  /// destructor (clear_trip_handler below) can never be destroyed
+  /// mid-invocation.  The mutex is recursive because the handler reads
+  /// back through this API (a flight record includes trips()); only
+  /// same-thread re-entry is allowed, the cross-thread destructor
+  /// guarantee is unchanged.
+  void trip(const std::string& reason) {
+    std::lock_guard lock(trip_mutex_);
+    if (trips_.size() >= kMaxTrips) trips_.erase(trips_.begin());
+    trips_.push_back(TripRecord{StageTracer::now_ns(), reason});
+    if (trip_handler_) trip_handler_(reason);
+  }
+  void set_trip_handler(std::function<void(const std::string&)> handler) {
+    std::lock_guard lock(trip_mutex_);
+    trip_handler_ = std::move(handler);
+  }
+  void clear_trip_handler() {
+    std::lock_guard lock(trip_mutex_);
+    trip_handler_ = nullptr;
+  }
+  std::vector<TripRecord> trips() const {
+    std::lock_guard lock(trip_mutex_);
+    return trips_;
+  }
 
  private:
+  static constexpr std::size_t kMaxTrips = 64;
+
   MetricsRegistry registry_;
   StageTracer tracer_;
   EventJournal journal_;
+  ExemplarRing exemplars_;
+  HeartbeatRegistry heartbeats_;
+
+  mutable std::recursive_mutex trip_mutex_;
+  std::function<void(const std::string&)> trip_handler_;
+  std::vector<TripRecord> trips_;
 };
 
 }  // namespace hyscale

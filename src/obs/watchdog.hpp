@@ -1,0 +1,146 @@
+// Liveness watchdog: heartbeat registry + missed-beat stall detection.
+//
+// Every background thread (serving workers, Compactor, Publisher,
+// ExpirySweeper, TelemetryExporter, load-generator clients) registers a
+// Heartbeat and stamps it on every unit of work.  Threads that block
+// legitimately — a worker parked on an empty queue, a publisher asleep
+// between deadlines — bracket the blocking section with idle_enter() /
+// idle_exit(), so the watchdog only judges hearts that claim to be
+// BUSY.  A busy heart whose last beat is older than its stall
+// threshold is a wedged thread: a fold parked mid-BUILD, a publish
+// stuck on the rebase endpoint, a worker deadlocked in gather.
+//
+// False-positive calibration: a heart is flagged only when
+//   age > max(min_stall, stall_multiplier x interval_hint)
+// where interval_hint is the longest gap the thread expects between
+// beats while busy.  With the defaults (250 ms floor, 8x multiplier)
+// the bound is at least an order of magnitude above the worst
+// scheduler wakeup lateness observed on the 1-core bench host (~10+ ms
+// tails, see bench_streaming's SLO budget note), so a healthy run
+// never trips — asserted over a multi-second session in
+// test_diagnosis.  Detection latency for a real stall is threshold +
+// one check interval.
+//
+// On a stall transition the watchdog bumps the `watchdog.stalls`
+// counter, journals a `watchdog_stall` event, and calls
+// Telemetry::trip() — which the FlightRecorder turns into a post-mortem
+// dump.  Recovery (the heart beats again) is journaled too, and the
+// same heart can trip again on a later episode.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace hyscale {
+
+class Telemetry;
+
+/// One background thread's liveness stamp.  All stores are seq_cst so
+/// the watchdog can never observe busy + a pre-block beat: idle_exit()
+/// beats BEFORE clearing the idle flag.
+class Heartbeat {
+ public:
+  void beat();
+  /// About to block legitimately (queue wait, timed sleep).
+  void idle_enter();
+  /// Back from the block; beats first so a sampling watchdog sees
+  /// either idle or a fresh stamp, never busy + stale.
+  void idle_exit();
+  /// Thread exiting for good; the watchdog skips retired hearts.
+  void retire() { retired_.store(true); }
+
+  const std::string& name() const { return name_; }
+  std::int64_t last_beat_ns() const { return last_beat_ns_.load(); }
+  std::int64_t interval_hint_ns() const { return interval_hint_ns_; }
+  std::int64_t beats() const { return beats_.load(std::memory_order_relaxed); }
+  bool idle() const { return idle_.load(); }
+  bool retired() const { return retired_.load(); }
+
+  /// Construct through HeartbeatRegistry::register_thread (public only
+  /// because deque::emplace_back cannot reach a private constructor).
+  Heartbeat(std::string name, std::int64_t interval_hint_ns)
+      : name_(std::move(name)), interval_hint_ns_(interval_hint_ns) {}
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+ private:
+  std::string name_;
+  std::int64_t interval_hint_ns_;
+  std::atomic<std::int64_t> last_beat_ns_{0};
+  std::atomic<std::int64_t> beats_{0};
+  std::atomic<bool> idle_{false};
+  std::atomic<bool> retired_{false};
+};
+
+class HeartbeatRegistry {
+ public:
+  /// Registers a heart; the reference stays valid for the registry's
+  /// lifetime (hearts live in a deque and are never removed — a dead
+  /// thread retires its heart instead).  `interval_hint_ns` is the
+  /// longest beat-to-beat gap the thread expects while busy.
+  Heartbeat& register_thread(std::string name, std::int64_t interval_hint_ns);
+
+  struct View {
+    std::string name;
+    std::int64_t last_beat_ns = 0;
+    std::int64_t interval_hint_ns = 0;
+    std::int64_t beats = 0;
+    bool idle = false;
+    bool retired = false;
+  };
+  std::vector<View> views() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Heartbeat> hearts_;
+};
+
+struct WatchdogConfig {
+  std::int64_t check_interval_ns = 20'000'000;  ///< 20 ms between sweeps
+  double stall_multiplier = 8.0;  ///< threshold = multiplier x interval_hint
+  std::int64_t min_stall_ns = 250'000'000;  ///< 250 ms floor under the threshold
+};
+
+class Watchdog {
+ public:
+  /// `telemetry` must outlive the watchdog; the thread starts
+  /// immediately and sweeps telemetry.heartbeats() every
+  /// check_interval.
+  explicit Watchdog(Telemetry& telemetry, WatchdogConfig config = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void stop();
+  /// Stall episodes detected so far (transitions into stalled, not
+  /// sweeps spent stalled).
+  std::int64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+  std::int64_t sweeps() const { return sweeps_.load(std::memory_order_relaxed); }
+
+ private:
+  void loop();
+  void sweep();
+
+  Telemetry& telemetry_;
+  WatchdogConfig config_;
+  std::atomic<std::int64_t> stalls_{0};
+  std::atomic<std::int64_t> sweeps_{0};
+  std::unordered_set<std::string> stalled_;  ///< loop-thread only
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hyscale

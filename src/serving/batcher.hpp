@@ -34,6 +34,7 @@ struct InferenceResult {
   std::vector<int> predictions;  ///< argmax class per seed
   Seconds latency = 0.0;         ///< enqueue -> result ready
   Seconds queue_wait = 0.0;      ///< enqueue -> worker pickup share of latency
+  std::uint64_t request_id = 0;  ///< id assigned at submit; keys trace lookup
   std::uint64_t batch_id = 0;    ///< micro-batch that served this request
   std::int64_t batch_requests = 0;  ///< requests coalesced into that batch
   std::int64_t batch_seeds = 0;     ///< seeds across the batch

@@ -80,6 +80,8 @@ void InferenceServer::bind_telemetry() {
   stats_.bind(config_.telemetry);
   batcher_.bind(config_.telemetry);
   tracer_ = &config_.telemetry->tracer();
+  if (config_.telemetry->exemplars().capacity() > 0)
+    exemplars_ = &config_.telemetry->exemplars();
   MetricsRegistry& reg = config_.telemetry->registry();
   m_served_version_ = &reg.gauge("serving.last_served_version");
   if (cache_) {
@@ -115,6 +117,13 @@ void InferenceServer::init_workers(const ModelSnapshot& snapshot) {
     }
     if (!cache_ && stream_ == nullptr) {
       workers_[w].loader = std::make_unique<FeatureLoader>(dataset_.features);
+    }
+    if (config_.telemetry != nullptr) {
+      // Hint: the longest stage-to-stage gap while busy.  Workers beat
+      // between pipeline stages, so only a single wedged stage (a
+      // gather deadlock, a stuck forward) grows the age past it.
+      workers_[w].heart = &config_.telemetry->heartbeats().register_thread(
+          "serving.worker." + std::to_string(w), /*interval_hint_ns=*/100'000'000);
     }
   }
 
@@ -165,19 +174,32 @@ InferenceResult InferenceServer::infer(std::vector<VertexId> seeds) {
 
 void InferenceServer::worker_loop(Worker& worker) {
   std::vector<InferenceRequest> batch;
-  while (batcher_.next_batch(batch)) {
+  for (;;) {
+    // Blocking on an empty queue is not a stall: idle while parked in
+    // next_batch, busy (and freshly stamped) the moment a batch lands.
+    if (worker.heart != nullptr) worker.heart->idle_enter();
+    const bool alive = batcher_.next_batch(batch);
+    if (worker.heart != nullptr) worker.heart->idle_exit();
+    if (!alive) break;
     execute_batch(worker, batch);
   }
+  if (worker.heart != nullptr) worker.heart->retire();
 }
 
 void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest>& batch) {
   const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
   const auto pickup = std::chrono::steady_clock::now();
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  // Stage boundaries are stamped explicitly (not RAII scopes) so ONE
+  // set of timestamps feeds both the tracer rings and the exemplar
+  // traces — a retained exemplar matches the assembled ring spans
+  // exactly.  When neither consumer is on, no extra clocks are read.
+  const bool diag = tracing || exemplars_ != nullptr;
+  const std::int64_t pickup_ns = diag ? to_trace_ns(pickup) : 0;
   // Queue spans close at pickup: one per request, correlated to this
   // batch by context so context_path(batch_id) reconstructs the full
   // queue -> sample -> gather -> forward -> reply critical path.
-  if (tracer_ != nullptr && tracer_->enabled()) {
-    const std::int64_t pickup_ns = to_trace_ns(pickup);
+  if (tracing) {
     for (const auto& request : batch) {
       tracer_->record(TraceStage::kQueue, batch_id, request.id,
                       to_trace_ns(request.enqueue_time), pickup_ns);
@@ -191,9 +213,9 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
       combined.insert(combined.end(), request.seeds.begin(), request.seeds.end());
     }
 
+    const std::int64_t sample_begin_ns = diag ? StageTracer::now_ns() : 0;
     MiniBatch mb;
     {
-      StageTracer::Scope span(tracer_, TraceStage::kSample, batch_id, combined.size());
       if (stream_ != nullptr) {
         // Latest published version for the whole micro-batch: consistent
         // view per batch, freshest data per pickup.
@@ -222,11 +244,14 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
         mb = sample_full(dataset_.graph, combined, num_layers_);
       }
     }
+    const std::int64_t sample_end_ns = diag ? StageTracer::now_ns() : 0;
+    if (tracing)
+      tracer_->record(TraceStage::kSample, batch_id, combined.size(), sample_begin_ns,
+                      sample_end_ns);
+    if (worker.heart != nullptr) worker.heart->beat();
 
     Tensor x;
     {
-      StageTracer::Scope span(tracer_, TraceStage::kGather, batch_id,
-                              mb.input_nodes().size());
       if (stream_ != nullptr) {
         const auto& nodes = mb.input_nodes();
         const auto gather_stats =
@@ -238,14 +263,19 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
         worker.loader->load(mb, x);
       }
     }
+    const std::int64_t gather_end_ns = diag ? StageTracer::now_ns() : 0;
+    if (tracing)
+      tracer_->record(TraceStage::kGather, batch_id, mb.input_nodes().size(), sample_end_ns,
+                      gather_end_ns);
+    if (worker.heart != nullptr) worker.heart->beat();
 
-    Tensor logits;
-    {
-      StageTracer::Scope span(tracer_, TraceStage::kForward, batch_id, batch.size());
-      logits = worker.model->forward(mb, x);
-    }
+    Tensor logits = worker.model->forward(mb, x);
+    const std::int64_t forward_end_ns = diag ? StageTracer::now_ns() : 0;
+    if (tracing)
+      tracer_->record(TraceStage::kForward, batch_id, batch.size(), gather_end_ns,
+                      forward_end_ns);
+    if (worker.heart != nullptr) worker.heart->beat();
 
-    StageTracer::Scope reply_span(tracer_, TraceStage::kReply, batch_id, batch.size());
     const auto completion = std::chrono::steady_clock::now();
     const auto batch_seeds = static_cast<std::int64_t>(combined.size());
     stats_.record_batch(static_cast<std::int64_t>(batch.size()), batch_seeds);
@@ -265,11 +295,36 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
           std::chrono::duration<double>(completion - request.enqueue_time).count();
       result.queue_wait =
           std::chrono::duration<double>(pickup - request.enqueue_time).count();
+      result.request_id = request.id;
       result.batch_id = batch_id;
       result.batch_requests = static_cast<std::int64_t>(batch.size());
       result.batch_seeds = batch_seeds;
       stats_.record_completion(result.latency, result.queue_wait);
       request.promise.set_value(std::move(result));
+    }
+    const std::int64_t reply_end_ns = diag ? StageTracer::now_ns() : 0;
+    if (tracing)
+      tracer_->record(TraceStage::kReply, batch_id, batch.size(), forward_end_ns,
+                      reply_end_ns);
+    if (exemplars_ != nullptr) {
+      // Offer every member's assembled trace; the ring's threshold
+      // fast-path rejects the fast ones with one relaxed load.  Batch
+      // stages are shared; only the queue span is per-request.
+      RequestTrace trace;
+      trace.batch_id = batch_id;
+      trace.batch_requests = static_cast<std::int64_t>(batch.size());
+      trace.batch_seeds = batch_seeds;
+      trace.sample = {sample_begin_ns, sample_end_ns, true};
+      trace.gather = {sample_end_ns, gather_end_ns, true};
+      trace.forward = {gather_end_ns, forward_end_ns, true};
+      trace.reply = {forward_end_ns, reply_end_ns, true};
+      trace.done_ns = reply_end_ns;
+      for (const auto& request : batch) {
+        trace.request_id = request.id;
+        trace.enqueue_ns = to_trace_ns(request.enqueue_time);
+        trace.queue = {trace.enqueue_ns, pickup_ns, true};
+        exemplars_->offer(trace);
+      }
     }
   } catch (...) {
     for (auto& request : batch) {

@@ -117,6 +117,7 @@ class InferenceServer {
     std::unique_ptr<NeighborSampler> sampler;  ///< null in full-neighborhood mode
     std::unique_ptr<OverlaySampler> overlay;   ///< streaming mode, sampled fanouts
     std::unique_ptr<FeatureLoader> loader;     ///< fallback when no cache
+    Heartbeat* heart = nullptr;                ///< liveness stamp when telemetry on
   };
 
   void init_workers(const ModelSnapshot& snapshot);
@@ -140,6 +141,7 @@ class InferenceServer {
   std::atomic<std::uint64_t> last_served_version_{0};
 
   StageTracer* tracer_ = nullptr;        ///< from config_.telemetry, may be null
+  ExemplarRing* exemplars_ = nullptr;    ///< tail-trace ring, null when off
   Gauge* m_served_version_ = nullptr;    ///< serving.last_served_version
 };
 

@@ -31,23 +31,37 @@ LoadReport LoadGenerator::run() {
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(config_.num_clients));
   for (int c = 0; c < config_.num_clients; ++c) {
-    clients.emplace_back([&, c] {
+    // Closed-loop clients spend most of their life blocked on a result;
+    // that wait is idle time for the watchdog, and each completed
+    // request is a beat — a client wedged on a lost future goes stale.
+    Heartbeat* heart =
+        config_.telemetry != nullptr
+            ? &config_.telemetry->heartbeats().register_thread(
+                  "load.client." + std::to_string(c), /*interval_hint_ns=*/100'000'000)
+            : nullptr;
+    clients.emplace_back([&, c, heart] {
       Xoshiro256 rng(config_.seed + static_cast<std::uint64_t>(c) * 0x9e3779b9ULL);
       std::vector<VertexId> seeds(static_cast<std::size_t>(config_.seeds_per_request));
+      if (heart != nullptr) heart->beat();
       for (int r = 0; r < config_.requests_per_client; ++r) {
         for (auto& s : seeds) s = static_cast<VertexId>(rng.bounded(num_vertices));
         for (;;) {
           auto future = server_.try_submit(seeds);
           if (future) {
+            if (heart != nullptr) heart->idle_enter();
             future->get();
+            if (heart != nullptr) heart->idle_exit();
             completed.fetch_add(1, std::memory_order_relaxed);
             break;
           }
           rejected.fetch_add(1, std::memory_order_relaxed);
+          if (heart != nullptr) heart->idle_enter();
           std::this_thread::sleep_for(
               std::chrono::duration<double>(config_.retry_backoff));
+          if (heart != nullptr) heart->idle_exit();
         }
       }
+      if (heart != nullptr) heart->retire();
     });
   }
   for (auto& client : clients) client.join();

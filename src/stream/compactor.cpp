@@ -19,6 +19,13 @@ Compactor::Compactor(StreamingGraph& graph, CompactionPolicy policy)
     m_compactions_ = &reg.counter("compactor.folds");
     m_annihilation_passes_ = &reg.counter("compactor.annihilation_passes");
     m_refused_folds_ = &reg.counter("compactor.refused_folds");
+    // Hint = poll cadence: between maintenance rounds the loop beats
+    // once per wakeup, so a heart stale for many multiples of this
+    // while busy means the thread is wedged inside a fold.
+    heart_ = &telemetry->heartbeats().register_thread(
+        "stream.compactor",
+        std::max<std::int64_t>(static_cast<std::int64_t>(policy_.poll_interval * 1e9),
+                               1'000'000));
   }
   thread_ = std::thread([this] { loop(); });
 }
@@ -72,8 +79,10 @@ void Compactor::loop() {
   Seconds backoff = 0.0;
   std::unique_lock lock(mutex_);
   while (!stop_) {
+    if (heart_ != nullptr) heart_->idle_enter();
     cv_.wait_for(lock, std::chrono::duration<double>(policy_.poll_interval + backoff),
                  [this] { return stop_; });
+    if (heart_ != nullptr) heart_->idle_exit();
     if (stop_) break;
     const Maintenance action = decide();
     if (action == Maintenance::kNone) {
@@ -83,6 +92,7 @@ void Compactor::loop() {
     lock.unlock();
     if (action == Maintenance::kAnnihilate) {
       const EdgeId erased = graph_.annihilate();
+      if (heart_ != nullptr) heart_->beat();
       const Maintenance after = decide();
       const bool folding = graph_.fold_in_flight();
       if (after == Maintenance::kNone) {
@@ -110,7 +120,11 @@ void Compactor::loop() {
       // Pressure remains and no fold is in flight: escalate to the
       // rebuild exactly as the pre-annihilation policy would.
     }
+    // The heart stays BUSY across the fold: a hook- or lock-parked
+    // compact() stops beating without going idle, which is exactly the
+    // signature the watchdog flags.
     if (graph_.compact()) {
+      if (heart_ != nullptr) heart_->beat();
       compactions_.fetch_add(1, std::memory_order_relaxed);
       if (m_compactions_ != nullptr) m_compactions_->add(1);
       backoff = 0.0;
@@ -121,11 +135,14 @@ void Compactor::loop() {
       refused_folds_.fetch_add(1, std::memory_order_relaxed);
       if (m_refused_folds_ != nullptr) m_refused_folds_->add(1);
       backoff = next_backoff(backoff, policy_);
+      if (heart_ != nullptr) heart_->beat();
     } else {
       backoff = 0.0;
+      if (heart_ != nullptr) heart_->beat();
     }
     lock.lock();
   }
+  if (heart_ != nullptr) heart_->retire();
 }
 
 }  // namespace hyscale

@@ -101,6 +101,7 @@ class Compactor {
   Counter* m_compactions_ = nullptr;
   Counter* m_annihilation_passes_ = nullptr;
   Counter* m_refused_folds_ = nullptr;
+  Heartbeat* heart_ = nullptr;  ///< liveness stamp when telemetry on
   std::atomic<std::int64_t> compactions_{0};
   std::atomic<std::int64_t> annihilation_passes_{0};
   std::atomic<std::int64_t> refused_folds_{0};

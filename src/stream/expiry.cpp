@@ -20,6 +20,10 @@ ExpirySweeper::ExpirySweeper(StreamingGraph& graph, ExpiryPolicy policy)
     MetricsRegistry& reg = telemetry->registry();
     m_sweeps_ = &reg.counter("expiry.sweeps");
     m_retired_ = &reg.counter("expiry.retired");
+    heart_ = &telemetry->heartbeats().register_thread(
+        "stream.expiry_sweeper",
+        std::max<std::int64_t>(static_cast<std::int64_t>(policy_.sweep_interval * 1e9),
+                               1'000'000));
   }
   thread_ = std::thread([this] { loop(); });
 }
@@ -39,12 +43,15 @@ void ExpirySweeper::stop() {
 void ExpirySweeper::loop() {
   std::unique_lock lock(mutex_);
   while (!stop_) {
+    if (heart_ != nullptr) heart_->idle_enter();
     cv_.wait_for(lock, std::chrono::duration<double>(policy_.sweep_interval),
                  [this] { return stop_; });
+    if (heart_ != nullptr) heart_->idle_exit();
     if (stop_) break;
     lock.unlock();
     const std::int64_t swept = graph_.sweep_expired(policy_.ttl, policy_.max_retire_per_sweep,
                                                     policy_.pending_op_budget);
+    if (heart_ != nullptr) heart_->beat();
     sweeps_.fetch_add(1, std::memory_order_relaxed);
     retired_.fetch_add(swept, std::memory_order_relaxed);
     if (m_sweeps_ != nullptr) {

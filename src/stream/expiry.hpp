@@ -72,6 +72,7 @@ class ExpirySweeper {
   // Registry mirrors from graph_.telemetry(); null when telemetry off.
   Counter* m_sweeps_ = nullptr;
   Counter* m_retired_ = nullptr;
+  Heartbeat* heart_ = nullptr;  ///< liveness stamp when telemetry on
   std::atomic<std::int64_t> sweeps_{0};
   std::atomic<std::int64_t> retired_{0};
   std::mutex mutex_;

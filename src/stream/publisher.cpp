@@ -20,6 +20,13 @@ Publisher::Publisher(StreamingGraph& graph, PublisherPolicy policy)
     m_worst_cost_ = &reg.gauge("publisher.worst_publish_cost_ms");
     m_staleness_ = &reg.histogram("publisher.visible_staleness_ms");
     journal_ = &telemetry->journal();
+    telemetry_ = telemetry;
+    // Busy time is one publish; the budget is the natural hint (floored
+    // so a sub-ms budget does not make the 250 ms stall floor moot).
+    heart_ = &telemetry->heartbeats().register_thread(
+        "stream.publisher",
+        std::max<std::int64_t>(static_cast<std::int64_t>(policy_.staleness_budget * 1e9),
+                               1'000'000));
   }
   thread_ = std::thread([this] { loop(); });
 }
@@ -117,6 +124,9 @@ void Publisher::loop() {
                             "visible_staleness_ms=" + std::to_string(visible_age * 1e3) +
                                 " budget_ms=" +
                                 std::to_string(policy_.staleness_budget * 1e3));
+            // Escalate: the flight recorder (when installed) captures a
+            // post-mortem of the breach while the evidence is fresh.
+            if (telemetry_ != nullptr) telemetry_->trip("slo_breach");
           }
         }
         publishes_.fetch_add(1, std::memory_order_relaxed);
@@ -129,11 +139,14 @@ void Publisher::loop() {
       wait = std::max(policy_.poll_floor, slack * 0.5);
     }
     Timer slept;
+    if (heart_ != nullptr) heart_->idle_enter();
     cv_.wait_for(lock, std::chrono::duration<double>(wait), [this] { return stop_; });
+    if (heart_ != nullptr) heart_->idle_exit();
     // How late past the requested wait the wakeup actually fired; a
     // stop() wake can come early, in which case only the decay applies.
     wake_late_high = std::max(wake_late_high * 0.9, slept.elapsed() - wait);
   }
+  if (heart_ != nullptr) heart_->retire();
 }
 
 }  // namespace hyscale

@@ -88,6 +88,8 @@ class Publisher {
   Gauge* m_worst_cost_ = nullptr;
   Histogram* m_staleness_ = nullptr;  ///< completion-time visible staleness
   EventJournal* journal_ = nullptr;
+  Telemetry* telemetry_ = nullptr;  ///< trip channel: a breach escalates
+  Heartbeat* heart_ = nullptr;      ///< liveness stamp when telemetry on
   std::atomic<std::int64_t> publishes_{0};
   std::atomic<std::int64_t> breaches_{0};
   mutable std::mutex stats_mutex_;

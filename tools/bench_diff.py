@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json records with tolerance bands.
+
+Compares a candidate record (e.g. freshly regenerated) against a
+baseline (e.g. the committed one) and fails when they disagree beyond
+what run-to-run noise explains:
+
+  * points are matched by "name"; a point present in only one record is
+    a structural violation,
+  * strings and booleans must match exactly (config echoes: a point
+    that silently changed its delete fraction is not the same point),
+  * numbers must agree within |a - b| <= abs_tol + rel_tol * max(|a|, |b|)
+    — wall-clock numbers (qps, latencies, ingest rates) are
+    machine-condition dependent, so the default bands are wide; tighten
+    them when diffing runs from the same session,
+  * null and MISSING are equivalent (the bench omits publisher_* fields
+    on publisher-less points; an explicit null means the same thing),
+    but a present non-null value on one side with nothing on the other
+    is a violation.
+
+Top-level scalar fields are compared the same way; the "points" array
+is matched by name and the telemetry_overhead / diagnosis_overhead
+objects field-by-field.  Fields whose run-to-run variance is
+unbounded by design can be exempted with --ignore.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json \
+        [--rel-tol 0.5] [--abs-tol 1.0] [--ignore key ...]
+
+Exit status: 0 when every field agrees within tolerance, 1 otherwise.
+A self-diff (same file twice) always passes at any tolerance — CI runs
+exactly that as a smoke test of this script.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that restate the environment rather than measure the system;
+# a diff across machines should not fail on them.
+DEFAULT_IGNORE = {"note", "source"}
+
+
+def numbers_agree(a, b, rel_tol, abs_tol):
+    return abs(a - b) <= abs_tol + rel_tol * max(abs(a), abs(b))
+
+
+def diff_value(path, base, cand, rel_tol, abs_tol, ignore, failures):
+    """Appends human-readable violation strings to `failures`."""
+    key = path.rsplit(".", 1)[-1]
+    if key in ignore:
+        return
+    # null == missing: normalize both to None before shape checks.
+    if base is None and cand is None:
+        return
+    if base is None or cand is None:
+        failures.append(f"{path}: {json.dumps(base)} vs {json.dumps(cand)} "
+                        f"(present on one side only)")
+        return
+    if isinstance(base, bool) or isinstance(cand, bool):
+        if base is not cand:
+            failures.append(f"{path}: bool {base} vs {cand}")
+        return
+    if isinstance(base, (int, float)) and isinstance(cand, (int, float)):
+        if not numbers_agree(float(base), float(cand), rel_tol, abs_tol):
+            failures.append(f"{path}: {base} vs {cand} exceeds tolerance "
+                            f"(rel {rel_tol}, abs {abs_tol})")
+        return
+    if isinstance(base, str) and isinstance(cand, str):
+        if base != cand:
+            failures.append(f"{path}: {base!r} vs {cand!r}")
+        return
+    if isinstance(base, dict) and isinstance(cand, dict):
+        for k in sorted(set(base) | set(cand)):
+            diff_value(f"{path}.{k}", base.get(k), cand.get(k),
+                       rel_tol, abs_tol, ignore, failures)
+        return
+    if isinstance(base, list) and isinstance(cand, list):
+        if len(base) != len(cand):
+            failures.append(f"{path}: list length {len(base)} vs {len(cand)}")
+            return
+        for i, (bv, cv) in enumerate(zip(base, cand)):
+            diff_value(f"{path}[{i}]", bv, cv, rel_tol, abs_tol, ignore,
+                       failures)
+        return
+    failures.append(f"{path}: type mismatch "
+                    f"{type(base).__name__} vs {type(cand).__name__}")
+
+
+def diff_records(base, cand, rel_tol, abs_tol, ignore):
+    failures = []
+    base_points = {p.get("name"): p for p in base.get("points", [])}
+    cand_points = {p.get("name"): p for p in cand.get("points", [])}
+    for name in sorted(set(base_points) | set(cand_points)):
+        if name not in base_points:
+            failures.append(f"points[{name}]: only in candidate")
+        elif name not in cand_points:
+            failures.append(f"points[{name}]: only in baseline")
+        else:
+            diff_value(f"points[{name}]", base_points[name],
+                       cand_points[name], rel_tol, abs_tol, ignore, failures)
+    for key in sorted((set(base) | set(cand)) - {"points"}):
+        diff_value(key, base.get(key), cand.get(key), rel_tol, abs_tol,
+                   ignore, failures)
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline record (e.g. committed)")
+    parser.add_argument("candidate", help="candidate record (e.g. fresh run)")
+    parser.add_argument("--rel-tol", type=float, default=0.5,
+                        help="relative tolerance band for numbers "
+                             "(default 0.5 = 50%%)")
+    parser.add_argument("--abs-tol", type=float, default=1.0,
+                        help="absolute slack added to every numeric band, "
+                             "absorbs near-zero jitter (default 1.0)")
+    parser.add_argument("--ignore", nargs="*", default=[],
+                        help="extra field names (leaf keys) to skip")
+    args = parser.parse_args()
+
+    records = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path, encoding="utf-8") as f:
+                records.append(json.load(f))
+        except (OSError, ValueError) as err:
+            print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+            return 1
+
+    ignore = DEFAULT_IGNORE | set(args.ignore)
+    failures = diff_records(records[0], records[1], args.rel_tol,
+                            args.abs_tol, ignore)
+    if failures:
+        print(f"bench_diff: {args.candidate} diverges from {args.baseline}:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    n_points = len(records[0].get("points", []))
+    print(f"bench_diff: {args.candidate} agrees with {args.baseline} "
+          f"({n_points} points, rel_tol {args.rel_tol}, "
+          f"abs_tol {args.abs_tol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

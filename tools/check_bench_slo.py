@@ -42,10 +42,18 @@ COUNTER_KEYS = {
         "removed_edges", "rejected_removals", "added_vertices",
         "removed_vertices", "recycled_vertices", "dead_vertices",
         "tombstones_pending", "feature_updates", "expired_vertices",
-        "publishes", "publisher_publishes", "publisher_breaches",
+        "publishes",
         "full_compactions", "annihilation_passes", "annihilated_ops",
     ],
 }
+# publisher_* fields exist only on points that actually ran the
+# background publisher (slo_budget_ms > 0); on publisher-less points
+# they must be ABSENT or null — a zero-filled publisher_breaches on a
+# point that never had a publisher reads as a clean SLO run that never
+# happened.
+PUBLISHER_COUNTER_KEYS = ["publisher_publishes", "publisher_breaches"]
+PUBLISHER_NONNEG_KEYS = ["publisher_worst_staleness_ms",
+                         "publisher_worst_publish_cost_ms"]
 NONNEG_KEYS = {
     "serving": [
         "qps", "p50_ms", "p95_ms", "p99_ms", "mean_batch_requests",
@@ -54,8 +62,7 @@ NONNEG_KEYS = {
     "streaming": [
         "qps", "p50_ms", "p99_ms", "queue_wait_p99_ms",
         "ingest_edges_per_second", "publish_lag_mean_ms",
-        "publish_lag_max_ms", "publisher_worst_staleness_ms",
-        "publisher_worst_publish_cost_ms", "cache_hit_rate",
+        "publish_lag_max_ms", "cache_hit_rate",
     ],
 }
 REQUIRED_KEYS = {
@@ -97,7 +104,66 @@ def check_schema(path, record):
                     or value < 0:
                 failures.append(f"{label}: '{key}' must be a non-negative "
                                 f"number, got {value!r}")
+        if kind == "streaming":
+            has_publisher = point.get("slo_budget_ms", 0.0) > 0.0
+            if has_publisher:
+                for key in PUBLISHER_COUNTER_KEYS:
+                    value = point.get(key)
+                    if value is None:
+                        failures.append(f"{label}: publisher point missing "
+                                        f"counter '{key}'")
+                    elif not isinstance(value, int) or isinstance(value, bool) \
+                            or value < 0:
+                        failures.append(f"{label}: counter '{key}' must be a "
+                                        f"non-negative integer, got {value!r}")
+                for key in PUBLISHER_NONNEG_KEYS:
+                    value = point.get(key)
+                    if value is None:
+                        failures.append(f"{label}: publisher point missing "
+                                        f"'{key}'")
+                    elif not isinstance(value, (int, float)) \
+                            or isinstance(value, bool) or value < 0:
+                        failures.append(f"{label}: '{key}' must be a "
+                                        f"non-negative number, got {value!r}")
+            else:
+                for key in PUBLISHER_COUNTER_KEYS + PUBLISHER_NONNEG_KEYS:
+                    if point.get(key) is not None:
+                        failures.append(
+                            f"{label}: '{key}' present ({point[key]!r}) but "
+                            f"slo_budget_ms <= 0 — publisher fields must be "
+                            f"absent or null on publisher-less points")
     return failures
+
+
+# The static-point observability cost notes the bench embeds in every
+# streaming record; `diagnosis_overhead` (the full plane: tracing +
+# exemplars + heartbeats + watchdog) is held to this p50 bound.
+DIAGNOSIS_OVERHEAD_LIMIT_PCT = 3.0
+
+
+def check_overhead(record, tolerance):
+    """Returns (failures, ok_message) for the diagnosis-overhead bound."""
+    failures = []
+    for block_name in ("telemetry_overhead", "diagnosis_overhead"):
+        block = record.get(block_name)
+        if not isinstance(block, dict):
+            failures.append(f"record has no '{block_name}' object")
+            continue
+        for key in ("p50_off_ms", "p50_on_ms", "overhead_pct"):
+            value = block.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                failures.append(f"'{block_name}.{key}' must be a number, "
+                                f"got {value!r}")
+    if failures:
+        return failures, None
+    pct = record["diagnosis_overhead"]["overhead_pct"]
+    limit = DIAGNOSIS_OVERHEAD_LIMIT_PCT * tolerance
+    if pct > limit:
+        failures.append(f"diagnosis_overhead.overhead_pct {pct:.2f} > "
+                        f"{limit:.2f} (limit {DIAGNOSIS_OVERHEAD_LIMIT_PCT} "
+                        f"x tolerance {tolerance})")
+        return failures, None
+    return [], f"diagnosis overhead {pct:+.2f}% <= {limit:.2f}%"
 
 
 def check_slo(record, tolerance):
@@ -171,6 +237,15 @@ def main() -> int:
             status = 1
         else:
             print(f"check_bench_slo: '{SLO_POINT}' ok — {ok}")
+        overhead_failures, overhead_ok = check_overhead(record, args.tolerance)
+        if overhead_failures:
+            print(f"check_bench_slo: {path} fails the observability-overhead "
+                  f"gate:", file=sys.stderr)
+            for failure in overhead_failures:
+                print(f"  - {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"check_bench_slo: {path} {overhead_ok}")
     return status
 
 
