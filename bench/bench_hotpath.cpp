@@ -1,0 +1,229 @@
+// BENCH hotpath — the PR-8 gather overhaul: SIMD-dispatched gather
+// cost per row at fp32 vs int8 device rows, the wire-byte ratio the
+// quantized path buys, the logit error it costs, and the hit-rate
+// recovery the fold-time cache re-rank delivers on a shifted workload.
+//
+// Emits BENCH_hotpath.json; tools/check_bench_slo.py schema-gates the
+// committed record (ns/row present, quantized tolerance respected,
+// bytes ratio >= 3, re-rank delta >= 0).
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/hyscale.hpp"
+#include "tensor/simd.hpp"
+
+namespace hyscale {
+namespace {
+
+struct GatherPoint {
+  std::string name;
+  std::int64_t rows_gathered = 0;
+  double ns_per_row = 0.0;
+  double device_bytes_per_row = 0.0;
+  double host_bytes_per_row = 0.0;
+  double hit_rate = 0.0;
+};
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times the streaming gather path (cache device rows + store wire
+/// rows) under a uniform random workload at one transfer precision.
+GatherPoint run_gather_point(const Dataset& dataset, const std::string& name,
+                             TransferPrecision precision, std::int64_t cache_rows,
+                             int iterations, int batch_size) {
+  StreamingGraph stream(dataset);
+  stream.features().set_transfer_precision(precision);
+  StaticFeatureCache cache(dataset.graph, stream.features().base(), cache_rows, precision);
+  stream.attach_cache(&cache);
+
+  std::mt19937_64 rng(7);
+  const auto n = static_cast<std::uint64_t>(dataset.graph.num_vertices());
+  std::vector<VertexId> batch(static_cast<std::size_t>(batch_size));
+  Tensor out;
+  std::vector<char> scratch;
+  auto fill_batch = [&] {
+    for (auto& v : batch) v = static_cast<VertexId>(rng() % n);
+  };
+  for (int warm = 0; warm < 5; ++warm) {  // touch every code path once
+    fill_batch();
+    stream.gather(std::span<const VertexId>(batch.data(), batch.size()), out, scratch);
+  }
+
+  GatherPoint point;
+  point.name = name;
+  const std::int64_t begin = now_ns();
+  for (int it = 0; it < iterations; ++it) {
+    fill_batch();
+    stream.gather(std::span<const VertexId>(batch.data(), batch.size()), out, scratch);
+    point.rows_gathered += batch_size;
+  }
+  const std::int64_t elapsed = now_ns() - begin;
+  point.ns_per_row = static_cast<double>(elapsed) / static_cast<double>(point.rows_gathered);
+  point.device_bytes_per_row = cache.device_row_wire_bytes();
+  point.host_bytes_per_row = stream.features().row_wire_bytes();
+  point.hit_rate = cache.totals().hit_rate();
+  return point;
+}
+
+}  // namespace
+}  // namespace hyscale
+
+int main() {
+  using namespace hyscale;
+  bench::header("BENCH hotpath",
+                "SIMD gather ns/row fp32 vs int8, wire-byte ratio, re-rank hit-rate recovery");
+  std::printf("simd backend: %s\n", simd::backend_name());
+
+  MaterializeOptions materialize;
+  materialize.target_vertices = 1 << 11;
+  materialize.label_signal = false;
+  const Dataset dataset = materialize_dataset("ogbn-products", materialize);
+  const std::int64_t cols = dataset.features.cols();
+
+  // ---- gather cost per row, both precisions -----------------------------
+  constexpr std::int64_t kCacheRows = 512;
+  constexpr int kIterations = 200;
+  constexpr int kBatch = 512;
+  std::vector<GatherPoint> points;
+  points.push_back(run_gather_point(dataset, "fp32_gather", TransferPrecision::kFp32,
+                                    kCacheRows, kIterations, kBatch));
+  points.push_back(run_gather_point(dataset, "int8_gather", TransferPrecision::kInt8,
+                                    kCacheRows, kIterations, kBatch));
+  for (const auto& p : points) {
+    std::printf("%-12s rows=%-8lld ns/row=%-8.1f dev B/row=%-6.0f host B/row=%-6.0f hit=%.3f\n",
+                p.name.c_str(), static_cast<long long>(p.rows_gathered), p.ns_per_row,
+                p.device_bytes_per_row, p.host_bytes_per_row, p.hit_rate);
+  }
+
+  // ---- quantized logit error -------------------------------------------
+  ModelConfig model_config;
+  model_config.kind = GnnKind::kSage;
+  model_config.dims = {static_cast<int>(cols), 32, dataset.info.f2};
+  model_config.seed = 13;
+  GnnModel model(model_config);
+  std::vector<VertexId> seeds;
+  for (VertexId v = 0; v < 64; ++v) seeds.push_back(v * 17 % dataset.graph.num_vertices());
+  const MiniBatch mb = sample_full(dataset.graph, seeds, model.config().num_layers());
+
+  Tensor x_exact;
+  FeatureLoader exact_loader(dataset.features);
+  exact_loader.load(mb, x_exact);
+  const Tensor logits_fp32 = model.forward(mb, x_exact);
+
+  Tensor round_tripped = dataset.features;
+  quantize_roundtrip_int8(round_tripped);
+  Tensor x_int8;
+  FeatureLoader int8_loader(round_tripped);
+  int8_loader.load(mb, x_int8);
+  const Tensor logits_int8 = model.forward(mb, x_int8);
+
+  const double max_logit_abs_error = Tensor::max_abs_diff(logits_fp32, logits_int8);
+  constexpr double kLogitTolerance = 0.05;  // the documented int8 bound
+  const double bytes_ratio =
+      (static_cast<double>(cols) * 4.0) / (static_cast<double>(cols) + 4.0);
+  std::printf("quantized: max |logit err| = %.6f (tolerance %.2f), bytes ratio %.2fx\n",
+              max_logit_abs_error, kLogitTolerance, bytes_ratio);
+
+  // ---- re-rank hit-rate recovery under churn ---------------------------
+  constexpr std::int64_t kRerankCacheRows = 256;
+  StreamingGraph stream(dataset);
+  StaticFeatureCache cache(dataset.graph, stream.features().base(), kRerankCacheRows);
+  stream.attach_cache(&cache);
+  // The shifted workload: vertices the degree-ordered admission left
+  // out — the next-tier vertices a drifting request mix lands on.
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < dataset.graph.num_vertices() &&
+                       targets.size() < static_cast<std::size_t>(kRerankCacheRows);
+       ++v) {
+    if (!cache.cached(v)) targets.push_back(v);
+  }
+  Tensor out;
+  std::vector<char> scratch;
+  auto run_window = [&](int iterations) {
+    const auto before = cache.totals();
+    for (int it = 0; it < iterations; ++it) {
+      stream.gather(std::span<const VertexId>(targets.data(), targets.size()), out, scratch);
+    }
+    const auto after = cache.totals();
+    const double hits = static_cast<double>(after.hits - before.hits);
+    const double total = static_cast<double>((after.hits + after.misses) -
+                                             (before.hits + before.misses));
+    return total == 0.0 ? 0.0 : hits / total;
+  };
+  const double hit_rate_before = run_window(20);
+  // Churn: some structural ops so the fold has a delta to merge; the
+  // compaction's REBASE is where the observed-traffic re-rank fires.
+  std::mt19937_64 churn_rng(23);
+  const auto n = static_cast<std::uint64_t>(dataset.graph.num_vertices());
+  for (int accepted = 0; accepted < 64;) {
+    const auto u = static_cast<VertexId>(churn_rng() % n);
+    const auto v = static_cast<VertexId>(churn_rng() % n);
+    if (u != v && stream.add_edge(u, v)) ++accepted;
+  }
+  if (!stream.compact()) {
+    std::fprintf(stderr, "compact() refused — no re-rank happened\n");
+    return 1;
+  }
+  const double hit_rate_after = run_window(20);
+  const double delta = hit_rate_after - hit_rate_before;
+  std::printf("rerank: hit rate %.3f -> %.3f (delta %+.3f), readmitted=%lld\n",
+              hit_rate_before, hit_rate_after, delta,
+              static_cast<long long>(cache.readmitted_rows()));
+
+  // ---- perf record ------------------------------------------------------
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field("bench", std::string("hotpath"));
+  json.field("dataset", std::string("ogbn-products"));
+  json.field("materialized_vertices", dataset.graph.num_vertices());
+  json.field("feature_dim", cols);
+  json.field("simd_backend", std::string(simd::backend_name()));
+  json.field("source", std::string("streaming_gather_timing"));
+  json.key("points");
+  json.begin_array();
+  for (const auto& p : points) {
+    json.begin_object();
+    json.field("name", p.name);
+    json.field("rows_gathered", p.rows_gathered);
+    json.field("ns_per_row", p.ns_per_row);
+    json.field("device_bytes_per_row", p.device_bytes_per_row);
+    json.field("host_bytes_per_row", p.host_bytes_per_row);
+    json.field("hit_rate", p.hit_rate);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("quantized");
+  json.begin_object();
+  json.field("tolerance", kLogitTolerance);
+  json.field("max_logit_abs_error", max_logit_abs_error);
+  json.field("bytes_ratio_fp32_over_int8", bytes_ratio);
+  json.end_object();
+  json.key("rerank");
+  json.begin_object();
+  json.field("cache_rows", kRerankCacheRows);
+  json.field("hit_rate_before", hit_rate_before);
+  json.field("hit_rate_after", hit_rate_after);
+  json.field("delta", delta);
+  json.field("readmitted_rows", cache.readmitted_rows());
+  json.end_object();
+  json.key("headline");
+  json.begin_object();
+  json.field("int8_ns_per_row", points.back().ns_per_row);
+  json.field("bytes_ratio_fp32_over_int8", bytes_ratio);
+  json.field("rerank_hit_rate_delta", delta);
+  json.end_object();
+  json.end_object();
+
+  const std::string path = "BENCH_hotpath.json";
+  json.write(path);
+  std::printf("\nperf record written to %s\n", path.c_str());
+  return 0;
+}

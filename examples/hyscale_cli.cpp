@@ -140,6 +140,9 @@ struct ServeOptions {
   std::vector<int> fanouts = {10, 5};  ///< empty via --full: exact inference
   int workers = 4;
   std::int64_t cache_rows = 512;
+  /// Device-row wire precision for the feature cache (and, in stream
+  /// mode, the mutable store's host rows): fp32 or int8.
+  TransferPrecision precision = TransferPrecision::kFp32;
   std::int64_t max_batch = 16;
   double max_wait_ms = 2.0;
   std::int64_t queue_cap = 1024;
@@ -162,7 +165,7 @@ void serve_usage(const char* argv0) {
       "usage: %s serve [--dataset NAME] [--model gcn|sage|gat] [--scale V]\n"
       "          [--train-epochs N] [--checkpoint FILE] [--save-checkpoint FILE]\n"
       "          [--fanouts a,b,...|--full] [--workers K] [--cache-rows R]\n"
-      "          [--max-batch B] [--max-wait-ms MS] [--queue-cap Q]\n"
+      "          [--precision fp32|int8] [--max-batch B] [--max-wait-ms MS] [--queue-cap Q]\n"
       "          [--clients C] [--requests N] [--seeds-per-request S] [--seed X]\n"
       "          [--metrics-out FILE|-] [--metrics-interval-ms MS] [--trace]\n"
       "          [--flight-record-out FILE|-]\n"
@@ -242,6 +245,17 @@ bool parse_serve_args(int argc, char** argv, ServeOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.cache_rows = std::atoll(v);
+    } else if (arg == "--precision") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::string(v) == "fp32") {
+        options.precision = TransferPrecision::kFp32;
+      } else if (std::string(v) == "int8") {
+        options.precision = TransferPrecision::kInt8;
+      } else {
+        std::fprintf(stderr, "--precision must be fp32 or int8 (got %s)\n", v);
+        return false;
+      }
     } else if (arg == "--max-batch") {
       const char* v = next();
       if (!v) return false;
@@ -388,13 +402,15 @@ struct StreamOptions {
   double slo_ms = 5.0;       ///< staleness budget; <= 0 disables the publisher
   double ttl_ms = -1.0;      ///< idle budget for streamed-in entities; < 0 = no TTL
   double sweep_ms = 10.0;    ///< TTL sweep interval
+  bool cache_rerank = true;  ///< hit-driven cache re-rank at each fold's REBASE
 };
 
 void stream_usage(const char* argv0) {
   std::printf(
       "usage: %s stream [--dataset NAME] [--model gcn|sage|gat] [--scale V]\n"
       "          [--train-epochs N] [--fanouts a,b,...|--full] [--workers K]\n"
-      "          [--cache-rows R] [--clients C] [--requests N] [--seed X]\n"
+      "          [--cache-rows R] [--precision fp32|int8] [--cache-rerank on|off]\n"
+      "          [--clients C] [--requests N] [--seed X]\n"
       "          [--updates U] [--update-threads T] [--publish-every P]\n"
       "          [--vertex-add-frac F] [--feature-update-frac F]\n"
       "          [--delete-frac F] [--vertex-delete-frac F] [--delete-recent-frac F]\n"
@@ -476,6 +492,17 @@ bool parse_stream_args(int argc, char** argv, StreamOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.sweep_ms = std::atof(v);
+    } else if (arg == "--cache-rerank") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::string(v) == "on") {
+        options.cache_rerank = true;
+      } else if (std::string(v) == "off") {
+        options.cache_rerank = false;
+      } else {
+        std::fprintf(stderr, "--cache-rerank must be on or off (got %s)\n", v);
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       stream_usage(argv[0]);
       std::exit(0);
@@ -528,6 +555,7 @@ int run_stream_impl(const StreamOptions& options) {
   serving.fanouts = serve.fanouts;
   serving.num_workers = serve.workers;
   serving.cache_capacity_rows = serve.cache_rows;
+  serving.transfer_precision = serve.precision;
   serving.seed = serve.seed;
   serving.batch.max_batch_requests = serve.max_batch;
   serving.batch.max_wait = serve.max_wait_ms * 1e-3;
@@ -537,6 +565,7 @@ int run_stream_impl(const StreamOptions& options) {
   serving.telemetry = telemetry.get();
   StreamingConfig streaming;
   streaming.telemetry = telemetry.get();
+  streaming.cache_rerank = options.cache_rerank;
 
   CompactionPolicy compaction;
   compaction.max_overlay_edges = options.compact_edges;
@@ -554,10 +583,12 @@ int run_stream_impl(const StreamOptions& options) {
   StreamingSession session = system.stream(serving, streaming, compaction, publisher, expiry);
 
   std::printf("\nstreaming %s on %d workers (%lld base edges, compact at %lld overlay "
-              "edges or %.0f%%)\n",
+              "edges or %.0f%%, wire=%s, rerank=%s)\n",
               dataset.info.name.c_str(), serve.workers,
               static_cast<long long>(dataset.graph.num_edges()),
-              static_cast<long long>(options.compact_edges), options.compact_ratio * 100.0);
+              static_cast<long long>(options.compact_edges), options.compact_ratio * 100.0,
+              transfer_precision_name(serve.precision),
+              options.cache_rerank ? "on" : "off");
   if (session.publisher != nullptr) {
     std::printf("publisher: staleness budget %.3f ms\n", options.slo_ms);
   } else if (options.publish_every > 0) {
@@ -649,6 +680,13 @@ int run_serve(int argc, char** argv) {
 }
 
 int run_serve_impl(const ServeOptions& options) {
+  // Static serving applies --precision to the device cache; fail before
+  // training runs, not in the server constructor minutes later.
+  if (options.precision != TransferPrecision::kFp32 && options.cache_rows <= 0) {
+    std::fprintf(stderr, "--precision %s needs --cache-rows > 0 in serve mode\n",
+                 transfer_precision_name(options.precision));
+    return 2;
+  }
   MaterializeOptions materialize;
   materialize.target_vertices = options.scale;
   Dataset dataset;
@@ -682,6 +720,7 @@ int run_serve_impl(const ServeOptions& options) {
   serving.fanouts = options.fanouts;
   serving.num_workers = options.workers;
   serving.cache_capacity_rows = options.cache_rows;
+  serving.transfer_precision = options.precision;
   serving.seed = options.seed;
   serving.batch.max_batch_requests = options.max_batch;
   serving.batch.max_wait = options.max_wait_ms * 1e-3;
@@ -700,9 +739,10 @@ int run_serve_impl(const ServeOptions& options) {
     std::printf("fanouts");
     for (int f : serving.fanouts) std::printf(" %d", f);
   }
-  std::printf(", max_batch=%lld, max_wait=%.1fms, cache_rows=%lld)\n",
+  std::printf(", max_batch=%lld, max_wait=%.1fms, cache_rows=%lld, wire=%s)\n",
               static_cast<long long>(options.max_batch), options.max_wait_ms,
-              static_cast<long long>(options.cache_rows));
+              static_cast<long long>(options.cache_rows),
+              transfer_precision_name(options.precision));
 
   LoadGeneratorConfig load;
   load.num_clients = options.clients;

@@ -4,31 +4,86 @@
 #include <stdexcept>
 
 #include "graph/reorder.hpp"
+#include "tensor/simd.hpp"
 
 namespace hyscale {
 
 StaticFeatureCache::StaticFeatureCache(const CsrGraph& graph, const Tensor& features,
-                                       std::int64_t capacity_rows)
-    : features_(features) {
+                                       std::int64_t capacity_rows,
+                                       TransferPrecision precision)
+    : features_(features), precision_(precision) {
   if (features.rows() != graph.num_vertices())
     throw std::invalid_argument("StaticFeatureCache: features/graph size mismatch");
   if (capacity_rows < 0)
     throw std::invalid_argument("StaticFeatureCache: negative capacity");
+  if (precision == TransferPrecision::kFp16)
+    throw std::invalid_argument(
+        "StaticFeatureCache: fp16 device rows not implemented (use fp32 or int8)");
   capacity_ = std::min<std::int64_t>(capacity_rows, graph.num_vertices());
-  cached_.assign(static_cast<std::size_t>(graph.num_vertices()), false);
   slot_of_.assign(static_cast<std::size_t>(graph.num_vertices()), -1);
+  access_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(graph.num_vertices()));
+  for (std::int64_t v = 0; v < graph.num_vertices(); ++v)
+    access_[static_cast<std::size_t>(v)].store(0, std::memory_order_relaxed);
+  slot_hits_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(capacity_));
+  for (std::int64_t s = 0; s < capacity_; ++s)
+    slot_hits_[static_cast<std::size_t>(s)].store(0, std::memory_order_relaxed);
+  if (precision_ == TransferPrecision::kInt8) {
+    qvalues_.assign(static_cast<std::size_t>(capacity_ * features.cols()), 0);
+    qscales_.assign(static_cast<std::size_t>(capacity_), 1.0f);
+  } else {
+    device_rows_.resize(capacity_, features.cols());
+  }
   // Degree-ordered: PaGraph's "computation-aware" policy caches the
-  // vertices most likely to appear in sampled neighborhoods.
+  // vertices most likely to appear in sampled neighborhoods.  rerank()
+  // later folds observed traffic into this initial guess.
   const std::vector<VertexId> order = degree_order(graph);
-  device_rows_.resize(capacity_, features.cols());
   pinned_.reserve(static_cast<std::size_t>(capacity_));
   for (std::int64_t i = 0; i < capacity_; ++i) {
     const VertexId v = order[static_cast<std::size_t>(i)];
-    cached_[static_cast<std::size_t>(v)] = true;
     slot_of_[static_cast<std::size_t>(v)] = i;
     pinned_.push_back(v);
-    const auto src = features.row(v);
-    std::copy(src.begin(), src.end(), device_rows_.row(i).begin());
+    fill_slot_unlocked(i, v);
+  }
+}
+
+double StaticFeatureCache::device_row_wire_bytes() const {
+  const auto cols = static_cast<double>(features_.cols());
+  return precision_ == TransferPrecision::kInt8 ? cols + 4.0 : cols * 4.0;
+}
+
+void StaticFeatureCache::copy_device_row_unlocked(std::int64_t slot, float* dst) const {
+  const std::int64_t cols = features_.cols();
+  if (precision_ == TransferPrecision::kInt8) {
+    simd::dequant(qvalues_.data() + slot * cols, qscales_[static_cast<std::size_t>(slot)],
+                  dst, cols);
+  } else {
+    simd::copy(device_rows_.row(slot).data(), dst, cols);
+  }
+}
+
+void StaticFeatureCache::fill_slot_unlocked(std::int64_t slot, VertexId v) {
+  const std::int64_t cols = features_.cols();
+  const float* src = features_.row(v).data();
+  if (precision_ == TransferPrecision::kInt8) {
+    const float scale = int8_row_scale(src, cols);
+    qscales_[static_cast<std::size_t>(slot)] = scale;
+    quantize_row_int8(src, cols, scale, qvalues_.data() + slot * cols);
+  } else {
+    simd::copy(src, device_rows_.row(slot).data(), cols);
+  }
+}
+
+void StaticFeatureCache::zero_slot_unlocked(std::int64_t slot) {
+  const std::int64_t cols = features_.cols();
+  if (precision_ == TransferPrecision::kInt8) {
+    std::fill_n(qvalues_.begin() + static_cast<std::ptrdiff_t>(slot * cols), cols,
+                static_cast<std::int8_t>(0));
+    qscales_[static_cast<std::size_t>(slot)] = 1.0f;
+  } else {
+    const auto dst = device_rows_.row(slot);
+    std::fill(dst.begin(), dst.end(), 0.0f);
   }
 }
 
@@ -37,23 +92,24 @@ StaticFeatureCache::LoadStats StaticFeatureCache::load(const MiniBatch& batch, T
   out.resize(static_cast<std::int64_t>(nodes.size()), features_.cols());
 
   LoadStats stats;
-  const double row_bytes = static_cast<double>(features_.cols()) * 4.0;
+  const double host_row_bytes = static_cast<double>(features_.cols()) * 4.0;
+  const double device_row_bytes = device_row_wire_bytes();
   {
     std::shared_lock rows(rows_mutex_);
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const VertexId v = nodes[i];
-      const auto dst = out.row(static_cast<std::int64_t>(i));
+      bump_access(v);
+      float* dst = out.row(static_cast<std::int64_t>(i)).data();
       const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
       if (slot >= 0) {
-        const auto src = device_rows_.row(slot);
-        std::copy(src.begin(), src.end(), dst.begin());
+        copy_device_row_unlocked(slot, dst);
+        slot_hits_[static_cast<std::size_t>(slot)].fetch_add(1, std::memory_order_relaxed);
         ++stats.hits;
-        stats.device_bytes += row_bytes;
+        stats.device_bytes += device_row_bytes;
       } else {
-        const auto src = features_.row(v);
-        std::copy(src.begin(), src.end(), dst.begin());
+        simd::copy(features_.row(v).data(), dst, features_.cols());
         ++stats.misses;
-        stats.host_bytes += row_bytes;
+        stats.host_bytes += host_row_bytes;
       }
     }
   }
@@ -68,10 +124,11 @@ std::int64_t StaticFeatureCache::copy_cached_rows(std::span<const VertexId> node
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const VertexId v = nodes[i];
     if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) continue;
+    bump_access(v);
     const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
     if (slot < 0) continue;
-    const auto src = device_rows_.row(slot);
-    std::copy(src.begin(), src.end(), out.row(static_cast<std::int64_t>(i)).begin());
+    copy_device_row_unlocked(slot, out.row(static_cast<std::int64_t>(i)).data());
+    slot_hits_[static_cast<std::size_t>(slot)].fetch_add(1, std::memory_order_relaxed);
     hit[i] = 1;
     ++hits;
   }
@@ -81,10 +138,11 @@ std::int64_t StaticFeatureCache::copy_cached_rows(std::span<const VertexId> node
 bool StaticFeatureCache::copy_if_cached(VertexId v, std::span<float> dst) const {
   if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) return false;
   std::shared_lock rows(rows_mutex_);
+  bump_access(v);
   const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
   if (slot < 0) return false;
-  const auto src = device_rows_.row(slot);
-  std::copy(src.begin(), src.end(), dst.begin());
+  copy_device_row_unlocked(slot, dst.data());
+  slot_hits_[static_cast<std::size_t>(slot)].fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -96,8 +154,7 @@ std::int64_t StaticFeatureCache::invalidate(std::span<const VertexId> ids) {
       if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) continue;
       const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
       if (slot < 0) continue;
-      const auto src = features_.row(v);
-      std::copy(src.begin(), src.end(), device_rows_.row(slot).begin());
+      fill_slot_unlocked(slot, v);
       ++refreshed;
     }
   }
@@ -122,11 +179,9 @@ std::int64_t StaticFeatureCache::evict(std::span<const VertexId> ids) {
       if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) continue;
       const std::int64_t slot = slot_of_[static_cast<std::size_t>(v)];
       if (slot < 0) continue;
-      cached_[static_cast<std::size_t>(v)] = false;
       slot_of_[static_cast<std::size_t>(v)] = -1;
       pinned_[static_cast<std::size_t>(slot)] = -1;
-      const auto dst = device_rows_.row(slot);
-      std::fill(dst.begin(), dst.end(), 0.0f);
+      zero_slot_unlocked(slot);
       ++evicted;
     }
   }
@@ -135,6 +190,67 @@ std::int64_t StaticFeatureCache::evict(std::span<const VertexId> ids) {
     evictions_ += evicted;
   }
   return evicted;
+}
+
+std::int64_t StaticFeatureCache::rerank(std::span<const VertexId> hot) {
+  std::int64_t admitted = 0;
+  std::int64_t dropped = 0;
+  {
+    std::unique_lock rows(rows_mutex_);
+    // Desired membership: the first capacity() distinct in-range ids.
+    std::vector<char> want(slot_of_.size(), 0);
+    std::vector<VertexId> to_admit;
+    std::int64_t taken = 0;
+    for (const VertexId v : hot) {
+      if (taken >= capacity_) break;
+      if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) continue;
+      char& flag = want[static_cast<std::size_t>(v)];
+      if (flag != 0) continue;
+      flag = 1;
+      ++taken;
+      if (slot_of_[static_cast<std::size_t>(v)] < 0) to_admit.push_back(v);
+    }
+    // Drop pinned rows that fell out of the hot set; collect every free
+    // slot — including the ones evict() freed earlier and never
+    // re-admitted (the capacity leak this operation exists to fix).
+    std::vector<std::int64_t> free_slots;
+    for (std::int64_t slot = 0; slot < capacity_; ++slot) {
+      const VertexId v = pinned_[static_cast<std::size_t>(slot)];
+      if (v < 0) {
+        free_slots.push_back(slot);
+        continue;
+      }
+      if (want[static_cast<std::size_t>(v)] != 0) continue;  // keeps its slot, no copy
+      slot_of_[static_cast<std::size_t>(v)] = -1;
+      pinned_[static_cast<std::size_t>(slot)] = -1;
+      zero_slot_unlocked(slot);
+      free_slots.push_back(slot);
+      ++dropped;
+    }
+    for (const VertexId v : to_admit) {
+      if (free_slots.empty()) break;
+      const std::int64_t slot = free_slots.back();
+      free_slots.pop_back();
+      slot_of_[static_cast<std::size_t>(v)] = slot;
+      pinned_[static_cast<std::size_t>(slot)] = v;
+      fill_slot_unlocked(slot, v);
+      slot_hits_[static_cast<std::size_t>(slot)].store(0, std::memory_order_relaxed);
+      ++admitted;
+    }
+    // Decay: halve the access counters so the next rerank is dominated
+    // by the traffic observed AFTER this one (exponential forgetting).
+    for (std::size_t v = 0; v < slot_of_.size(); ++v) {
+      const std::uint64_t count = access_[v].load(std::memory_order_relaxed);
+      if (count != 0) access_[v].store(count / 2, std::memory_order_relaxed);
+    }
+  }
+  {
+    std::lock_guard totals(totals_mutex_);
+    ++reranks_;
+    readmitted_rows_ += admitted;
+    rerank_evicted_rows_ += dropped;
+  }
+  return admitted;
 }
 
 void StaticFeatureCache::account(const LoadStats& stats) {

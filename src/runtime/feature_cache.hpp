@@ -18,9 +18,32 @@
 // Deletions go further: StreamingGraph::remove_vertex calls evict() so a
 // retracted entity's pinned row stops hitting entirely instead of being
 // refreshed — the cache must never serve features for deleted vertices.
+//
+// ADMISSION DRIFT: the initial admission set is the base graph's degree
+// order, but under streaming churn the live hot set walks away from it —
+// folds rewrite degrees, TTL sweeps and deletions evict pinned rows, and
+// the freed slots used to leak (never re-admitted).  rerank() is the
+// correction: every request bumps a per-vertex access counter (and a
+// per-slot hit counter), and StreamingGraph recomputes the hot set from
+// those observed counters plus live degrees at each fold's REBASE,
+// evicting pinned rows that fell out of the set and re-admitting into
+// every free slot.  Access counters halve at each rerank so the next
+// window's traffic dominates the next decision.
+//
+// TRANSFER PRECISION: with TransferPrecision::kInt8 the device rows are
+// stored as int8 + one fp32 scale per row (tensor/quantize's per-row
+// symmetric scheme — the paper's §VIII PCIe-relief proposal), so a hit
+// moves cols + 4 bytes instead of 4*cols; dequantization is fused into
+// the gather copy (simd::dequant).  Quantization uses the same per-row
+// rule as MutableFeatureStore's int8 wire simulation, so a row served
+// from the device copy is bit-identical to the same row round-tripped
+// through an int8 host fetch — hit/miss composition never changes
+// logits at a given precision.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
@@ -28,6 +51,7 @@
 
 #include "graph/csr.hpp"
 #include "sampling/minibatch.hpp"
+#include "tensor/quantize.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hyscale {
@@ -35,14 +59,17 @@ namespace hyscale {
 class StaticFeatureCache {
  public:
   /// Pins the features of the `capacity_rows` highest-degree vertices
-  /// (device copies taken at construction).
+  /// (device copies taken at construction, quantized when `precision`
+  /// is kInt8).  kFp16 storage is not implemented — the knob is
+  /// {fp32, int8} — and throws std::invalid_argument.
   StaticFeatureCache(const CsrGraph& graph, const Tensor& features,
-                     std::int64_t capacity_rows);
+                     std::int64_t capacity_rows,
+                     TransferPrecision precision = TransferPrecision::kFp32);
 
   struct LoadStats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
-    double device_bytes = 0.0;  ///< served from the cache
+    double device_bytes = 0.0;  ///< served from the cache (wire bytes at precision())
     double host_bytes = 0.0;    ///< fetched from host (the PCIe traffic)
 
     double hit_rate() const {
@@ -54,9 +81,10 @@ class StaticFeatureCache {
   /// Gathers X' for the batch's input vertices — pinned rows from the
   /// device copy, the rest from the host matrix — while attributing each
   /// row to cache or host.  Numerically identical to FeatureLoader::load
-  /// as long as the device copies are fresh (see invalidate()).  Safe for
-  /// concurrent callers (serving workers share one cache); each caller
-  /// must pass its own `out`.
+  /// as long as the device copies are fresh (see invalidate()) and the
+  /// precision is kFp32 (int8 hits carry the documented quantization
+  /// error).  Safe for concurrent callers (serving workers share one
+  /// cache); each caller must pass its own `out`.
   LoadStats load(const MiniBatch& batch, Tensor& out);
 
   /// Copies v's device-resident row into `dst` (size = feature cols) and
@@ -83,20 +111,53 @@ class StaticFeatureCache {
   /// Unpins `ids` entirely: the device copies are zeroed and the
   /// vertices stop hitting, so a deleted entity can never be served
   /// from a stale pinned row.  Returns the number of rows evicted.
-  /// Slots are not re-admitted (the admission set is fixed at
-  /// construction; re-ranking is a tracked follow-on).
+  /// Freed slots are re-admitted by the next rerank().
   std::int64_t evict(std::span<const VertexId> ids);
+
+  /// Re-ranks the admission set against `hot` (best first): pinned
+  /// vertices still in the set keep their slots (no copy — their device
+  /// rows stay fresh via invalidate()), pinned vertices that fell out
+  /// are evicted, and the freed slots — including slots evict() freed
+  /// earlier — are re-admitted from the front of `hot`, copying (and at
+  /// kInt8, quantizing) from the host matrix.  Out-of-range ids and
+  /// duplicates in `hot` are skipped; at most capacity() ids are
+  /// considered.  Access counters halve afterwards so the next window's
+  /// traffic dominates the next rerank.  Same host-row freshness
+  /// contract as invalidate().  Returns the number of rows admitted.
+  std::int64_t rerank(std::span<const VertexId> hot);
 
   /// Folds externally-attributed traffic into totals()/since_invalidate().
   /// Used by gather paths that consult the cache row-by-row (the
   /// streaming server) instead of going through load().
   void record(const LoadStats& stats) { account(stats); }
 
+  /// Membership check, safe against concurrent evict()/invalidate()/
+  /// rerank(): reads the slot table under the rows lock (shared).
   bool cached(VertexId v) const {
-    return static_cast<std::size_t>(v) < cached_.size() &&
-           cached_[static_cast<std::size_t>(v)];
+    if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) return false;
+    std::shared_lock rows(rows_mutex_);
+    return slot_of_[static_cast<std::size_t>(v)] >= 0;
   }
   std::int64_t capacity() const { return capacity_; }
+  TransferPrecision precision() const { return precision_; }
+  /// Vertices the cache can pin and count: the host matrix's rows
+  /// (streamed-in extension rows are never admitted).
+  std::int64_t trackable_rows() const { return static_cast<std::int64_t>(slot_of_.size()); }
+  /// Bytes one cache hit moves on the wire: 4*cols at fp32, cols + 4
+  /// (values + the fp32 scale) at int8.
+  double device_row_wire_bytes() const;
+
+  /// Requests observed for v (hits AND misses) since the last rerank
+  /// decay — the admission signal.  Relaxed read.
+  std::uint64_t access_count(VertexId v) const {
+    if (v < 0 || static_cast<std::size_t>(v) >= slot_of_.size()) return 0;
+    return access_[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+  }
+  /// Hits served by device slot `slot` since it was last (re)admitted.
+  std::uint64_t slot_hit_count(std::int64_t slot) const {
+    if (slot < 0 || slot >= capacity_) return 0;
+    return slot_hits_[static_cast<std::size_t>(slot)].load(std::memory_order_relaxed);
+  }
 
   /// Cumulative statistics across all load() calls (consistent snapshot).
   LoadStats totals() const {
@@ -123,25 +184,56 @@ class StaticFeatureCache {
     std::lock_guard<std::mutex> lock(totals_mutex_);
     return evictions_;
   }
+  std::int64_t reranks() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return reranks_;
+  }
+  std::int64_t readmitted_rows() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return readmitted_rows_;
+  }
+  std::int64_t rerank_evicted_rows() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return rerank_evicted_rows_;
+  }
 
  private:
   void account(const LoadStats& stats);
+  /// Copies slot's device row into dst (dequantizing at kInt8).  Caller
+  /// holds rows_mutex_ (shared suffices: slot contents are stable under
+  /// shared).
+  void copy_device_row_unlocked(std::int64_t slot, float* dst) const;
+  /// (Re)fills slot from features_.row(v) (quantizing at kInt8).  Caller
+  /// holds rows_mutex_ exclusively.
+  void fill_slot_unlocked(std::int64_t slot, VertexId v);
+  /// Zeroes slot's device payload.  Caller holds rows_mutex_ exclusively.
+  void zero_slot_unlocked(std::int64_t slot);
+  void bump_access(VertexId v) const {
+    access_[static_cast<std::size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+  }
 
   const Tensor& features_;
-  /// Admission set — fixed at construction (degree-ordered); the device
-  /// ROW CONTENTS behind it are refreshed by invalidate().
-  std::vector<bool> cached_;
+  TransferPrecision precision_ = TransferPrecision::kFp32;
   std::vector<std::int64_t> slot_of_;  ///< vertex -> device row, -1 when not pinned
-  std::vector<VertexId> pinned_;       ///< device row -> vertex
-  Tensor device_rows_;                 ///< [capacity, cols] pinned copies
+  std::vector<VertexId> pinned_;       ///< device row -> vertex, -1 when free
+  Tensor device_rows_;                 ///< [capacity, cols] pinned copies (fp32 mode)
+  std::vector<std::int8_t> qvalues_;   ///< [capacity * cols] pinned copies (int8 mode)
+  std::vector<float> qscales_;         ///< [capacity] per-row scales (int8 mode)
   std::int64_t capacity_ = 0;
-  mutable std::shared_mutex rows_mutex_;  ///< device rows: shared read, exclusive refresh
+  /// Per-vertex request counters (admission signal) and per-slot hit
+  /// counters.  Relaxed atomics bumped under the shared rows lock.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> access_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slot_hits_;
+  mutable std::shared_mutex rows_mutex_;  ///< device rows + slot tables
   mutable std::mutex totals_mutex_;
   LoadStats totals_;
   LoadStats since_invalidate_;
   std::int64_t invalidations_ = 0;
   std::int64_t invalidated_rows_ = 0;
   std::int64_t evictions_ = 0;
+  std::int64_t reranks_ = 0;
+  std::int64_t readmitted_rows_ = 0;
+  std::int64_t rerank_evicted_rows_ = 0;
 };
 
 }  // namespace hyscale

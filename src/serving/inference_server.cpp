@@ -50,7 +50,12 @@ InferenceServer::InferenceServer(const Dataset& dataset, const ModelSnapshot& sn
       batcher_(config_.batch) {
   if (config_.cache_capacity_rows > 0) {
     cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, dataset_.features,
-                                                  config_.cache_capacity_rows);
+                                                  config_.cache_capacity_rows,
+                                                  config_.transfer_precision);
+  } else if (config_.transfer_precision != TransferPrecision::kFp32) {
+    throw std::invalid_argument(
+        "InferenceServer: static mode applies transfer_precision to the device cache; "
+        "set cache_capacity_rows > 0 or use fp32");
   }
   bind_telemetry();
   init_workers(snapshot);
@@ -68,9 +73,13 @@ InferenceServer::InferenceServer(StreamingGraph& stream, const ModelSnapshot& sn
     // Built over the streaming feature store's base matrix (stable
     // address) and attached so update_feature refreshes device rows.
     cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, stream.features().base(),
-                                                  config_.cache_capacity_rows);
+                                                  config_.cache_capacity_rows,
+                                                  config_.transfer_precision);
     stream.attach_cache(cache_.get());
   }
+  // Host-side wire simulation matches the cache precision, so a row
+  // gathers to the same values whether it hits or misses.
+  stream.features().set_transfer_precision(config_.transfer_precision);
   bind_telemetry();
   init_workers(snapshot);
 }
@@ -92,6 +101,14 @@ void InferenceServer::bind_telemetry() {
                           [cache] { return static_cast<double>(cache->invalidations()); });
     reg.register_callback("cache.evictions", this,
                           [cache] { return static_cast<double>(cache->evictions()); });
+    reg.register_callback("cache.reranks", this,
+                          [cache] { return static_cast<double>(cache->reranks()); });
+    reg.register_callback("cache.readmitted_rows", this, [cache] {
+      return static_cast<double>(cache->readmitted_rows());
+    });
+    reg.register_callback("cache.rerank_evicted_rows", this, [cache] {
+      return static_cast<double>(cache->rerank_evicted_rows());
+    });
   }
 }
 
@@ -207,8 +224,10 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
   }
   try {
     // Coalesce: request seeds concatenate in arrival order, so logits
-    // row blocks map back to requests by offset.
-    std::vector<VertexId> combined;
+    // row blocks map back to requests by offset.  Worker-owned scratch:
+    // capacity persists across batches.
+    std::vector<VertexId>& combined = worker.combined;
+    combined.clear();
     for (const auto& request : batch) {
       combined.insert(combined.end(), request.seeds.begin(), request.seeds.end());
     }
@@ -250,12 +269,15 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
                       sample_end_ns);
     if (worker.heart != nullptr) worker.heart->beat();
 
-    Tensor x;
+    Tensor& x = worker.x;
     {
       if (stream_ != nullptr) {
+        // Fused sample->gather: the minibatch's input-node span feeds the
+        // gather directly and lands in the worker's reusable tensor — no
+        // temporary id or feature buffers between the stages.
         const auto& nodes = mb.input_nodes();
-        const auto gather_stats =
-            stream_->gather(std::span<const VertexId>(nodes.data(), nodes.size()), x);
+        const auto gather_stats = stream_->gather(
+            std::span<const VertexId>(nodes.data(), nodes.size()), x, worker.hit_scratch);
         if (cache_) stats_.record_gather(gather_stats);
       } else if (cache_) {
         stats_.record_gather(cache_->load(mb, x));

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "tensor/simd.hpp"
+
 namespace hyscale {
 
 std::int64_t MutableFeatureStore::now_ns() {
@@ -139,6 +141,18 @@ void MutableFeatureStore::copy_row(VertexId v, std::span<float> dst) const {
   std::copy(src.begin(), src.end(), dst.begin());
 }
 
+void MutableFeatureStore::set_transfer_precision(TransferPrecision precision) {
+  if (precision == TransferPrecision::kFp16)
+    throw std::invalid_argument(
+        "MutableFeatureStore: fp16 wire precision not implemented (use fp32 or int8)");
+  precision_.store(precision, std::memory_order_relaxed);
+}
+
+double MutableFeatureStore::row_wire_bytes() const {
+  const auto cols = static_cast<double>(cols_);
+  return transfer_precision() == TransferPrecision::kInt8 ? cols + 4.0 : cols * 4.0;
+}
+
 void MutableFeatureStore::gather(std::span<const VertexId> nodes, Tensor& out,
                                  const std::vector<char>* already_filled) const {
   // Tensor::resize zero-fills; skip it when `out` is already shaped so
@@ -146,11 +160,19 @@ void MutableFeatureStore::gather(std::span<const VertexId> nodes, Tensor& out,
   if (out.rows() != static_cast<std::int64_t>(nodes.size()) || out.cols() != cols_) {
     out.resize(static_cast<std::int64_t>(nodes.size()), cols_);
   }
+  const bool int8_wire = transfer_precision() == TransferPrecision::kInt8;
   std::shared_lock lock(mutex_);
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (already_filled != nullptr && (*already_filled)[i]) continue;
     const std::span<const float> src = row_unlocked(nodes[i]);
-    std::copy(src.begin(), src.end(), out.row(static_cast<std::int64_t>(i)).begin());
+    float* dst = out.row(static_cast<std::int64_t>(i)).data();
+    if (int8_wire) {
+      // Fused quantize+dequantize: the row lands with exactly the error
+      // an int8 wire transfer would introduce, no int8 staging buffer.
+      wire_roundtrip_row_int8(src.data(), dst, cols_);
+    } else {
+      simd::copy(src.data(), dst, cols_);
+    }
   }
 }
 

@@ -17,12 +17,14 @@
 // enforces the memory-safety half of that contract.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "tensor/quantize.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hyscale {
@@ -83,12 +85,30 @@ class MutableFeatureStore {
   /// Current steady-clock timestamp on the last-touch scale.
   static std::int64_t now_ns();
 
-  /// Copies row v into `dst` (size cols()).
+  /// Copies row v into `dst` (size cols()).  Always full-precision —
+  /// this is a host-side read (invalidation refreshes, tests), not the
+  /// wire path.
   void copy_row(VertexId v, std::span<float> dst) const;
 
+  /// Wire precision applied by gather() — the host -> device transfer
+  /// this store models.  At kInt8 every gathered row is round-tripped
+  /// through per-row symmetric int8 (quantize + dequantize fused, no
+  /// int8 buffer), so gathered features carry exactly the error an int8
+  /// PCIe transfer would; the same per-row rule as the device cache, so
+  /// hit/miss composition never changes logits.  kFp16 is rejected
+  /// (knob is {fp32, int8}).  Default kFp32 (lossless).
+  void set_transfer_precision(TransferPrecision precision);
+  TransferPrecision transfer_precision() const {
+    return precision_.load(std::memory_order_relaxed);
+  }
+  /// Bytes one gathered row moves on the wire at the current precision:
+  /// 4*cols at fp32, cols + 4 (values + scale) at int8.
+  double row_wire_bytes() const;
+
   /// Gathers rows `nodes` into `out` ([nodes.size(), cols()]) under one
-  /// shared lock.  Rows whose `already_filled` flag is set are skipped
-  /// (the streaming gather serves those from the cache's device copy).
+  /// shared lock, applying transfer_precision() to every copied row.
+  /// Rows whose `already_filled` flag is set are skipped (the streaming
+  /// gather serves those from the cache's device copy).
   void gather(std::span<const VertexId> nodes, Tensor& out,
               const std::vector<char>* already_filled = nullptr) const;
 
@@ -105,6 +125,9 @@ class MutableFeatureStore {
   std::int64_t extension_rows_ = 0;
   std::int64_t released_count_ = 0;
   std::int64_t cols_ = 0;
+  /// Wire precision for gather(); atomic so the hot path reads it with
+  /// one relaxed load instead of widening the shared-lock section.
+  std::atomic<TransferPrecision> precision_{TransferPrecision::kFp32};
   mutable std::shared_mutex mutex_;
 };
 

@@ -142,6 +142,16 @@ struct StreamingConfig {
   /// undirected).
   bool symmetric = true;
   std::size_t num_stripes = 64;
+  /// Re-rank the attached StaticFeatureCache's admission set at every
+  /// fold's REBASE: the hot set is recomputed from the cache's observed
+  /// per-vertex access counters with the merged base's live degrees as
+  /// tiebreak, stale pinned rows are dropped and every free slot
+  /// (including ones evict() freed) is re-admitted.  Default on — the
+  /// drift this corrects is a bug, not a policy choice; value-neutral
+  /// at fp32 (membership only moves rows between device and host
+  /// copies of identical values).  Off restores the fixed
+  /// construction-time admission set.
+  bool cache_rerank = true;
   /// Telemetry plane to report through: stream.* counters and callback
   /// gauges, publish/fold/annihilate/sweep spans, lifecycle journal
   /// events.  The background maintenance components (Publisher,
@@ -309,6 +319,15 @@ class StreamingGraph {
   /// LRU, not write-only TTL.
   StaticFeatureCache::LoadStats gather(std::span<const VertexId> nodes, Tensor& out) const;
 
+  /// Scratch-reusing variant for the serving hot path: `hit_scratch` is
+  /// the per-row hit bitmap, resized in place — a worker that passes the
+  /// same vector every batch amortises the allocation to zero.  Byte
+  /// accounting follows the active precisions (cache device rows, store
+  /// wire rows), so the hits/misses traffic split reflects what an int8
+  /// transfer actually moves.
+  StaticFeatureCache::LoadStats gather(std::span<const VertexId> nodes, Tensor& out,
+                                       std::vector<char>& hit_scratch) const;
+
   /// Registers the cache refreshed by update_feature and evicted from
   /// by remove_vertex (pass nullptr to detach).  The cache must be
   /// built over features().base().
@@ -353,6 +372,13 @@ class StreamingGraph {
 
  private:
   void bind_telemetry();
+  /// Recomputes the attached cache's hot set from its observed access
+  /// counters (live degrees over `base` as tiebreak, dead vertices
+  /// excluded) and calls StaticFeatureCache::rerank.  Invoked by
+  /// compact() right after the REBASE installs the merged CSR, under
+  /// cache_mutex_ so no update/remove is mid-flight on a host row the
+  /// re-admission copies from.
+  void rerank_cache(const CsrGraph& base);
   std::shared_ptr<const CsrGraph> base_snapshot() const;
   std::shared_ptr<const GraphVersion> install_version(
       std::shared_ptr<const CsrGraph> base, EdgeId base_max_degree,
@@ -429,6 +455,7 @@ class StreamingGraph {
   Counter* m_compactions_ = nullptr;
   Counter* m_annihilations_ = nullptr;
   Counter* m_expired_ = nullptr;
+  Counter* m_cache_reranks_ = nullptr;
   Histogram* m_publish_lag_ = nullptr;
 };
 

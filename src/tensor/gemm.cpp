@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "tensor/simd.hpp"
 
 namespace hyscale {
 
@@ -32,6 +33,30 @@ void gemm_rows(std::int64_t r0, std::int64_t r1, std::int64_t n, std::int64_t k,
   }
 }
 
+// Contiguous-B specialization (trans_b == false): row p of B is the
+// dense span b[p*ldb, p*ldb+n), so the j loop is a vector axpy.  The
+// SIMD body keeps multiply and add as separate rounding steps, so this
+// kernel is bit-identical to gemm_rows above (the differential tests
+// hold it there across backends).
+template <typename AIdx>
+void gemm_rows_contig_b(std::int64_t r0, std::int64_t r1, std::int64_t n, std::int64_t k,
+                        const float* a, AIdx a_at, const float* b, std::int64_t ldb,
+                        float* c, std::int64_t ldc, float alpha, float beta) {
+  constexpr std::int64_t kBlockK = 128;
+  for (std::int64_t i = r0; i < r1; ++i) {
+    float* c_row = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+    for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+      const std::int64_t k_hi = std::min(kk + kBlockK, k);
+      for (std::int64_t p = kk; p < k_hi; ++p) {
+        const float a_ip = alpha * a[a_at(i, p)];
+        if (a_ip == 0.0f) continue;
+        simd::axpy(a_ip, b + p * ldb, c_row, n);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
@@ -53,11 +78,13 @@ void gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
     const auto r0 = static_cast<std::int64_t>(lo);
     const auto r1 = static_cast<std::int64_t>(hi);
     if (!trans_a && !trans_b) {
-      gemm_rows(r0, r1, n, k, pa, [lda](std::int64_t i, std::int64_t p) { return i * lda + p; },
-                pb, [ldb](std::int64_t p, std::int64_t j) { return p * ldb + j; }, pc, n, alpha, beta);
+      gemm_rows_contig_b(r0, r1, n, k, pa,
+                         [lda](std::int64_t i, std::int64_t p) { return i * lda + p; }, pb, ldb,
+                         pc, n, alpha, beta);
     } else if (trans_a && !trans_b) {
-      gemm_rows(r0, r1, n, k, pa, [lda](std::int64_t i, std::int64_t p) { return p * lda + i; },
-                pb, [ldb](std::int64_t p, std::int64_t j) { return p * ldb + j; }, pc, n, alpha, beta);
+      gemm_rows_contig_b(r0, r1, n, k, pa,
+                         [lda](std::int64_t i, std::int64_t p) { return p * lda + i; }, pb, ldb,
+                         pc, n, alpha, beta);
     } else if (!trans_a && trans_b) {
       gemm_rows(r0, r1, n, k, pa, [lda](std::int64_t i, std::int64_t p) { return i * lda + p; },
                 pb, [ldb](std::int64_t p, std::int64_t j) { return j * ldb + p; }, pc, n, alpha, beta);

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "tensor/simd.hpp"
 
 namespace hyscale {
 
@@ -36,7 +37,9 @@ void scatter_add_rows(const Tensor& src, std::span<const std::int64_t> index, Te
   for (std::size_t i = 0; i < index.size(); ++i) {
     const float* s = src.data() + static_cast<std::int64_t>(i) * cols;
     float* d = dst.data() + index[i] * cols;
-    for (std::int64_t j = 0; j < cols; ++j) d[j] += s[j];
+    // 1.0f * s[j] is exact, so the vector axpy is the same rounding
+    // sequence as the old `d[j] += s[j]` loop.
+    simd::axpy(1.0f, s, d, cols);
   }
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+
+#include "tensor/simd.hpp"
 
 namespace hyscale {
 
@@ -14,6 +17,30 @@ const char* transfer_precision_name(TransferPrecision precision) {
   return "?";
 }
 
+float int8_row_scale(const float* row, std::int64_t n) {
+  const float max_abs = simd::max_abs(row, n);
+  return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+
+void quantize_row_int8(const float* src, std::int64_t n, float scale, std::int8_t* dst) {
+  for (std::int64_t j = 0; j < n; ++j) {
+    // std::round (half away from zero) — NOT std::nearbyint, whose
+    // result follows the ambient FP rounding mode and made quantized
+    // logits differ across threads that had touched fesetround.
+    const float scaled = src[j] / scale;
+    dst[j] = static_cast<std::int8_t>(std::clamp(std::round(scaled), -127.0f, 127.0f));
+  }
+}
+
+void wire_roundtrip_row_int8(const float* src, float* dst, std::int64_t n) {
+  const float scale = int8_row_scale(src, n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float scaled = src[j] / scale;
+    const float q = std::clamp(std::round(scaled), -127.0f, 127.0f);
+    dst[j] = q * scale;
+  }
+}
+
 QuantizedRows quantize_int8(const Tensor& x) {
   QuantizedRows q;
   q.rows = x.rows();
@@ -22,27 +49,22 @@ QuantizedRows quantize_int8(const Tensor& x) {
   q.scales.resize(static_cast<std::size_t>(x.rows()));
   for (std::int64_t i = 0; i < x.rows(); ++i) {
     const float* row = x.data() + i * x.cols();
-    float max_abs = 0.0f;
-    for (std::int64_t j = 0; j < x.cols(); ++j) max_abs = std::max(max_abs, std::abs(row[j]));
-    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    const float scale = int8_row_scale(row, x.cols());
     q.scales[static_cast<std::size_t>(i)] = scale;
-    std::int8_t* out = q.values.data() + i * x.cols();
-    for (std::int64_t j = 0; j < x.cols(); ++j) {
-      const float scaled = row[j] / scale;
-      out[j] = static_cast<std::int8_t>(
-          std::clamp(std::nearbyint(scaled), -127.0f, 127.0f));
-    }
+    quantize_row_int8(row, x.cols(), scale, q.values.data() + i * x.cols());
   }
   return q;
 }
 
 void dequantize_int8(const QuantizedRows& q, Tensor& out) {
-  out.resize(q.rows, q.cols);
+  if (out.rows() != q.rows || out.cols() != q.cols) {
+    if (!out.empty())
+      throw std::invalid_argument("dequantize_int8: pre-sized out has the wrong shape");
+    out.resize(q.rows, q.cols);
+  }
   for (std::int64_t i = 0; i < q.rows; ++i) {
-    const float scale = q.scales[static_cast<std::size_t>(i)];
-    const std::int8_t* src = q.values.data() + i * q.cols;
-    float* dst = out.data() + i * q.cols;
-    for (std::int64_t j = 0; j < q.cols; ++j) dst[j] = static_cast<float>(src[j]) * scale;
+    simd::dequant(q.values.data() + i * q.cols, q.scales[static_cast<std::size_t>(i)],
+                  out.data() + i * q.cols, q.cols);
   }
 }
 

@@ -47,8 +47,30 @@ struct QuantizedRows {
 
 QuantizedRows quantize_int8(const Tensor& x);
 
-/// Reconstructs the float matrix; out is resized.
+/// Reconstructs the float matrix.  A pre-sized `out` of the right shape
+/// is written in place (no reallocation — the fused hot path dequants
+/// into a pre-allocated batch tensor); an empty `out` is resized; a
+/// non-empty `out` of the WRONG shape throws std::invalid_argument
+/// instead of silently discarding the caller's sizing.
 void dequantize_int8(const QuantizedRows& q, Tensor& out);
+
+// ---- per-row primitives (shared by the device cache and the feature
+// store's wire simulation; one quantization rule everywhere, so a row
+// served from a pinned int8 device copy is bit-identical to the same
+// row round-tripped through an int8 host fetch) ----
+
+/// Symmetric per-row scale: max_j |row[j]| / 127, 1 for all-zero rows.
+float int8_row_scale(const float* row, std::int64_t n);
+
+/// Quantizes one row: dst[j] = clamp(round(src[j]/scale), -127, 127)
+/// with round-half-AWAY-from-zero (std::round) — independent of the
+/// ambient FP rounding mode, unlike std::nearbyint, so quantized values
+/// are identical across threads and platforms.
+void quantize_row_int8(const float* src, std::int64_t n, float scale, std::int8_t* dst);
+
+/// Fused quantize+dequantize of one row (no int8 intermediate): what
+/// the device sees after an int8 wire transfer.  src and dst may alias.
+void wire_roundtrip_row_int8(const float* src, float* dst, std::int64_t n);
 
 /// Round-trips x through int8 quantization in place (what the device
 /// trainer actually sees); returns the max absolute reconstruction error.

@@ -1,0 +1,221 @@
+// Vector kernel bodies.  Compiled with -ffp-contract=off (CMake source
+// property) so neither the scalar tails inside the vector functions nor
+// the reference bodies are ever contracted into FMA — the bit-identity
+// contract in simd.hpp depends on multiply and add staying two rounding
+// steps on every path.
+//
+// x86-64: AVX2 bodies carry a per-function target attribute (the
+// library itself stays baseline x86-64), guarded at runtime by
+// __builtin_cpu_supports("avx2").  The attribute deliberately does NOT
+// enable FMA: with the ISA absent the compiler cannot fuse the tails
+// even if the contract flag were lost.
+//
+// aarch64: NEON is architecturally mandatory, so the bodies dispatch
+// unconditionally (explicit vmul + vadd, never vfma).
+#include "tensor/simd.hpp"
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define HYSCALE_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define HYSCALE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace hyscale::simd {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+#if defined(HYSCALE_SIMD_X86)
+
+bool cpu_has_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+}
+
+__attribute__((target("avx2"))) void copy_avx2(const float* src, float* dst,
+                                               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm256_storeu_ps(dst + i, _mm256_loadu_ps(src + i));
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+__attribute__((target("avx2"))) void axpy_avx2(float a, const float* x, float* y,
+                                               std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // mul then add — two rounding steps per lane, same as the scalar body.
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+__attribute__((target("avx2"))) void dequant_avx2(const std::int8_t* q, float scale,
+                                                  float* dst, std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i));
+    const __m256i ints = _mm256_cvtepi8_epi32(bytes);
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_cvtepi32_ps(ints), vs));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<float>(q[i]) * scale;
+}
+
+__attribute__((target("avx2"))) float max_abs_avx2(const float* x, std::int64_t n) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 best = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    best = _mm256_max_ps(best, _mm256_and_ps(_mm256_loadu_ps(x + i), abs_mask));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, best);
+  float m = 0.0f;
+  for (float lane : lanes) m = lane > m ? lane : m;
+  for (; i < n; ++i) {
+    const float v = x[i] < 0.0f ? -x[i] : x[i];
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+#elif defined(HYSCALE_SIMD_NEON)
+
+void copy_neon(const float* src, float* dst, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) vst1q_f32(dst + i, vld1q_f32(src + i));
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+void axpy_neon(float a, const float* x, float* y, std::int64_t n) {
+  const float32x4_t va = vdupq_n_f32(a);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Explicit vmul + vadd (not vfma): two rounding steps per lane.
+    const float32x4_t prod = vmulq_f32(va, vld1q_f32(x + i));
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void dequant_neon(const std::int8_t* q, float scale, float* dst, std::int64_t n) {
+  const float32x4_t vs = vdupq_n_f32(scale);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int8x8_t bytes = vld1_s8(q + i);
+    const int16x8_t half = vmovl_s8(bytes);
+    const int32x4_t lo = vmovl_s16(vget_low_s16(half));
+    const int32x4_t hi = vmovl_s16(vget_high_s16(half));
+    vst1q_f32(dst + i, vmulq_f32(vcvtq_f32_s32(lo), vs));
+    vst1q_f32(dst + i + 4, vmulq_f32(vcvtq_f32_s32(hi), vs));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<float>(q[i]) * scale;
+}
+
+float max_abs_neon(const float* x, std::int64_t n) {
+  float32x4_t best = vdupq_n_f32(0.0f);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) best = vmaxq_f32(best, vabsq_f32(vld1q_f32(x + i)));
+  float m = vmaxvq_f32(best);
+  for (; i < n; ++i) {
+    const float v = x[i] < 0.0f ? -x[i] : x[i];
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+#endif
+
+bool use_vector() {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return false;
+#if defined(HYSCALE_SIMD_X86)
+  return cpu_has_avx2();
+#elif defined(HYSCALE_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* backend_name() {
+  if (!use_vector()) return "scalar";
+#if defined(HYSCALE_SIMD_X86)
+  return "avx2";
+#elif defined(HYSCALE_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+void force_scalar(bool on) { g_force_scalar.store(on, std::memory_order_relaxed); }
+bool forced_scalar() { return g_force_scalar.load(std::memory_order_relaxed); }
+
+void copy_scalar(const float* src, float* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+void axpy_scalar(float a, const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void dequant_scalar(const std::int8_t* q, float scale, float* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = static_cast<float>(q[i]) * scale;
+}
+
+float max_abs_scalar(const float* x, std::int64_t n) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i] < 0.0f ? -x[i] : x[i];
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+void copy(const float* src, float* dst, std::int64_t n) {
+#if defined(HYSCALE_SIMD_X86)
+  if (use_vector()) return copy_avx2(src, dst, n);
+#elif defined(HYSCALE_SIMD_NEON)
+  if (use_vector()) return copy_neon(src, dst, n);
+#endif
+  copy_scalar(src, dst, n);
+}
+
+void axpy(float a, const float* x, float* y, std::int64_t n) {
+#if defined(HYSCALE_SIMD_X86)
+  if (use_vector()) return axpy_avx2(a, x, y, n);
+#elif defined(HYSCALE_SIMD_NEON)
+  if (use_vector()) return axpy_neon(a, x, y, n);
+#endif
+  axpy_scalar(a, x, y, n);
+}
+
+void dequant(const std::int8_t* q, float scale, float* dst, std::int64_t n) {
+#if defined(HYSCALE_SIMD_X86)
+  if (use_vector()) return dequant_avx2(q, scale, dst, n);
+#elif defined(HYSCALE_SIMD_NEON)
+  if (use_vector()) return dequant_neon(q, scale, dst, n);
+#endif
+  dequant_scalar(q, scale, dst, n);
+}
+
+float max_abs(const float* x, std::int64_t n) {
+#if defined(HYSCALE_SIMD_X86)
+  if (use_vector()) return max_abs_avx2(x, n);
+#elif defined(HYSCALE_SIMD_NEON)
+  if (use_vector()) return max_abs_neon(x, n);
+#endif
+  return max_abs_scalar(x, n);
+}
+
+}  // namespace hyscale::simd

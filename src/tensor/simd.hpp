@@ -1,0 +1,66 @@
+// Runtime-dispatched SIMD kernels for the gather/GEMM hot path.
+//
+// Every kernel has three faces:
+//   * the dispatching entry point (copy/axpy/dequant/max_abs) — picks
+//     AVX2 on x86-64 when the CPU supports it, NEON on aarch64, scalar
+//     otherwise;
+//   * a `_scalar` reference implementation — always compiled, used as
+//     the differential oracle by the bit-identity tests;
+//   * the vector body itself (simd.cpp).
+//
+// Bit-identity contract: the vector kernels are written so every lane
+// performs EXACTLY the scalar sequence of IEEE operations — multiplies
+// and adds stay separate (no FMA contraction; simd.cpp is compiled with
+// -ffp-contract=off), reductions use only max (order-independent for
+// finite inputs), and int8->float conversion is exact.  That is what
+// lets the stream-vs-rebuild differential harness keep its bit-identical
+// guarantee on the fp32 path while the kernels are live in production:
+// scalar and SIMD builds of the same gather/GEMM produce the same bits.
+//
+// Dispatch is per-call (one relaxed load + predictable branch), so the
+// test seam force_scalar() can flip the backend at runtime without
+// rebuilding — the differential tests run the same binary both ways.
+#pragma once
+
+#include <cstdint>
+
+namespace hyscale::simd {
+
+/// Name of the backend the dispatching kernels currently select:
+/// "avx2", "neon", or "scalar" (also "scalar" while force_scalar(true)).
+const char* backend_name();
+
+/// Test seam: route the dispatching kernels through the scalar bodies
+/// regardless of CPU support.  Global and sticky until cleared; the
+/// bit-identity tests toggle it around a second run of the same kernel.
+void force_scalar(bool on);
+bool forced_scalar();
+
+// ---- dispatching kernels (the hot-path entry points) ----
+
+/// dst[0..n) = src[0..n).
+void copy(const float* src, float* dst, std::int64_t n);
+
+/// y[0..n) += a * x[0..n) — the GEMM inner loop.  Multiply and add are
+/// separate rounding steps in every lane (no FMA), matching the scalar
+/// kernel bit for bit.
+void axpy(float a, const float* x, float* y, std::int64_t n);
+
+/// dst[0..n) = float(q[0..n)) * scale — int8 device-row dequantization,
+/// fused into the gather copy.  int8 -> float conversion is exact, so
+/// the result is bit-identical to the scalar body.
+void dequant(const std::int8_t* q, float scale, float* dst, std::int64_t n);
+
+/// max over |x[0..n)| (0 for n == 0) — the per-row quantization scale
+/// numerator.  max is order-independent for finite floats, so the tree
+/// reduction matches the scalar left-to-right scan bit for bit.
+float max_abs(const float* x, std::int64_t n);
+
+// ---- scalar reference bodies (the differential oracles) ----
+
+void copy_scalar(const float* src, float* dst, std::int64_t n);
+void axpy_scalar(float a, const float* x, float* y, std::int64_t n);
+void dequant_scalar(const std::int8_t* q, float scale, float* dst, std::int64_t n);
+float max_abs_scalar(const float* x, std::int64_t n);
+
+}  // namespace hyscale::simd

@@ -1,7 +1,10 @@
 // Tests for tensor/quantize: the §VIII data-quantization extension.
 #include <gtest/gtest.h>
 
+#include <cfenv>
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "graph/datasets.hpp"
 #include "runtime/hybrid_trainer.hpp"
@@ -60,6 +63,65 @@ TEST(Quantize, PrecisionNamesAndWireBytes) {
   EXPECT_DOUBLE_EQ(wire_bytes_per_element(TransferPrecision::kFp32), 4.0);
   EXPECT_DOUBLE_EQ(wire_bytes_per_element(TransferPrecision::kFp16), 2.0);
   EXPECT_DOUBLE_EQ(wire_bytes_per_element(TransferPrecision::kInt8), 1.0);
+}
+
+TEST(Quantize, RoundingIsIndependentOfFpRoundingMode) {
+  // Regression: quantize used std::nearbyint, which honors the ambient
+  // FP rounding mode — a thread (or library) that flips the mode would
+  // silently change quantized features.  std::round is pinned to
+  // half-away-from-zero under every mode.
+  const float src[6] = {2.5f, -2.5f, 1.5f, -1.5f, 0.5f, -0.5f};
+  const std::int8_t expected[6] = {3, -3, 2, -2, 1, -1};
+  const int modes[] = {FE_TONEAREST, FE_DOWNWARD, FE_UPWARD, FE_TOWARDZERO};
+  const int saved = std::fegetround();
+  for (const int mode : modes) {
+    ASSERT_EQ(std::fesetround(mode), 0);
+    std::int8_t dst[6] = {};
+    quantize_row_int8(src, 6, 1.0f, dst);
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_EQ(dst[j], expected[j]) << "mode=" << mode << " j=" << j;
+    }
+  }
+  std::fesetround(saved);
+}
+
+TEST(Quantize, SharedRowRuleMatchesBulkQuantizer) {
+  Tensor x(4, 17);
+  uniform_init(x, -3.0f, 3.0f, 7);
+  const QuantizedRows q = quantize_int8(x);
+  for (std::int64_t i = 0; i < x.rows(); ++i) {
+    const float scale = int8_row_scale(x.row(i).data(), x.cols());
+    EXPECT_FLOAT_EQ(scale, q.scales[static_cast<std::size_t>(i)]);
+    // The fused wire round-trip must reproduce quantize+dequantize
+    // exactly — it is what makes cache hits and host misses agree.
+    std::vector<float> fused(static_cast<std::size_t>(x.cols()));
+    wire_roundtrip_row_int8(x.row(i).data(), fused.data(), x.cols());
+    for (std::int64_t j = 0; j < x.cols(); ++j) {
+      const auto qv = q.values[static_cast<std::size_t>(i * x.cols() + j)];
+      EXPECT_FLOAT_EQ(fused[static_cast<std::size_t>(j)], static_cast<float>(qv) * scale);
+    }
+  }
+}
+
+TEST(Quantize, DequantizeHonorsPresizedDestination) {
+  Tensor x(5, 8);
+  uniform_init(x, -2.0f, 2.0f, 3);
+  const QuantizedRows q = quantize_int8(x);
+
+  Tensor presized(5, 8, 42.0f);
+  const float* storage = presized.flat().data();
+  dequantize_int8(q, presized);
+  // Written in place: same storage, no reallocation, values overwritten.
+  EXPECT_EQ(presized.flat().data(), storage);
+  EXPECT_LT(Tensor::max_abs_diff(presized, x), 2.0f / 127.0f + 1e-6f);
+
+  Tensor empty;
+  dequantize_int8(q, empty);  // empty destinations are resized, as before
+  EXPECT_EQ(empty.rows(), 5);
+  EXPECT_EQ(empty.cols(), 8);
+
+  Tensor wrong(3, 8, 0.0f);  // regression: was silently resized away
+  EXPECT_THROW(dequantize_int8(q, wrong), std::invalid_argument);
 }
 
 TEST(Quantize, Int8TransfersShrinkTransferStage) {

@@ -8,6 +8,11 @@ The benches build every point from a MetricsRegistry snapshot; this
 gate catches a renamed instrument or a dropped field before the record
 is committed with silently-zero data.
 
+Hot-path gate (hotpath records): the quantized gather must stay within
+its own documented logit tolerance while moving >= 3x fewer bytes per
+row than fp32, and the fold-time cache re-rank must never LOWER the hit
+rate (delta >= 0, after >= before).
+
 SLO gate (streaming records): the non-blocking-fold work (ISSUE-5)
 tightened the streaming staleness bound to the publisher budget alone:
 `sustained_churn_slo` must report zero breaches and a worst
@@ -37,6 +42,9 @@ COUNTER_KEYS = {
     "serving": [
         "completed_requests", "rejected_submits",
     ],
+    "hotpath": [
+        "rows_gathered",
+    ],
     "streaming": [
         "completed_requests", "last_served_version", "accepted_edges",
         "removed_edges", "rejected_removals", "added_vertices",
@@ -59,6 +67,10 @@ NONNEG_KEYS = {
         "qps", "p50_ms", "p95_ms", "p99_ms", "mean_batch_requests",
         "cache_hit_rate",
     ],
+    "hotpath": [
+        "ns_per_row", "device_bytes_per_row", "host_bytes_per_row",
+        "hit_rate",
+    ],
     "streaming": [
         "qps", "p50_ms", "p99_ms", "queue_wait_p99_ms",
         "ingest_edges_per_second", "publish_lag_mean_ms",
@@ -68,6 +80,7 @@ NONNEG_KEYS = {
 REQUIRED_KEYS = {
     "serving": ["name", "workers", "cache_rows", "clients"]
                 + COUNTER_KEYS["serving"] + NONNEG_KEYS["serving"],
+    "hotpath": ["name"] + COUNTER_KEYS["hotpath"] + NONNEG_KEYS["hotpath"],
     "streaming": ["name", "update_ops", "update_threads", "publish_every",
                   "slo_budget_ms", "ttl_ms", "compute_mean_ms"]
                   + COUNTER_KEYS["streaming"] + NONNEG_KEYS["streaming"],
@@ -166,6 +179,75 @@ def check_overhead(record, tolerance):
     return [], f"diagnosis overhead {pct:+.2f}% <= {limit:.2f}%"
 
 
+# The quantized-gather acceptance floor: int8 rows must move at least
+# this many times fewer bytes than fp32 at the documented logit
+# tolerance (ISSUE-8).
+HOTPATH_MIN_BYTES_RATIO = 3.0
+
+
+def check_hotpath(record):
+    """Returns (failures, ok_message) for the hot-path gather gates:
+    quantized error within its own documented tolerance at >= 3x fewer
+    bytes per row, and a re-rank that never LOWERS the hit rate."""
+    failures = []
+    quantized = record.get("quantized")
+    if not isinstance(quantized, dict):
+        failures.append("record has no 'quantized' object")
+    else:
+        tolerance = quantized.get("tolerance")
+        error = quantized.get("max_logit_abs_error")
+        ratio = quantized.get("bytes_ratio_fp32_over_int8")
+        for key, value in (("tolerance", tolerance),
+                           ("max_logit_abs_error", error),
+                           ("bytes_ratio_fp32_over_int8", ratio)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                failures.append(f"'quantized.{key}' must be a non-negative "
+                                f"number, got {value!r}")
+        if not failures:
+            if error > tolerance:
+                failures.append(f"quantized.max_logit_abs_error {error:.6f} > "
+                                f"tolerance {tolerance:.6f}")
+            if ratio < HOTPATH_MIN_BYTES_RATIO:
+                failures.append(f"quantized.bytes_ratio_fp32_over_int8 "
+                                f"{ratio:.3f} < {HOTPATH_MIN_BYTES_RATIO}")
+    rerank = record.get("rerank")
+    if not isinstance(rerank, dict):
+        failures.append("record has no 'rerank' object")
+    else:
+        before = rerank.get("hit_rate_before")
+        after = rerank.get("hit_rate_after")
+        delta = rerank.get("delta")
+        readmitted = rerank.get("readmitted_rows")
+        for key, value in (("hit_rate_before", before),
+                           ("hit_rate_after", after)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                failures.append(f"'rerank.{key}' must be a non-negative "
+                                f"number, got {value!r}")
+        if not isinstance(delta, (int, float)) or isinstance(delta, bool):
+            failures.append(f"'rerank.delta' must be a number, got {delta!r}")
+        if not isinstance(readmitted, int) or isinstance(readmitted, bool) \
+                or readmitted < 0:
+            failures.append(f"'rerank.readmitted_rows' must be a non-negative "
+                            f"integer, got {readmitted!r}")
+        if not failures:
+            if after < before:
+                failures.append(f"rerank.hit_rate_after {after:.3f} < "
+                                f"hit_rate_before {before:.3f} — the re-rank "
+                                f"made the cache WORSE")
+            if delta < 0:
+                failures.append(f"rerank.delta {delta:.3f} < 0")
+    if failures:
+        return failures, None
+    ok = (f"quantized err {quantized['max_logit_abs_error']:.6f} <= "
+          f"{quantized['tolerance']:.2f} at "
+          f"{quantized['bytes_ratio_fp32_over_int8']:.2f}x fewer bytes; "
+          f"rerank hit rate {rerank['hit_rate_before']:.3f} -> "
+          f"{rerank['hit_rate_after']:.3f}")
+    return [], ok
+
+
 def check_slo(record, tolerance):
     """Returns (failures, ok_message) for the streaming publisher SLO."""
     points = {p.get("name"): p for p in record.get("points", [])}
@@ -223,6 +305,17 @@ def main() -> int:
         print(f"check_bench_slo: {path} schema ok "
               f"({kind}, {len(record['points'])} points)")
 
+        if kind == "hotpath":
+            hotpath_failures, hotpath_ok = check_hotpath(record)
+            if hotpath_failures:
+                print(f"check_bench_slo: {path} fails the hot-path gate:",
+                      file=sys.stderr)
+                for failure in hotpath_failures:
+                    print(f"  - {failure}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"check_bench_slo: {path} {hotpath_ok}")
+            continue
         if kind != "streaming":
             continue
         slo_failures, ok = check_slo(record, args.tolerance)
