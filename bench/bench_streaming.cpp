@@ -31,6 +31,18 @@
 // tools/check_bench_slo.py gates the committed record on exactly that,
 // so the stall this point once exhibited cannot silently return.
 //
+// The nested `sharded` record (PR-9) is the shard-scaling sweep: the
+// same mixed 90/10 and delete-heavy feeds replayed against 1-, 2- and
+// 4-shard partition-routed deployments (per-shard Compactor + SLO
+// Publisher, CutAdopter folding publishes into consistent cuts).  Each
+// point carries the facade's logical op counters, the halo-plane
+// instruments (halo hits vs cross-shard owner fetches), and a
+// `per_shard` array with every shard's publisher staleness.
+// tools/check_bench_slo.py gates the committed record with the
+// "sharded" kind: per-shard worst staleness within the point's budget,
+// zero breaches, fractions in [0, 1], and no cross-shard fetches on
+// the 1-shard degenerate points.
+//
 // The record also carries a `telemetry_overhead` note — the static
 // point re-run with telemetry off vs on (interleaved, min-of-N per
 // arm, exact reservoir p50 on both arms so the comparison is
@@ -68,6 +80,29 @@ struct OperatingPoint {
 
 struct PointResult {
   OperatingPoint point;
+  MetricsSnapshot snap;
+};
+
+struct ShardedPoint {
+  std::string name;
+  int shards;
+  std::string mix;  ///< "mixed_90_10" | "delete_heavy" — which feed shape
+  std::int64_t update_ops;
+  int update_threads;
+  double edge_delete_fraction = 0.0;
+  double vertex_delete_fraction = 0.0;
+  double delete_recent_fraction = 0.0;
+  Seconds pacing = 0.0;
+  int edges_per_op = 4;
+  // Per-shard publisher budget.  Sized like sustained_churn_slo's but
+  // with headroom for the extra threads a sharded session runs (N
+  // publishers + the adopter on top of workers + feed): on this box a
+  // runnable publisher can sit unscheduled behind all of them.
+  double slo_budget_ms = 40.0;
+};
+
+struct ShardedResult {
+  ShardedPoint point;
   MetricsSnapshot snap;
 };
 
@@ -226,6 +261,107 @@ int main() {
     results.push_back({point, std::move(snap)});
   }
 
+  // ---- Shard-scaling sweep: 1 / 2 / 4 partition-routed shards under
+  // the 90/10 and delete-heavy feeds.  publish_every stays 0 — mid-run
+  // visibility is the per-shard SLO publishers' + CutAdopter's job,
+  // which is exactly what the per_shard staleness numbers measure.
+  const std::vector<ShardedPoint> sharded_points = {
+      {"sharded_90_10_s1", 1, "mixed_90_10", kQueries / 9, 1, 0.0, 0.0, 0.0,
+       /*pacing=*/50e-6, /*edges_per_op=*/4},
+      {"sharded_90_10_s2", 2, "mixed_90_10", kQueries / 9, 1, 0.0, 0.0, 0.0,
+       /*pacing=*/50e-6, /*edges_per_op=*/4},
+      {"sharded_90_10_s4", 4, "mixed_90_10", kQueries / 9, 1, 0.0, 0.0, 0.0,
+       /*pacing=*/50e-6, /*edges_per_op=*/4},
+      {"sharded_delete_heavy_s1", 1, "delete_heavy", 4 * kQueries, 2, 0.45, 0.05, 0.70,
+       /*pacing=*/20e-6, /*edges_per_op=*/1},
+      {"sharded_delete_heavy_s2", 2, "delete_heavy", 4 * kQueries, 2, 0.45, 0.05, 0.70,
+       /*pacing=*/20e-6, /*edges_per_op=*/1},
+      {"sharded_delete_heavy_s4", 4, "delete_heavy", 4 * kQueries, 2, 0.45, 0.05, 0.70,
+       /*pacing=*/20e-6, /*edges_per_op=*/1},
+  };
+
+  std::printf("\nshard scaling (partition-routed, hash partitioner, %d-ms per-shard SLO)\n",
+              static_cast<int>(sharded_points.front().slo_budget_ms));
+  bench::row({"config", "qps", "p50 ms", "p99 ms", "ingest e/s", "halo hit", "xshard",
+              "adopts", "worst ms"},
+             {24, 9, 9, 9, 11, 9, 8, 8, 9});
+
+  std::vector<ShardedResult> sharded_results;
+  for (const ShardedPoint& point : sharded_points) {
+    HyScale system(dataset, cpu_fpga_platform(2), train_config);
+    system.train_epoch();
+    Telemetry telemetry;
+
+    {
+      ShardedConfig sharded;
+      sharded.num_shards = point.shards;
+      sharded.partitioner = ShardedConfig::Partitioner::kHash;
+      sharded.stream.telemetry = &telemetry;
+
+      ServingConfig serving;
+      serving.fanouts = {10, 5};
+      serving.num_workers = 2;
+      serving.cache_capacity_rows = 512;
+      serving.batch.max_batch_requests = 16;
+      serving.batch.max_wait = 2e-3;
+      serving.seed = 7;
+      serving.telemetry = &telemetry;
+
+      CompactionPolicy compaction;
+      compaction.max_overlay_edges = 2048;
+      compaction.max_overlay_ratio = 0.10;
+      PublisherPolicy publisher;
+      publisher.staleness_budget = point.slo_budget_ms * 1e-3;
+      ShardedStreamingSession session =
+          system.stream_sharded(sharded, serving, compaction, publisher);
+
+      UpdateGeneratorConfig updates;
+      updates.operations = point.update_ops;
+      updates.num_threads = point.update_threads;
+      updates.publish_every = 0;
+      updates.edges_per_op = point.edges_per_op;
+      updates.edge_delete_fraction = point.edge_delete_fraction;
+      updates.vertex_delete_fraction = point.vertex_delete_fraction;
+      updates.delete_recent_fraction = point.delete_recent_fraction;
+      updates.pacing = point.pacing;
+      updates.seed = 23;
+      std::thread update_thread([&session, updates] {
+        ShardedUpdateDriver driver(session.shards(), updates);
+        (void)driver.run();
+      });
+
+      LoadGeneratorConfig load;
+      load.num_clients = kClients;
+      load.requests_per_client = kRequestsPerClient;
+      load.seeds_per_request = 4;
+      load.seed = 21;
+      load.telemetry = &telemetry;
+      LoadGenerator generator(*session.server, dataset, load);
+      (void)generator.run();
+      update_thread.join();
+    }  // session tears down (adopter -> publishers -> compactors -> server)
+
+    MetricsSnapshot snap = telemetry.registry().snapshot();
+    double worst_staleness_ms = 0.0;
+    for (int s = 0; s < point.shards; ++s) {
+      worst_staleness_ms =
+          std::max(worst_staleness_ms,
+                   value_or(snap, "shard" + std::to_string(s) + ".publisher.worst_staleness_ms"));
+    }
+    const double halo_hits = value_or(snap, "sharded.halo_hits");
+    const double cross_rows = value_or(snap, "sharded.cross_shard_rows");
+    bench::row({point.name, format_double(value_or(snap, "load.qps"), 1),
+                format_double(snap.percentile_ms("serving.latency_ms", 0.50), 3),
+                format_double(snap.percentile_ms("serving.latency_ms", 0.99), 3),
+                format_double(value_or(snap, "ingest.edges_per_second"), 0),
+                format_double(safe_ratio(halo_hits, halo_hits + cross_rows), 3),
+                std::to_string(static_cast<std::int64_t>(cross_rows)),
+                std::to_string(count_or(snap, "sharded.cut_adoptions")),
+                format_double(worst_staleness_ms, 3)},
+               {24, 9, 9, 9, 11, 9, 8, 8, 9});
+    sharded_results.push_back({point, std::move(snap)});
+  }
+
   // Observability overhead on the static point: three interleaved arms
   // (off / telemetry / telemetry + full diagnosis plane) so drift hits
   // all of them, min-of-N per arm (min is the low-noise estimator for
@@ -330,6 +466,80 @@ int main() {
     json.end_object();
   }
   json.end_array();
+  // Nested shard-scaling record: its own "sharded" bench kind so
+  // tools/check_bench_slo.py gates it independently of the flat
+  // streaming points above.
+  json.key("sharded");
+  json.begin_object();
+  json.field("bench", "sharded");
+  json.field("dataset", dataset.info.name);
+  json.field("partitioner", "hash");
+  json.field("queries", kQueries);
+  json.field("source", "metrics_registry_snapshot");
+  json.key("points");
+  json.begin_array();
+  for (const ShardedResult& r : sharded_results) {
+    const MetricsSnapshot& snap = r.snap;
+    const double halo_hits = value_or(snap, "sharded.halo_hits");
+    const double cross_rows = value_or(snap, "sharded.cross_shard_rows");
+    const double gathered_rows =
+        value_or(snap, "serving.cache_hits") + value_or(snap, "serving.cache_misses");
+    json.begin_object();
+    json.field("name", r.point.name);
+    json.field("shards", static_cast<std::int64_t>(r.point.shards));
+    json.field("partitioner", "hash");
+    json.field("mix", r.point.mix);
+    json.field("update_ops", r.point.update_ops);
+    json.field("update_threads", r.point.update_threads);
+    json.field("edge_delete_fraction", r.point.edge_delete_fraction);
+    json.field("vertex_delete_fraction", r.point.vertex_delete_fraction);
+    json.field("slo_budget_ms", r.point.slo_budget_ms);
+    json.field("edge_cut_fraction", value_or(snap, "sharded.edge_cut_fraction"));
+    json.field("imbalance", value_or(snap, "sharded.imbalance"));
+    json.field("completed_requests", count_or(snap, "load.completed_requests"));
+    json.field("qps", value_or(snap, "load.qps"));
+    json.field("p50_ms", snap.percentile_ms("serving.latency_ms", 0.50));
+    json.field("p99_ms", snap.percentile_ms("serving.latency_ms", 0.99));
+    json.field("last_served_cut", count_or(snap, "serving.last_served_version"));
+    json.field("ingest_edges_per_second", value_or(snap, "ingest.edges_per_second"));
+    // Logical facade counters: each op once, however many shards it hit.
+    json.field("accepted_edges", count_or(snap, "sharded.ingested_edges"));
+    json.field("removed_edges", count_or(snap, "sharded.removed_edges"));
+    json.field("rejected_removals", count_or(snap, "sharded.rejected_removals"));
+    json.field("added_vertices", count_or(snap, "sharded.added_vertices"));
+    json.field("removed_vertices", count_or(snap, "sharded.removed_vertices"));
+    json.field("feature_updates", count_or(snap, "sharded.feature_updates"));
+    // Halo plane: remote rows served from a fresh local mirror vs
+    // fetched from their owner (dirty at gather time).
+    json.field("cut_adoptions", count_or(snap, "sharded.cut_adoptions"));
+    json.field("halo_refreshed_rows", count_or(snap, "sharded.halo_refreshed_rows"));
+    json.field("halo_hits", static_cast<std::int64_t>(halo_hits));
+    json.field("cross_shard_rows", static_cast<std::int64_t>(cross_rows));
+    json.field("halo_hit_rate", safe_ratio(halo_hits, halo_hits + cross_rows));
+    json.field("cross_shard_gather_fraction", safe_ratio(cross_rows, gathered_rows));
+    json.field("cache_hit_rate",
+               safe_ratio(value_or(snap, "serving.cache_hits"), gathered_rows));
+    json.key("per_shard");
+    json.begin_array();
+    for (int s = 0; s < r.point.shards; ++s) {
+      const std::string prefix = "shard" + std::to_string(s) + ".";
+      json.begin_object();
+      json.field("shard", static_cast<std::int64_t>(s));
+      json.field("publishes", count_or(snap, prefix + "stream.publishes"));
+      json.field("compactions", count_or(snap, prefix + "stream.compactions"));
+      json.field("publisher_publishes", count_or(snap, prefix + "publisher.publishes"));
+      json.field("publisher_breaches", count_or(snap, prefix + "publisher.breaches"));
+      json.field("publisher_worst_staleness_ms",
+                 value_or(snap, prefix + "publisher.worst_staleness_ms"));
+      json.field("publisher_worst_publish_cost_ms",
+                 value_or(snap, prefix + "publisher.worst_publish_cost_ms"));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
   const MetricsSnapshot& headline = results[1].snap;  // mixed 90/10
   json.key("headline");
   json.begin_object();

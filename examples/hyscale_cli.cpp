@@ -403,6 +403,9 @@ struct StreamOptions {
   double ttl_ms = -1.0;      ///< idle budget for streamed-in entities; < 0 = no TTL
   double sweep_ms = 10.0;    ///< TTL sweep interval
   bool cache_rerank = true;  ///< hit-driven cache re-rank at each fold's REBASE
+  int shards = 1;            ///< > 1 serves through the sharded stack
+  std::string partitioner = "hash";  ///< base partition for the shards: hash | bfs
+  std::int64_t rerank_rows = 0;      ///< traffic-triggered re-rank cadence (0 = fold-only)
 };
 
 void stream_usage(const char* argv0) {
@@ -416,12 +419,17 @@ void stream_usage(const char* argv0) {
       "          [--delete-frac F] [--vertex-delete-frac F] [--delete-recent-frac F]\n"
       "          [--compact-edges E] [--compact-ratio R] [--no-annihilate]\n"
       "          [--slo-ms MS] [--ttl-ms MS] [--sweep-ms MS]\n"
+      "          [--shards N] [--partitioner hash|bfs] [--rerank-rows R]\n"
       "          [--metrics-out FILE|-] [--metrics-interval-ms MS] [--trace]\n"
       "          [--flight-record-out FILE|-]\n"
       "\n"
       "lifecycle: --slo-ms bounds staleness (background publisher; 0 = caller-paced\n"
       "via --publish-every), --ttl-ms retires streamed-in entities idle that long\n"
-      "(swept every --sweep-ms), --no-annihilate disables in-place tombstone GC.\n",
+      "(swept every --sweep-ms), --no-annihilate disables in-place tombstone GC.\n"
+      "sharding: --shards N > 1 splits the evolving graph into N partition-routed\n"
+      "shards (--partitioner picks the base assignment) with per-shard compaction\n"
+      "and publishing; queries sample a consistent cross-shard cut.  --rerank-rows\n"
+      "re-ranks the device cache every R gathered rows regardless of fold cadence.\n",
       argv0);
 }
 
@@ -492,6 +500,22 @@ bool parse_stream_args(int argc, char** argv, StreamOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.sweep_ms = std::atof(v);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      options.shards = std::atoi(v);
+    } else if (arg == "--partitioner") {
+      const char* v = next();
+      if (!v) return false;
+      options.partitioner = v;
+      if (options.partitioner != "hash" && options.partitioner != "bfs") {
+        std::fprintf(stderr, "--partitioner must be hash or bfs (got %s)\n", v);
+        return false;
+      }
+    } else if (arg == "--rerank-rows") {
+      const char* v = next();
+      if (!v) return false;
+      options.rerank_rows = std::atoll(v);
     } else if (arg == "--cache-rerank") {
       const char* v = next();
       if (!v) return false;
@@ -560,6 +584,7 @@ int run_stream_impl(const StreamOptions& options) {
   serving.batch.max_batch_requests = serve.max_batch;
   serving.batch.max_wait = serve.max_wait_ms * 1e-3;
   serving.batch.queue_capacity = static_cast<std::size_t>(serve.queue_cap);
+  serving.cache_rerank_every_rows = options.rerank_rows;
 
   CliTelemetry telemetry = make_telemetry(serve);
   serving.telemetry = telemetry.get();
@@ -580,6 +605,79 @@ int run_stream_impl(const StreamOptions& options) {
   ExpiryPolicy expiry;
   expiry.ttl = options.ttl_ms < 0.0 ? -1.0 : options.ttl_ms * 1e-3;
   expiry.sweep_interval = options.sweep_ms * 1e-3;
+
+  if (options.shards > 1) {
+    if (options.ttl_ms >= 0.0) {
+      std::printf("note: --ttl-ms has no background sweeper in sharded mode; expiry is\n"
+                  "      caller-driven via ShardedStreamingGraph::sweep_expired\n");
+    }
+    ShardedConfig sharded;
+    sharded.num_shards = options.shards;
+    sharded.partitioner = options.partitioner == "bfs" ? ShardedConfig::Partitioner::kBfs
+                                                       : ShardedConfig::Partitioner::kHash;
+    sharded.stream = streaming;
+    ShardedStreamingSession session =
+        system.stream_sharded(sharded, serving, compaction, publisher);
+
+    const Partition& partition = session.shards().partition();
+    std::printf("\nsharded streaming %s: %d shards (%s partition, imbalance %.3f, "
+                "edge-cut %.1f%%), %d workers, wire=%s, rerank-rows=%lld\n",
+                dataset.info.name.c_str(), options.shards, options.partitioner.c_str(),
+                partition.imbalance(),
+                partition.edge_cut_fraction(dataset.graph.num_edges()) * 100.0,
+                serve.workers, transfer_precision_name(serve.precision),
+                static_cast<long long>(options.rerank_rows));
+
+    UpdateGeneratorConfig updates;
+    updates.operations = options.updates;
+    updates.num_threads = options.update_threads;
+    updates.publish_every = options.publish_every;
+    updates.vertex_add_fraction = options.vertex_add_fraction;
+    updates.vertex_delete_fraction = options.vertex_delete_fraction;
+    updates.feature_update_fraction = options.feature_update_fraction;
+    updates.edge_delete_fraction = options.edge_delete_fraction;
+    updates.delete_recent_fraction = options.delete_recent_fraction;
+    updates.seed = serve.seed + 2;
+    ShardedUpdateDriver update_driver(session.shards(), updates);
+    UpdateReport update_report;
+    std::thread update_thread([&] { update_report = update_driver.run(); });
+
+    LoadGeneratorConfig load;
+    load.num_clients = serve.clients;
+    load.requests_per_client = serve.requests;
+    load.seeds_per_request = serve.seeds_per_request;
+    load.seed = serve.seed + 1;
+    load.telemetry = telemetry.get();
+    LoadGenerator generator(*session.server, dataset, load);
+    const LoadReport report = generator.run();
+    update_thread.join();
+    if (telemetry.exporter) telemetry.exporter->flush("load_drained");
+
+    const ShardedStats sharded_stats = session.shards().stats();
+    const ServingSnapshot& stats = report.server;
+    std::printf("\nqueries:  %s\n", report.to_string().c_str());
+    std::printf("updates:  %s\n", update_report.to_string().c_str());
+    std::printf("sharded:  %s\n", sharded_stats.to_string().c_str());
+    std::printf("latency:  p50 %.3f ms  p99 %.3f ms  (queue p99 %.3f ms, compute mean "
+                "%.3f ms)\n",
+                stats.latency_p50 * 1e3, stats.latency_p99 * 1e3,
+                stats.queue_wait_p99 * 1e3, stats.compute_mean * 1e3);
+    for (std::size_t s = 0; s < session.publishers.size(); ++s) {
+      std::printf("shard %zu:  %lld publishes (worst staleness %.3f ms)\n", s,
+                  static_cast<long long>(session.publishers[s]->publishes()),
+                  session.publishers[s]->worst_staleness() * 1e3);
+    }
+    std::printf("adopter:  %lld cut adoptions (cut %llu served)\n",
+                static_cast<long long>(session.adopter->adoptions()),
+                static_cast<unsigned long long>(session.server->last_served_version()));
+    if (options.rerank_rows > 0) {
+      std::printf("rerank:   %lld traffic-triggered re-ranks\n",
+                  static_cast<long long>(session.server->traffic_reranks()));
+    }
+    print_telemetry_summary(telemetry, serve);
+    return 0;
+  }
+
   StreamingSession session = system.stream(serving, streaming, compaction, publisher, expiry);
 
   std::printf("\nstreaming %s on %d workers (%lld base edges, compact at %lld overlay "

@@ -50,6 +50,7 @@
 #include "sampling/saint_sampler.hpp"
 #include "sampling/sorted_edges.hpp"
 #include "serving/serving.hpp"
+#include "shard/shard.hpp"
 #include "stream/stream.hpp"
 #include "tensor/quantize.hpp"
 
@@ -75,6 +76,26 @@ struct StreamingSession {
   std::unique_ptr<ExpirySweeper> sweeper;  ///< null unless the expiry policy is enabled
 
   StreamingGraph& stream() { return *graph; }
+  InferenceResult infer(std::vector<VertexId> seeds) { return server->infer(std::move(seeds)); }
+};
+
+/// A live SHARDED streaming deployment: N partition-routed shards
+/// behind one facade, an inference server bound to the latest adopted
+/// cross-shard cut, per-shard compactors and SLO publishers (reused
+/// unchanged from the flat stack), and the CutAdopter that folds
+/// per-shard publishes into consistent cuts.  Teardown runs in reverse
+/// declaration order: the adopter stops first (cuts freeze), then the
+/// publishers and compactors, then the server drains (detaching its
+/// per-shard caches), then the facade and its shards go away.  Quiesce
+/// your ingest threads before dropping the session.
+struct ShardedStreamingSession {
+  std::unique_ptr<ShardedStreamingGraph> graph;
+  std::unique_ptr<InferenceServer> server;
+  std::vector<std::unique_ptr<Compactor>> compactors;  ///< one per shard
+  std::vector<std::unique_ptr<Publisher>> publishers;  ///< one per shard; empty when disabled
+  std::unique_ptr<CutAdopter> adopter;
+
+  ShardedStreamingGraph& shards() { return *graph; }
   InferenceResult infer(std::vector<VertexId> seeds) { return server->infer(std::move(seeds)); }
 };
 
@@ -126,6 +147,36 @@ class HyScale {
         expiry.pending_op_budget = compaction.max_overlay_edges / 2;
       session.sweeper = std::make_unique<ExpirySweeper>(*session.graph, expiry);
     }
+    return session;
+  }
+
+  /// Sharded variant of stream(): the evolving graph is split into
+  /// `sharded.num_shards` partition-routed StreamingGraph shards (hash
+  /// or BFS partitioner), each with its own Compactor and SLO
+  /// Publisher, while a CutAdopter folds the shards' independent
+  /// publishes into consistent cross-shard cuts for the server.  TTL
+  /// expiry is driven by the caller in sharded mode (see
+  /// ShardedStreamingGraph::sweep_expired) — there is no per-session
+  /// sweeper, because retirement must be facade-wide to keep the
+  /// shards' vertex spaces in lockstep.
+  ShardedStreamingSession stream_sharded(ShardedConfig sharded = {},
+                                         ServingConfig serving = {},
+                                         CompactionPolicy compaction = {},
+                                         PublisherPolicy publisher = {},
+                                         CutAdopterPolicy adopter = {}) {
+    const ModelSnapshot snapshot(trainer_.model());
+    ShardedStreamingSession session;
+    session.graph = std::make_unique<ShardedStreamingGraph>(*dataset_, std::move(sharded));
+    session.server =
+        std::make_unique<InferenceServer>(*session.graph, snapshot, std::move(serving));
+    for (int s = 0; s < session.graph->num_shards(); ++s) {
+      session.compactors.push_back(
+          std::make_unique<Compactor>(session.graph->shard(s), compaction));
+      if (publisher.staleness_budget > 0.0)
+        session.publishers.push_back(
+            std::make_unique<Publisher>(session.graph->shard(s), publisher));
+    }
+    session.adopter = std::make_unique<CutAdopter>(*session.graph, adopter);
     return session;
   }
 

@@ -82,7 +82,13 @@ Partition partition_bfs(const CsrGraph& graph, int num_parts, std::uint64_t seed
           best = p;
         }
       }
-      if (best == -1) best = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(num_parts)));
+      // All parts at capacity is unreachable while a vertex is still
+      // unassigned (num_parts * capacity >= n), but if the invariant
+      // ever breaks, spilling into the least-filled part keeps the
+      // capacity violation minimal instead of scattering at random.
+      if (best == -1)
+        best = static_cast<int>(std::min_element(filled.begin(), filled.end()) -
+                                filled.begin());
       partition.assignment[static_cast<std::size_t>(v)] = best;
       ++filled[static_cast<std::size_t>(best)];
       frontier.push_back(v);
@@ -102,7 +108,21 @@ Partition partition_bfs(const CsrGraph& graph, int num_parts, std::uint64_t seed
 }
 
 void compute_partition_stats(const CsrGraph& graph, Partition& partition) {
+  // The router recomputes these on every rebalance decision, so a
+  // malformed assignment must fail loudly here rather than index out of
+  // bounds below.
+  if (partition.num_parts <= 0)
+    throw std::invalid_argument("compute_partition_stats: num_parts must be positive");
   const VertexId n = graph.num_vertices();
+  if (partition.assignment.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument(
+        "compute_partition_stats: assignment size must match num_vertices");
+  for (VertexId v = 0; v < n; ++v) {
+    const int part = partition.assignment[static_cast<std::size_t>(v)];
+    if (part < 0 || part >= partition.num_parts)
+      throw std::invalid_argument(
+          "compute_partition_stats: assignment contains out-of-range part id");
+  }
   partition.part_sizes.assign(static_cast<std::size_t>(partition.num_parts), 0);
   partition.halo_sizes.assign(static_cast<std::size_t>(partition.num_parts), 0);
   partition.edge_cut = 0;

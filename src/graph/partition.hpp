@@ -24,11 +24,16 @@ struct Partition {
   /// Per-part count of remote neighbors (halo vertices to fetch).
   std::vector<VertexId> halo_sizes;
 
+  /// Degenerate inputs are well-defined: an edgeless graph cuts
+  /// nothing (0.0) rather than dividing by zero.
   double edge_cut_fraction(EdgeId total_edges) const {
     return total_edges == 0 ? 0.0
                             : static_cast<double>(edge_cut) / static_cast<double>(total_edges);
   }
-  /// Max/mean part size; 1.0 = perfectly balanced.
+  /// Max/mean part size; 1.0 = perfectly balanced.  Degenerate inputs
+  /// (no parts, empty graph) report the balanced value 1.0 — the
+  /// router calls this on every rebalance decision and must never
+  /// divide by zero.
   double imbalance() const;
 };
 

@@ -18,6 +18,7 @@ const char* trace_stage_name(TraceStage stage) {
     case TraceStage::kRebase: return "rebase";
     case TraceStage::kAnnihilate: return "annihilate";
     case TraceStage::kTtlSweep: return "ttl_sweep";
+    case TraceStage::kAdopt: return "adopt";
   }
   return "unknown";
 }

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
 #include "common/rng.hpp"
+#include "shard/sharded_graph.hpp"
+#include "shard/sharded_sampler.hpp"
 #include "stream/overlay_sampler.hpp"
 #include "stream/streaming_graph.hpp"
 
@@ -84,6 +88,36 @@ InferenceServer::InferenceServer(StreamingGraph& stream, const ModelSnapshot& sn
   init_workers(snapshot);
 }
 
+InferenceServer::InferenceServer(ShardedStreamingGraph& sharded,
+                                 const ModelSnapshot& snapshot, ServingConfig config)
+    : dataset_(sharded.dataset()),
+      sharded_(&sharded),
+      config_(std::move(config)),
+      num_classes_(snapshot.num_classes()),
+      num_layers_(snapshot.num_layers()),
+      batcher_(config_.batch) {
+  if (config_.cache_capacity_rows > 0) {
+    // One device cache per shard, ranked by the shard's own (filtered)
+    // degrees and attached to that shard for invalidation/eviction.
+    // Membership differences versus a flat cache are value-neutral:
+    // device rows and store wire fetches apply the same per-row
+    // precision rule, so a hit and a miss gather identical bytes.
+    shard_caches_.reserve(static_cast<std::size_t>(sharded.num_shards()));
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      StreamingGraph& shard = sharded.shard(s);
+      shard_caches_.push_back(std::make_unique<StaticFeatureCache>(
+          sharded.shard_dataset(s).graph, shard.features().base(),
+          config_.cache_capacity_rows, config_.transfer_precision));
+      shard.attach_cache(shard_caches_.back().get());
+    }
+  }
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    sharded.shard(s).features().set_transfer_precision(config_.transfer_precision);
+  }
+  bind_telemetry();
+  init_workers(snapshot);
+}
+
 void InferenceServer::bind_telemetry() {
   if (config_.telemetry == nullptr) return;
   stats_.bind(config_.telemetry);
@@ -109,6 +143,30 @@ void InferenceServer::bind_telemetry() {
     reg.register_callback("cache.rerank_evicted_rows", this, [cache] {
       return static_cast<double>(cache->rerank_evicted_rows());
     });
+  } else if (!shard_caches_.empty()) {
+    // Sharded mode: the cache.* names aggregate across shards (the
+    // per-shard split is visible through each shard's own counters).
+    const auto* caches = &shard_caches_;
+    auto sum = [caches](auto getter) {
+      return [caches, getter] {
+        double total = 0.0;
+        for (const auto& cache : *caches) total += static_cast<double>(getter(*cache));
+        return total;
+      };
+    };
+    reg.register_callback("cache.invalidations", this,
+                          sum([](const StaticFeatureCache& c) { return c.invalidations(); }));
+    reg.register_callback("cache.evictions", this,
+                          sum([](const StaticFeatureCache& c) { return c.evictions(); }));
+    reg.register_callback("cache.reranks", this,
+                          sum([](const StaticFeatureCache& c) { return c.reranks(); }));
+    reg.register_callback("cache.readmitted_rows", this, sum([](const StaticFeatureCache& c) {
+                            return c.readmitted_rows();
+                          }));
+    reg.register_callback("cache.rerank_evicted_rows", this,
+                          sum([](const StaticFeatureCache& c) {
+                            return c.rerank_evicted_rows();
+                          }));
   }
 }
 
@@ -124,7 +182,10 @@ void InferenceServer::init_workers(const ModelSnapshot& snapshot) {
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     workers_[w].model = snapshot.instantiate();
     if (!config_.fanouts.empty()) {
-      if (stream_ != nullptr) {
+      if (sharded_ != nullptr) {
+        workers_[w].sharded = std::make_unique<ShardedSampler>(
+            sharded_->current_cut(), config_.fanouts, config_.seed + w);
+      } else if (stream_ != nullptr) {
         workers_[w].overlay = std::make_unique<OverlaySampler>(
             stream_->current(), config_.fanouts, config_.seed + w);
       } else {
@@ -132,7 +193,7 @@ void InferenceServer::init_workers(const ModelSnapshot& snapshot) {
             dataset_.graph, config_.fanouts, config_.seed + w);
       }
     }
-    if (!cache_ && stream_ == nullptr) {
+    if (!cache_ && stream_ == nullptr && sharded_ == nullptr) {
       workers_[w].loader = std::make_unique<FeatureLoader>(dataset_.features);
     }
     if (config_.telemetry != nullptr) {
@@ -154,6 +215,11 @@ InferenceServer::~InferenceServer() {
   batcher_.shutdown();
   pool_.reset();  // joins the worker loops after they drain the queue
   if (stream_ != nullptr && cache_) stream_->attach_cache(nullptr);
+  if (sharded_ != nullptr && !shard_caches_.empty()) {
+    for (int s = 0; s < sharded_->num_shards(); ++s) {
+      sharded_->shard(s).attach_cache(nullptr);
+    }
+  }
   if (config_.telemetry != nullptr) config_.telemetry->registry().detach(this);
 }
 
@@ -162,9 +228,11 @@ std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
   if (seeds.empty())
     throw std::invalid_argument("InferenceServer: empty seed list");
   // Streaming vertices become queryable once a version containing them
-  // is published (execute-time versions are monotonically newer).
-  const VertexId limit =
-      stream_ != nullptr ? stream_->current()->num_vertices() : dataset_.graph.num_vertices();
+  // is published (sharded: adopted — execute-time cuts/versions are
+  // monotonically newer).
+  const VertexId limit = sharded_ != nullptr ? sharded_->current_cut()->num_vertices()
+                         : stream_ != nullptr ? stream_->current()->num_vertices()
+                                              : dataset_.graph.num_vertices();
   for (VertexId v : seeds) {
     if (v < 0 || v >= limit)
       throw std::invalid_argument("InferenceServer: seed vertex out of range");
@@ -235,7 +303,26 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
     const std::int64_t sample_begin_ns = diag ? StageTracer::now_ns() : 0;
     MiniBatch mb;
     {
-      if (stream_ != nullptr) {
+      if (sharded_ != nullptr) {
+        // Latest ADOPTED cut for the whole micro-batch: one frozen
+        // cross-shard version vector, so a query never mixes a
+        // pre-publish shard with a post-publish one.
+        const std::shared_ptr<const ShardedCut> cut = sharded_->current_cut();
+        std::uint64_t seen = last_served_version_.load(std::memory_order_relaxed);
+        while (seen < cut->cut_id() &&
+               !last_served_version_.compare_exchange_weak(seen, cut->cut_id(),
+                                                           std::memory_order_relaxed)) {
+        }
+        if (m_served_version_ != nullptr)
+          m_served_version_->set_max(static_cast<double>(cut->cut_id()));
+        if (worker.sharded) {
+          worker.sharded->set_cut(cut);
+          worker.sharded->reseed(batch_stream_seed(config_.seed, combined));
+          mb = worker.sharded->sample(combined);
+        } else {
+          mb = sample_full_sharded(*cut, combined, num_layers_);
+        }
+      } else if (stream_ != nullptr) {
         // Latest published version for the whole micro-batch: consistent
         // view per batch, freshest data per pickup.
         const std::shared_ptr<const GraphVersion> version = stream_->current();
@@ -271,7 +358,17 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
 
     Tensor& x = worker.x;
     {
-      if (stream_ != nullptr) {
+      if (sharded_ != nullptr) {
+        // Route through the home shard of the batch's first seed; the
+        // facade patches still-dirty halo rows from their owners so the
+        // block is bit-identical to a flat gather.
+        const auto& nodes = mb.input_nodes();
+        const int home = sharded_->owner(combined.front());
+        const auto gather_stats = sharded_->gather(
+            home, std::span<const VertexId>(nodes.data(), nodes.size()), x,
+            worker.hit_scratch);
+        if (!shard_caches_.empty()) stats_.record_gather(gather_stats);
+      } else if (stream_ != nullptr) {
         // Fused sample->gather: the minibatch's input-node span feeds the
         // gather directly and lands in the worker's reusable tensor — no
         // temporary id or feature buffers between the stages.
@@ -285,6 +382,7 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
         worker.loader->load(mb, x);
       }
     }
+    maybe_rerank(static_cast<std::int64_t>(mb.input_nodes().size()));
     const std::int64_t gather_end_ns = diag ? StageTracer::now_ns() : 0;
     if (tracing)
       tracer_->record(TraceStage::kGather, batch_id, mb.input_nodes().size(), sample_end_ns,
@@ -357,6 +455,60 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
       }
     }
   }
+}
+
+void InferenceServer::maybe_rerank(std::int64_t gathered_rows) {
+  const std::int64_t every = config_.cache_rerank_every_rows;
+  if (every <= 0 || gathered_rows <= 0) return;
+  if (!cache_ && shard_caches_.empty()) return;
+  const std::int64_t total =
+      rerank_rows_.fetch_add(gathered_rows, std::memory_order_relaxed) + gathered_rows;
+  std::int64_t due = rerank_due_.load(std::memory_order_relaxed);
+  while (total >= due + every) {
+    // Claim every boundary this total crosses in one CAS so a huge
+    // batch issues one re-rank, not a burst, and concurrent workers
+    // never double-trigger the same crossing.
+    const std::int64_t next = due + every * ((total - due) / every);
+    if (!rerank_due_.compare_exchange_weak(due, next, std::memory_order_relaxed)) continue;
+    traffic_reranks_.fetch_add(1, std::memory_order_relaxed);
+    if (sharded_ != nullptr) {
+      sharded_->rerank_all();
+    } else if (stream_ != nullptr) {
+      stream_->rerank_now();
+    } else {
+      rerank_static_cache();
+    }
+    break;
+  }
+}
+
+void InferenceServer::rerank_static_cache() {
+  if (!cache_ || cache_->capacity() == 0) return;
+  // Static mode has no dead vertices, so the candidate pool is simply
+  // every trackable row; the ranking matches StreamingGraph's fold-time
+  // re-rank (traffic first, dataset degree breaks ties, id stabilises).
+  const auto limit =
+      std::min<VertexId>(static_cast<VertexId>(cache_->trackable_rows()),
+                         dataset_.graph.num_vertices());
+  if (limit <= 0) return;
+  std::vector<VertexId> candidates(static_cast<std::size_t>(limit));
+  std::iota(candidates.begin(), candidates.end(), VertexId{0});
+  const auto hotter = [this](VertexId a, VertexId b) {
+    const std::uint64_t ca = cache_->access_count(a);
+    const std::uint64_t cb = cache_->access_count(b);
+    if (ca != cb) return ca > cb;
+    const EdgeId da = dataset_.graph.degree(a);
+    const EdgeId db = dataset_.graph.degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  };
+  const auto top = std::min<std::size_t>(candidates.size(),
+                                         static_cast<std::size_t>(cache_->capacity()));
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<std::ptrdiff_t>(top),
+                    candidates.end(), hotter);
+  candidates.resize(top);
+  cache_->rerank(candidates);
 }
 
 }  // namespace hyscale

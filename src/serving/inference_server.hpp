@@ -52,6 +52,8 @@ namespace hyscale {
 
 class StreamingGraph;
 class OverlaySampler;
+class ShardedStreamingGraph;
+class ShardedSampler;
 
 struct ServingConfig {
   /// Inference fanouts, input layer first (like HybridTrainerConfig).
@@ -70,6 +72,16 @@ struct ServingConfig {
   /// construction.  Default kFp32 (lossless).
   TransferPrecision transfer_precision = TransferPrecision::kFp32;
   std::uint64_t seed = 1;
+  /// Traffic-triggered cache re-rank cadence, in gathered input rows
+  /// summed across all workers: every N rows the serving tier recomputes
+  /// the attached cache's hot set from its observed access counters
+  /// (streaming: StreamingGraph::rerank_now; sharded: every shard's
+  /// cache; static: the same traffic-first/degree-tiebreak ranking over
+  /// the dataset graph).  Decouples admission-drift correction from
+  /// compaction folds — a serving-heavy session whose quiet ingest never
+  /// triggers a fold still re-ranks.  0 (default) leaves re-ranking to
+  /// the fold-time path alone.
+  std::int64_t cache_rerank_every_rows = 0;
   /// Telemetry plane (obs/) to report through: serving.* instruments,
   /// request/batch stage spans.  Null = telemetry off (default); must
   /// outlive the server when set.
@@ -90,6 +102,16 @@ class InferenceServer {
   /// updates.
   InferenceServer(StreamingGraph& stream, const ModelSnapshot& snapshot,
                   ServingConfig config = {});
+
+  /// Sharded mode: serve over `sharded`'s latest ADOPTED cut.  Every
+  /// micro-batch samples one frozen cross-shard version vector through
+  /// a ShardedSampler and gathers through the facade's halo plane,
+  /// routed via the home shard of the batch's first seed.  When a cache
+  /// is configured, one per-shard StaticFeatureCache is built over each
+  /// shard's store base and attached for invalidation/eviction.
+  /// `sharded` (and its dataset) must outlive the server.
+  InferenceServer(ShardedStreamingGraph& sharded, const ModelSnapshot& snapshot,
+                  ServingConfig config = {});
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -106,9 +128,22 @@ class InferenceServer {
 
   ServingSnapshot stats() const { return stats_.snapshot(); }
   const StaticFeatureCache* cache() const { return cache_.get(); }
+  /// Shard `s`'s device cache (sharded mode with a cache configured;
+  /// null otherwise).
+  const StaticFeatureCache* shard_cache(int s) const {
+    return static_cast<std::size_t>(s) < shard_caches_.size()
+               ? shard_caches_[static_cast<std::size_t>(s)].get()
+               : nullptr;
+  }
   const ServingConfig& config() const { return config_; }
   int num_classes() const { return num_classes_; }
   bool streaming() const { return stream_ != nullptr; }
+  bool sharded() const { return sharded_ != nullptr; }
+  /// Traffic-triggered cache re-ranks this server has issued
+  /// (cache_rerank_every_rows crossings; 0 when the cadence is off).
+  std::int64_t traffic_reranks() const {
+    return traffic_reranks_.load(std::memory_order_relaxed);
+  }
   /// Id of the newest GraphVersion any micro-batch has sampled (0 in
   /// static mode or before the first streaming batch) — how the SLO
   /// publisher's freshness actually reaches queries.
@@ -122,6 +157,7 @@ class InferenceServer {
     std::unique_ptr<GnnModel> model;
     std::unique_ptr<NeighborSampler> sampler;  ///< null in full-neighborhood mode
     std::unique_ptr<OverlaySampler> overlay;   ///< streaming mode, sampled fanouts
+    std::unique_ptr<ShardedSampler> sharded;   ///< sharded mode, sampled fanouts
     std::unique_ptr<FeatureLoader> loader;     ///< fallback when no cache
     Heartbeat* heart = nullptr;                ///< liveness stamp when telemetry on
     // Reusable batch scratch: coalesced seed ids, the gathered feature
@@ -137,9 +173,18 @@ class InferenceServer {
   void bind_telemetry();
   void worker_loop(Worker& worker);
   void execute_batch(Worker& worker, std::vector<InferenceRequest>& batch);
+  /// Folds `gathered_rows` into the traffic-rerank cadence and issues a
+  /// re-rank when a cache_rerank_every_rows boundary is crossed (one
+  /// trigger per crossing, CAS-claimed so concurrent workers never
+  /// stampede).
+  void maybe_rerank(std::int64_t gathered_rows);
+  /// Static-mode re-rank: same traffic-first/degree-tiebreak ranking as
+  /// StreamingGraph::rerank_cache, over the (immutable) dataset graph.
+  void rerank_static_cache();
 
   const Dataset& dataset_;
-  StreamingGraph* stream_ = nullptr;  ///< null in static mode
+  StreamingGraph* stream_ = nullptr;          ///< null unless streaming mode
+  ShardedStreamingGraph* sharded_ = nullptr;  ///< null unless sharded mode
   ServingConfig config_;
   int num_classes_ = 0;
   int num_layers_ = 0;
@@ -147,11 +192,17 @@ class InferenceServer {
   DynamicBatcher batcher_;
   ServingStats stats_;
   std::unique_ptr<StaticFeatureCache> cache_;
+  /// Sharded mode: one device cache per shard (attached to that shard's
+  /// StreamingGraph for invalidation/eviction); cache_ stays null.
+  std::vector<std::unique_ptr<StaticFeatureCache>> shard_caches_;
   std::vector<Worker> workers_;
   std::unique_ptr<ThreadPool> pool_;  ///< dedicated; keep last so it joins first
   std::atomic<std::uint64_t> next_request_id_{0};
   std::atomic<std::uint64_t> next_batch_id_{0};
   std::atomic<std::uint64_t> last_served_version_{0};
+  std::atomic<std::int64_t> rerank_rows_{0};      ///< gathered rows, all workers
+  std::atomic<std::int64_t> rerank_due_{0};       ///< next cadence boundary
+  std::atomic<std::int64_t> traffic_reranks_{0};  ///< cadence triggers issued
 
   StageTracer* tracer_ = nullptr;        ///< from config_.telemetry, may be null
   ExemplarRing* exemplars_ = nullptr;    ///< tail-trace ring, null when off

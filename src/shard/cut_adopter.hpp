@@ -1,0 +1,62 @@
+// Background cut adopter: the router's version-vector advancer.
+//
+// Per-shard Publishers make each shard's ingest visible as per-shard
+// GraphVersions, but queries only ever read an adopted ShardedCut — a
+// shard's publish is invisible until a cut containing it is installed.
+// The CutAdopter closes that gap: a background thread polls the facade
+// and adopts whenever some shard has published past the current cut or
+// dirty halo rows await a refresh, bounding cut staleness at roughly
+// its poll interval on top of the per-shard publishers' SLO.  Idles
+// (watchdog-visible) when nothing moved; adoption itself is serialized
+// inside the facade, so a concurrent test-driven publish_all is safe.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "shard/sharded_graph.hpp"
+
+namespace hyscale {
+
+struct CutAdopterPolicy {
+  /// How often the adopter checks for newly published shard versions
+  /// or pending halo refreshes.
+  Seconds poll_interval = 1e-3;
+};
+
+class CutAdopter {
+ public:
+  /// `graph` must outlive the adopter.  The background thread starts
+  /// immediately and stops (joined) on destruction or stop().
+  explicit CutAdopter(ShardedStreamingGraph& graph, CutAdopterPolicy policy = {});
+  ~CutAdopter();
+
+  CutAdopter(const CutAdopter&) = delete;
+  CutAdopter& operator=(const CutAdopter&) = delete;
+
+  void stop();
+
+  /// Cuts this thread installed (adoptions triggered elsewhere — e.g. a
+  /// caller's publish_all — are not counted here; the facade's
+  /// sharded.cut_adoptions counter covers all of them).
+  std::int64_t adoptions() const { return adoptions_.load(std::memory_order_relaxed); }
+  const CutAdopterPolicy& policy() const { return policy_; }
+
+ private:
+  void loop();
+
+  ShardedStreamingGraph& graph_;
+  CutAdopterPolicy policy_;
+  Heartbeat* heart_ = nullptr;  ///< liveness stamp when telemetry on
+  std::atomic<std::int64_t> adoptions_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;  ///< keep last: starts in the constructor's tail
+};
+
+}  // namespace hyscale

@@ -1,0 +1,458 @@
+#include "shard/sharded_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hyscale {
+
+ShardedCut::ShardedCut(std::shared_ptr<const ShardOwnerMap> owners,
+                       std::vector<std::shared_ptr<const GraphVersion>> versions,
+                       std::uint64_t cut_id)
+    : owners_(std::move(owners)), versions_(std::move(versions)), cut_id_(cut_id) {
+  if (!owners_) throw std::invalid_argument("ShardedCut: null owner map");
+  if (versions_.size() != static_cast<std::size_t>(owners_->num_shards()))
+    throw std::invalid_argument("ShardedCut: one version per shard required");
+  for (const auto& version : versions_) {
+    if (!version) throw std::invalid_argument("ShardedCut: null shard version");
+    num_vertices_ = std::max(num_vertices_, version->num_vertices());
+    max_degree_ = std::max(max_degree_, version->max_degree());
+  }
+}
+
+namespace {
+
+/// Shard s's base adjacency: every directed edge (v, u) with
+/// owner(v) == s or owner(u) == s, in the dataset's (sorted) order —
+/// so an owned vertex's rows are element-identical to the flat CSR's.
+CsrGraph filter_owner_incident(const CsrGraph& graph, const std::vector<int>& assignment,
+                               int shard) {
+  const VertexId n = graph.num_vertices();
+  std::vector<EdgeId> indptr;
+  indptr.reserve(static_cast<std::size_t>(n) + 1);
+  indptr.push_back(0);
+  std::vector<VertexId> indices;
+  for (VertexId v = 0; v < n; ++v) {
+    const bool owned = assignment[static_cast<std::size_t>(v)] == shard;
+    for (VertexId u : graph.neighbors(v)) {
+      if (owned || assignment[static_cast<std::size_t>(u)] == shard) indices.push_back(u);
+    }
+    indptr.push_back(static_cast<EdgeId>(indices.size()));
+  }
+  return CsrGraph(std::move(indptr), std::move(indices));
+}
+
+}  // namespace
+
+ShardedStreamingGraph::ShardedStreamingGraph(const Dataset& dataset, ShardedConfig config)
+    : dataset_(&dataset), config_(std::move(config)) {
+  if (config_.num_shards < 1)
+    throw std::invalid_argument("ShardedStreamingGraph: num_shards must be >= 1");
+  if (!config_.stream.symmetric)
+    throw std::invalid_argument(
+        "ShardedStreamingGraph: per-shard graphs must be symmetric (edge routing "
+        "relies on both directions landing in both endpoint owners)");
+
+  partition_ = config_.partitioner == ShardedConfig::Partitioner::kBfs
+                   ? partition_bfs(dataset.graph, config_.num_shards, config_.partition_seed)
+                   : partition_hash(dataset.graph, config_.num_shards, config_.partition_seed);
+  owners_ = std::make_shared<const ShardOwnerMap>(partition_.assignment, config_.num_shards,
+                                                  config_.partition_seed);
+
+  shard_datasets_.reserve(static_cast<std::size_t>(config_.num_shards));
+  for (int s = 0; s < config_.num_shards; ++s) {
+    Dataset view;
+    view.info = dataset.info;
+    view.info.name += "/shard" + std::to_string(s);
+    view.graph = filter_owner_incident(dataset.graph, partition_.assignment, s);
+    view.features = dataset.features;  // full copy: every shard mirrors every row
+    view.labels = dataset.labels;
+    view.train_ids = dataset.train_ids;
+    shard_datasets_.push_back(std::move(view));
+  }
+
+  shards_.reserve(static_cast<std::size_t>(config_.num_shards));
+  for (int s = 0; s < config_.num_shards; ++s) {
+    StreamingConfig shard_config = config_.stream;
+    shard_config.recycle_ids = false;  // lockstep vertex spaces, see header
+    shard_config.metric_prefix = "shard" + std::to_string(s) + ".";
+    shards_.push_back(std::make_unique<StreamingGraph>(
+        shard_datasets_[static_cast<std::size_t>(s)], shard_config));
+  }
+
+  bind_telemetry();
+  adopt();  // cut 1: the construction-time version vector
+}
+
+ShardedStreamingGraph::~ShardedStreamingGraph() {
+  if (config_.stream.telemetry != nullptr) config_.stream.telemetry->registry().detach(this);
+}
+
+void ShardedStreamingGraph::bind_telemetry() {
+  Telemetry* telemetry = config_.stream.telemetry;
+  if (telemetry == nullptr) return;
+  auto& registry = telemetry->registry();
+  tracer_ = &telemetry->tracer();
+  journal_ = &telemetry->journal();
+  m_adoptions_ = &registry.counter("sharded.cut_adoptions");
+  m_refreshed_ = &registry.counter("sharded.halo_refreshed_rows");
+  m_halo_hits_ = &registry.counter("sharded.halo_hits");
+  m_cross_rows_ = &registry.counter("sharded.cross_shard_rows");
+  registry.gauge("sharded.num_shards").set(static_cast<double>(num_shards()));
+  registry.gauge("sharded.edge_cut_fraction")
+      .set(partition_.edge_cut_fraction(dataset_->graph.num_edges()));
+  registry.gauge("sharded.imbalance").set(partition_.imbalance());
+  registry.register_callback("sharded.dirty_rows", this,
+                             [this] { return static_cast<double>(dirty_rows()); });
+  registry.register_callback("sharded.cut_id", this, [this] {
+    const auto cut = current_cut();
+    return cut == nullptr ? 0.0 : static_cast<double>(cut->cut_id());
+  });
+  // Logical op counters (each op counted ONCE regardless of how many
+  // shards applied it) — the per-shard stream.* counters double-book
+  // cross-shard edges, so record builders must read these instead.
+  const auto logical = [&](const char* name, std::atomic<std::int64_t>& counter) {
+    registry.register_callback(name, this, [&counter] {
+      return static_cast<double>(counter.load(std::memory_order_relaxed));
+    });
+  };
+  logical("sharded.ingested_edges", ingested_edges_);
+  logical("sharded.duplicate_edges", duplicate_edges_);
+  logical("sharded.removed_edges", removed_edges_);
+  logical("sharded.rejected_removals", rejected_removals_);
+  logical("sharded.added_vertices", added_vertices_);
+  logical("sharded.removed_vertices", removed_vertices_);
+  logical("sharded.feature_updates", feature_updates_);
+  logical("sharded.expired_vertices", expired_vertices_);
+}
+
+std::mutex& ShardedStreamingGraph::edge_stripe(VertexId u, VertexId v) const {
+  const VertexId lo = u < v ? u : v;
+  const VertexId hi = u < v ? v : u;
+  std::uint64_t h = (static_cast<std::uint64_t>(lo) << 21) ^ static_cast<std::uint64_t>(hi);
+  return edge_stripes_[splitmix64(h) % kEdgeStripes];
+}
+
+bool ShardedStreamingGraph::add_edge(VertexId u, VertexId v) {
+  std::shared_lock topology(topology_mutex_);
+  std::lock_guard stripe(edge_stripe(u, v));
+  const int su = owners_->owner(u);
+  const int sv = owners_->owner(v);
+  const bool accepted = shards_[static_cast<std::size_t>(su)]->add_edge(u, v);
+  if (sv != su) {
+    // Both owners saw every prior op on {u, v} (this stripe serializes
+    // them) and share the dead-vertex state (broadcast), so the second
+    // owner's verdict always matches the first.
+    shards_[static_cast<std::size_t>(sv)]->add_edge(u, v);
+  }
+  if (accepted) {
+    ingested_edges_.fetch_add(2, std::memory_order_relaxed);
+  } else {
+    duplicate_edges_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return accepted;
+}
+
+bool ShardedStreamingGraph::remove_edge(VertexId u, VertexId v) {
+  std::shared_lock topology(topology_mutex_);
+  std::lock_guard stripe(edge_stripe(u, v));
+  const int su = owners_->owner(u);
+  const int sv = owners_->owner(v);
+  const bool accepted = shards_[static_cast<std::size_t>(su)]->remove_edge(u, v);
+  if (sv != su) shards_[static_cast<std::size_t>(sv)]->remove_edge(u, v);
+  if (accepted) {
+    removed_edges_.fetch_add(2, std::memory_order_relaxed);
+  } else {
+    rejected_removals_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return accepted;
+}
+
+VertexId ShardedStreamingGraph::add_vertex(std::span<const float> features) {
+  std::unique_lock topology(topology_mutex_);
+  VertexId id = -1;
+  for (auto& shard : shards_) {
+    const VertexId got = shard->add_vertex(features);
+    if (id == -1) {
+      id = got;
+    } else if (got != id) {
+      // Unreachable while recycling is off and every add/remove is
+      // broadcast; a divergence here would silently corrupt routing.
+      throw std::logic_error("ShardedStreamingGraph: shard vertex spaces diverged");
+    }
+  }
+  added_vertices_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool ShardedStreamingGraph::remove_vertex(VertexId v) {
+  std::unique_lock topology(topology_mutex_);
+  // The OWNER shard holds v's complete adjacency, so its removed-edge
+  // delta over the broadcast is the logical count of directed edges
+  // this retirement retracted (the other shards drop subsets of the
+  // same edges — counting them too would double-book).
+  const int o = owners_->owner(v);
+  const std::int64_t owner_removed_before =
+      shards_[static_cast<std::size_t>(o)]->stats().removed_edges;
+  bool removed = false;
+  bool first = true;
+  for (auto& shard : shards_) {
+    const bool got = shard->remove_vertex(v);
+    if (first) {
+      removed = got;
+      first = false;
+    }
+  }
+  if (removed) {
+    removed_vertices_.fetch_add(1, std::memory_order_relaxed);
+    removed_edges_.fetch_add(
+        shards_[static_cast<std::size_t>(o)]->stats().removed_edges - owner_removed_before,
+        std::memory_order_relaxed);
+    std::lock_guard dirty_lock(dirty_mutex_);
+    dirty_.erase(v);  // every mirror is zeroed now; nothing left to refresh
+  }
+  return removed;
+}
+
+bool ShardedStreamingGraph::update_feature(VertexId v, std::span<const float> values) {
+  std::shared_lock topology(topology_mutex_);
+  const int o = owners_->owner(v);
+  const bool accepted = shards_[static_cast<std::size_t>(o)]->update_feature(v, values);
+  if (accepted) {
+    feature_updates_.fetch_add(1, std::memory_order_relaxed);
+    if (shards_.size() > 1) {
+      std::lock_guard dirty_lock(dirty_mutex_);
+      dirty_.insert(v);
+    }
+  }
+  return accepted;
+}
+
+std::shared_ptr<const ShardedCut> ShardedStreamingGraph::publish_all() {
+  for (auto& shard : shards_) shard->publish();
+  return adopt();
+}
+
+std::shared_ptr<const ShardedCut> ShardedStreamingGraph::adopt() {
+  std::lock_guard serialize(adopt_mutex_);
+
+  std::vector<std::shared_ptr<const GraphVersion>> versions;
+  versions.reserve(shards_.size());
+  for (const auto& shard : shards_) versions.push_back(shard->current());
+
+  bool have_dirty;
+  {
+    std::lock_guard dirty_lock(dirty_mutex_);
+    have_dirty = !dirty_.empty();
+  }
+  {
+    std::lock_guard cut_lock(cut_mutex_);
+    if (current_cut_ != nullptr && !have_dirty) {
+      bool unchanged = true;
+      for (int s = 0; s < num_shards(); ++s) {
+        if (current_cut_->shard_version_ptr(s) != versions[static_cast<std::size_t>(s)]) {
+          unchanged = false;
+          break;
+        }
+      }
+      if (unchanged) return current_cut_;
+    }
+  }
+
+  const std::int64_t begin_ns = tracer_ != nullptr ? StageTracer::now_ns() : 0;
+
+  // Halo refresh: bring every non-owner mirror of a dirty vertex up to
+  // the owner's row.  Ascending id order keeps the pass deterministic.
+  std::vector<VertexId> dirty;
+  {
+    std::lock_guard dirty_lock(dirty_mutex_);
+    dirty.assign(dirty_.begin(), dirty_.end());
+    dirty_.clear();
+  }
+  std::sort(dirty.begin(), dirty.end());
+  std::int64_t refreshed = 0;
+  if (!dirty.empty() && shards_.size() > 1) {
+    std::vector<float> row(static_cast<std::size_t>(shards_.front()->features().cols()));
+    for (VertexId v : dirty) {
+      const int o = owners_->owner(v);
+      shards_[static_cast<std::size_t>(o)]->features().copy_row(v, row);
+      for (int s = 0; s < num_shards(); ++s) {
+        if (s == o) continue;
+        shards_[static_cast<std::size_t>(s)]->refresh_mirror_row(v, row);
+        ++refreshed;
+      }
+    }
+  }
+
+  const auto cut = std::make_shared<const ShardedCut>(
+      owners_, std::move(versions), cut_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  {
+    std::lock_guard cut_lock(cut_mutex_);
+    current_cut_ = cut;
+  }
+  cut_adoptions_.fetch_add(1, std::memory_order_relaxed);
+  halo_refreshed_rows_.fetch_add(refreshed, std::memory_order_relaxed);
+  if (m_adoptions_ != nullptr) m_adoptions_->add(1);
+  if (m_refreshed_ != nullptr && refreshed > 0) m_refreshed_->add(refreshed);
+  if (tracer_ != nullptr) {
+    tracer_->record(TraceStage::kAdopt, cut->cut_id(), static_cast<std::uint64_t>(refreshed),
+                    begin_ns, StageTracer::now_ns());
+  }
+  if (journal_ != nullptr) {
+    journal_->log("adopt", "cut=" + std::to_string(cut->cut_id()) +
+                               " refreshed_rows=" + std::to_string(refreshed));
+  }
+  return cut;
+}
+
+std::shared_ptr<const ShardedCut> ShardedStreamingGraph::current_cut() const {
+  std::lock_guard cut_lock(cut_mutex_);
+  return current_cut_;
+}
+
+bool ShardedStreamingGraph::cut_stale() const {
+  {
+    std::lock_guard dirty_lock(dirty_mutex_);
+    if (!dirty_.empty()) return true;
+  }
+  const auto cut = current_cut();
+  for (int s = 0; s < num_shards(); ++s) {
+    if (cut->shard_version_ptr(s) != shards_[static_cast<std::size_t>(s)]->current())
+      return true;
+  }
+  return false;
+}
+
+StaticFeatureCache::LoadStats ShardedStreamingGraph::gather(
+    int home_shard, std::span<const VertexId> nodes, Tensor& out,
+    std::vector<char>& hit_scratch) const {
+  auto stats = shards_[static_cast<std::size_t>(home_shard)]->gather(nodes, out, hit_scratch);
+  if (shards_.size() == 1) return stats;
+
+  // Remote rows: fresh mirrors (halo hits) are already correct in
+  // `out`; rows still dirty since the last adopt are overwritten
+  // straight from their owner's store — at the owner's wire precision,
+  // so the served values match what the flat graph's store would emit.
+  thread_local std::vector<VertexId> stale_nodes;
+  thread_local std::vector<std::int64_t> stale_rows;
+  stale_nodes.clear();
+  stale_rows.clear();
+  std::int64_t remote = 0;
+  {
+    std::lock_guard dirty_lock(dirty_mutex_);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const VertexId v = nodes[i];
+      if (owners_->owner(v) == home_shard) continue;
+      ++remote;
+      if (dirty_.count(v) != 0) {
+        stale_nodes.push_back(v);
+        stale_rows.push_back(static_cast<std::int64_t>(i));
+      }
+    }
+  }
+  if (remote == 0) return stats;
+  const auto stale = static_cast<std::int64_t>(stale_nodes.size());
+  halo_hits_.fetch_add(remote - stale, std::memory_order_relaxed);
+  cross_shard_rows_.fetch_add(stale, std::memory_order_relaxed);
+  if (m_halo_hits_ != nullptr && remote > stale) m_halo_hits_->add(remote - stale);
+  if (m_cross_rows_ != nullptr && stale > 0) m_cross_rows_->add(stale);
+  if (stale == 0) return stats;
+
+  thread_local std::vector<VertexId> owner_batch;
+  thread_local std::vector<std::int64_t> owner_rows;
+  thread_local Tensor fetched;
+  const std::int64_t cols = out.cols();
+  for (int s = 0; s < num_shards(); ++s) {
+    if (s == home_shard) continue;
+    owner_batch.clear();
+    owner_rows.clear();
+    for (std::size_t k = 0; k < stale_nodes.size(); ++k) {
+      if (owners_->owner(stale_nodes[k]) == s) {
+        owner_batch.push_back(stale_nodes[k]);
+        owner_rows.push_back(stale_rows[k]);
+      }
+    }
+    if (owner_batch.empty()) continue;
+    fetched.resize(static_cast<std::int64_t>(owner_batch.size()), cols);
+    shards_[static_cast<std::size_t>(s)]->features().gather(owner_batch, fetched);
+    for (std::size_t j = 0; j < owner_batch.size(); ++j) {
+      const auto src = fetched.row(static_cast<std::int64_t>(j));
+      const auto dst = out.row(owner_rows[j]);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return stats;
+}
+
+void ShardedStreamingGraph::rerank_all() {
+  for (auto& shard : shards_) shard->rerank_now();
+}
+
+std::int64_t ShardedStreamingGraph::sweep_expired(Seconds ttl, std::int64_t max_retire,
+                                                  EdgeId pending_op_budget) {
+  if (max_retire <= 0) return 0;
+  const auto ttl_ns = static_cast<std::int64_t>(ttl * 1e9);
+  const std::int64_t now = MutableFeatureStore::now_ns();
+  const VertexId first_streamed = dataset_->graph.num_vertices();
+  const VertexId n = num_vertices();
+  std::int64_t retired = 0;
+  for (VertexId v = first_streamed; v < n && retired < max_retire; ++v) {
+    if (pending_op_budget > 0) {
+      EdgeId busiest = 0;
+      for (const auto& shard : shards_)
+        busiest = std::max(busiest, shard->overlay_ops());
+      if (busiest >= pending_op_budget) break;
+    }
+    // A vertex read-hot through ANY home shard stays alive: the
+    // effective last touch is the max across all shard stores.
+    std::int64_t last = 0;
+    for (const auto& shard : shards_)
+      last = std::max(last, shard->features().last_touch_ns(v));
+    if (now - last <= ttl_ns) continue;
+    if (remove_vertex(v)) {
+      ++retired;
+      expired_vertices_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return retired;
+}
+
+std::int64_t ShardedStreamingGraph::dirty_rows() const {
+  std::lock_guard dirty_lock(dirty_mutex_);
+  return static_cast<std::int64_t>(dirty_.size());
+}
+
+ShardedStats ShardedStreamingGraph::stats() const {
+  ShardedStats stats;
+  stats.ingested_edges = ingested_edges_.load(std::memory_order_relaxed);
+  stats.duplicate_edges = duplicate_edges_.load(std::memory_order_relaxed);
+  stats.removed_edges = removed_edges_.load(std::memory_order_relaxed);
+  stats.rejected_removals = rejected_removals_.load(std::memory_order_relaxed);
+  stats.added_vertices = added_vertices_.load(std::memory_order_relaxed);
+  stats.removed_vertices = removed_vertices_.load(std::memory_order_relaxed);
+  stats.feature_updates = feature_updates_.load(std::memory_order_relaxed);
+  stats.expired_vertices = expired_vertices_.load(std::memory_order_relaxed);
+  stats.cut_adoptions = cut_adoptions_.load(std::memory_order_relaxed);
+  stats.halo_refreshed_rows = halo_refreshed_rows_.load(std::memory_order_relaxed);
+  stats.halo_hits = halo_hits_.load(std::memory_order_relaxed);
+  stats.cross_shard_rows = cross_shard_rows_.load(std::memory_order_relaxed);
+  stats.dirty_rows = dirty_rows();
+  const auto cut = current_cut();
+  stats.cut_id = cut == nullptr ? 0 : cut->cut_id();
+  return stats;
+}
+
+std::string ShardedStats::to_string() const {
+  std::ostringstream out;
+  out << "cut=" << cut_id << " adoptions=" << cut_adoptions
+      << " edges(in=" << ingested_edges << " dup=" << duplicate_edges
+      << " rm=" << removed_edges << " rej=" << rejected_removals << ")"
+      << " vertices(add=" << added_vertices << " rm=" << removed_vertices
+      << " expired=" << expired_vertices << ")"
+      << " features(updates=" << feature_updates << " dirty=" << dirty_rows
+      << " refreshed=" << halo_refreshed_rows << ")"
+      << " halo(hits=" << halo_hits << " cross_fetch=" << cross_shard_rows << ")";
+  return out.str();
+}
+
+}  // namespace hyscale

@@ -1,0 +1,324 @@
+// Sharded streaming serving: N partition-routed StreamingGraph shards
+// behind one facade, with a halo feature plane and a consistent
+// cross-shard cut.
+//
+// This is the repository's stand-in for the multi-node serving tier the
+// paper's §VII baselines (P3, DistDGL) run — built so the costs HyScale
+// avoids (halo feature traffic, cross-shard consistency) can be
+// MEASURED against the same workloads instead of modeled.  Vertices are
+// assigned to shards by a Partition (hash or BFS-grown, graph/partition)
+// plus a seeded hash for vertices streamed in later; every shard is a
+// full StreamingGraph (its own DeltaStore, MutableFeatureStore,
+// Compactor and Publisher — all reused unchanged) over the FULL vertex
+// space, holding every directed edge incident to a vertex it owns.
+//
+// The bit-identity contract (PR 3's standard) survives sharding by
+// construction, not by luck:
+//
+//   * TOPOLOGY — shard s's base CSR keeps directed edge (a, b) iff
+//     owner(a) == s or owner(b) == s, and every streamed edge op is
+//     routed to BOTH endpoint owners.  Owner(v)'s shard therefore holds
+//     v's COMPLETE live adjacency, element-identical to the flat
+//     graph's, so a sampler that reads every vertex through its owner
+//     shard draws bit-identical neighborhoods.
+//   * VERTEX SPACE — vertex adds/removes are broadcast to every shard
+//     under an exclusive lock, with id recycling disabled
+//     (StreamingConfig::recycle_ids = false), so all shards agree on
+//     ids and liveness at every instant.
+//   * FEATURES — every shard carries a full feature copy.  A feature
+//     update writes the OWNER's row immediately and marks the vertex
+//     dirty; non-owner mirrors catch up at the next cut adoption (halo
+//     refresh).  Gathers run against one "home" shard and overlay the
+//     still-dirty remote rows straight from their owners' stores — at
+//     the owners' wire precision, so int8 serving stays bit-identical
+//     to the flat graph's int8 gather.
+//
+// CONSISTENT CUT — queries never read shards_[s]->current() directly.
+// adopt() freezes a version VECTOR (one published GraphVersion per
+// shard), refreshes the dirty halo mirrors, and installs the result as
+// an immutable ShardedCut; a shard's publish becomes visible to queries
+// only once a cut containing it is adopted.  Cut ids are monotone, so
+// every query is served from one frozen vector — never a torn mix of
+// old shard A and new shard B state mid-read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/partition.hpp"
+#include "stream/streaming_graph.hpp"
+
+namespace hyscale {
+
+/// Vertex -> shard assignment: the base partition for dataset vertices,
+/// a seeded hash for vertices streamed in later (every shard computes
+/// the same owner without coordination).  Immutable and shared between
+/// the facade and every ShardedCut it publishes.
+class ShardOwnerMap {
+ public:
+  ShardOwnerMap(std::vector<int> base_assignment, int num_shards,
+                std::uint64_t stream_seed)
+      : base_assignment_(std::move(base_assignment)),
+        num_shards_(num_shards),
+        stream_seed_(stream_seed) {}
+
+  int owner(VertexId v) const {
+    if (static_cast<std::size_t>(v) < base_assignment_.size())
+      return base_assignment_[static_cast<std::size_t>(v)];
+    std::uint64_t h = stream_seed_ ^ static_cast<std::uint64_t>(v);
+    return static_cast<int>(splitmix64(h) % static_cast<std::uint64_t>(num_shards_));
+  }
+  int num_shards() const { return num_shards_; }
+  VertexId base_vertices() const { return static_cast<VertexId>(base_assignment_.size()); }
+
+ private:
+  std::vector<int> base_assignment_;
+  int num_shards_;
+  std::uint64_t stream_seed_;
+};
+
+/// Immutable cross-shard snapshot: one published GraphVersion per shard,
+/// frozen together.  All methods are const and safe for concurrent
+/// readers; the hot-path accessors route each vertex to its OWNER
+/// shard's version, which holds the vertex's complete live adjacency.
+class ShardedCut {
+ public:
+  ShardedCut(std::shared_ptr<const ShardOwnerMap> owners,
+             std::vector<std::shared_ptr<const GraphVersion>> versions,
+             std::uint64_t cut_id);
+
+  int num_shards() const { return owners_->num_shards(); }
+  int owner(VertexId v) const { return owners_->owner(v); }
+  std::uint64_t cut_id() const { return cut_id_; }
+
+  const GraphVersion& shard_version(int shard) const {
+    return *versions_[static_cast<std::size_t>(shard)];
+  }
+  const std::shared_ptr<const GraphVersion>& shard_version_ptr(int shard) const {
+    return versions_[static_cast<std::size_t>(shard)];
+  }
+  std::uint64_t version_id(int shard) const {
+    return versions_[static_cast<std::size_t>(shard)]->id();
+  }
+
+  /// Max over the shard versions (shards publish independently, so a
+  /// vertex added between two shards' publishes exists in some versions
+  /// only; GraphVersion treats out-of-range ids as degree-0 and alive,
+  /// so reads through an older member stay well-defined).
+  VertexId num_vertices() const { return num_vertices_; }
+  /// Upper bound on the live max degree across shards — what the exact
+  /// (full-neighborhood) sampler uses as its take-everything fanout.
+  EdgeId max_degree() const { return max_degree_; }
+
+  // ---- owner-routed hot path (the sampler's read surface) ----
+
+  EdgeId degree(VertexId v) const { return version_of(v).degree(v); }
+  void append_neighbors(VertexId v, std::vector<VertexId>& out) const {
+    version_of(v).append_neighbors(v, out);
+  }
+  bool alive(VertexId v) const { return version_of(v).alive(v); }
+
+ private:
+  const GraphVersion& version_of(VertexId v) const {
+    return *versions_[static_cast<std::size_t>(owners_->owner(v))];
+  }
+
+  std::shared_ptr<const ShardOwnerMap> owners_;
+  std::vector<std::shared_ptr<const GraphVersion>> versions_;
+  std::uint64_t cut_id_ = 0;
+  VertexId num_vertices_ = 0;
+  EdgeId max_degree_ = 0;
+};
+
+struct ShardedConfig {
+  int num_shards = 2;
+  enum class Partitioner { kHash, kBfs };
+  Partitioner partitioner = Partitioner::kHash;
+  /// Seeds both the base partitioner and the streamed-in owner hash.
+  std::uint64_t partition_seed = 17;
+  /// Template for every per-shard StreamingGraph.  `symmetric` must stay
+  /// true (edge routing relies on both directions landing in both
+  /// endpoint owners); `recycle_ids` is forced off and `metric_prefix`
+  /// is overwritten with "shard<i>." per shard.
+  StreamingConfig stream;
+};
+
+/// Facade-level logical counters (each op counted ONCE, however many
+/// shards it touched) plus the cross-shard instruments.
+struct ShardedStats {
+  std::int64_t ingested_edges = 0;     ///< accepted directed insertions
+  std::int64_t duplicate_edges = 0;
+  std::int64_t removed_edges = 0;      ///< accepted directed retractions
+  std::int64_t rejected_removals = 0;
+  std::int64_t added_vertices = 0;
+  std::int64_t removed_vertices = 0;
+  std::int64_t feature_updates = 0;
+  std::int64_t expired_vertices = 0;
+  std::int64_t cut_adoptions = 0;
+  std::int64_t halo_refreshed_rows = 0;  ///< mirror rows refreshed at adoption
+  std::int64_t halo_hits = 0;            ///< remote rows served from a fresh local mirror
+  std::int64_t cross_shard_rows = 0;     ///< remote rows fetched from their owner (dirty)
+  std::int64_t dirty_rows = 0;           ///< currently awaiting halo refresh
+  std::uint64_t cut_id = 0;
+
+  std::string to_string() const;
+};
+
+class ShardedStreamingGraph {
+ public:
+  /// Partitions `dataset` and builds one StreamingGraph per shard (full
+  /// vertex space, owner-incident edges, full feature copy).  The
+  /// dataset must outlive the facade.  Throws std::invalid_argument for
+  /// num_shards < 1 or a non-symmetric stream config.
+  ShardedStreamingGraph(const Dataset& dataset, ShardedConfig config);
+  ~ShardedStreamingGraph();  ///< detaches the facade's callback gauges
+
+  ShardedStreamingGraph(const ShardedStreamingGraph&) = delete;
+  ShardedStreamingGraph& operator=(const ShardedStreamingGraph&) = delete;
+
+  // ---- ingest (thread-safe; same contracts as StreamingGraph) ----
+
+  /// Routes the edge to both endpoint owners under a per-edge stripe
+  /// lock, so the two shards always agree on the edge's liveness.
+  bool add_edge(VertexId u, VertexId v);
+  bool remove_edge(VertexId u, VertexId v);
+
+  /// Broadcast: every shard appends the SAME id (recycling is off, so
+  /// the vertex spaces stay in lockstep).
+  VertexId add_vertex(std::span<const float> features);
+  /// Broadcast retirement: edges retracted and the row zeroed on every
+  /// shard, so no mirror can serve a retracted entity.
+  bool remove_vertex(VertexId v);
+
+  /// Writes the OWNER shard's row (visible to home-shard gathers of
+  /// that owner immediately) and marks the vertex dirty; every other
+  /// shard's mirror catches up at the next adopt().  Until then,
+  /// cross-shard gathers of the vertex fetch the owner's row directly.
+  bool update_feature(VertexId v, std::span<const float> values);
+
+  // ---- cuts ----
+
+  /// Publishes every shard, then adopts.  The deterministic harness
+  /// path: with ingest quiesced, the adopted cut is element-identical
+  /// to a flat StreamingGraph publish of the same op sequence.
+  std::shared_ptr<const ShardedCut> publish_all();
+
+  /// Freezes the current per-shard version vector, refreshes dirty halo
+  /// mirrors (owner row -> every other shard, skipping dead vertices),
+  /// and installs the result as the new current cut.  Returns the
+  /// installed (or unchanged, when nothing moved) cut.  Serialized
+  /// internally; safe to call from the CutAdopter thread and tests
+  /// concurrently.
+  std::shared_ptr<const ShardedCut> adopt();
+
+  /// The latest adopted cut.  Never null (the constructor adopts cut 1).
+  std::shared_ptr<const ShardedCut> current_cut() const;
+
+  /// True when some shard has published a version the current cut does
+  /// not contain, or dirty halo rows await a refresh — the CutAdopter's
+  /// poll predicate.
+  bool cut_stale() const;
+
+  // ---- feature plane ----
+
+  /// Serving gather routed through `home_shard`: pinned rows from that
+  /// shard's cache, the rest from its store, then any still-dirty
+  /// remote row is overwritten straight from its owner's store at the
+  /// owner's wire precision.  Counts halo hits (remote rows whose local
+  /// mirror was fresh) vs cross-shard fetches.
+  StaticFeatureCache::LoadStats gather(int home_shard, std::span<const VertexId> nodes,
+                                       Tensor& out, std::vector<char>& hit_scratch) const;
+
+  /// On-demand cache re-rank on every shard (the facade analogue of
+  /// StreamingGraph::rerank_now, used by the serving tier's
+  /// traffic-triggered cadence).
+  void rerank_all();
+
+  /// Facade TTL pass: retires streamed-in vertices (broadcast
+  /// remove_vertex) whose feature row is idle on EVERY shard — the
+  /// last-touch is the max across shards, so a vertex read-hot through
+  /// any home shard stays alive.  Ascending id order; same pacing
+  /// contract as StreamingGraph::sweep_expired (the budget is checked
+  /// against the busiest shard's overlay).
+  std::int64_t sweep_expired(Seconds ttl, std::int64_t max_retire,
+                             EdgeId pending_op_budget = 0);
+
+  // ---- accessors ----
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  StreamingGraph& shard(int s) { return *shards_[static_cast<std::size_t>(s)]; }
+  const StreamingGraph& shard(int s) const { return *shards_[static_cast<std::size_t>(s)]; }
+  int owner(VertexId v) const { return owners_->owner(v); }
+  const Partition& partition() const { return partition_; }
+  const Dataset& dataset() const { return *dataset_; }
+  /// The dataset view shard `s` serves (filtered topology, full feature
+  /// copy) — what the serving tier builds shard `s`'s device cache over.
+  const Dataset& shard_dataset(int s) const { return shard_datasets_[static_cast<std::size_t>(s)]; }
+  const ShardedConfig& config() const { return config_; }
+  Telemetry* telemetry() const { return config_.stream.telemetry; }
+  VertexId num_vertices() const { return shards_.front()->num_vertices(); }
+  std::int64_t dirty_rows() const;
+  ShardedStats stats() const;
+
+ private:
+  void bind_telemetry();
+  std::mutex& edge_stripe(VertexId u, VertexId v) const;
+
+  const Dataset* dataset_;
+  ShardedConfig config_;
+  Partition partition_;
+  std::shared_ptr<const ShardOwnerMap> owners_;
+  /// Per-shard dataset views; StreamingGraph references its dataset, so
+  /// these must live exactly as long as the shards (declared first).
+  std::vector<Dataset> shard_datasets_;
+  std::vector<std::unique_ptr<StreamingGraph>> shards_;
+
+  /// Vertex adds/removes exclusive, edge ops + feature updates shared —
+  /// an edge op observes both endpoint owners' dead state atomically
+  /// against a concurrent broadcast retirement.
+  mutable std::shared_mutex topology_mutex_;
+  /// Serializes the two owner-shard calls of one edge op against other
+  /// ops on the SAME edge, so the shards can never disagree on an
+  /// add/remove interleave.
+  static constexpr std::size_t kEdgeStripes = 64;
+  mutable std::mutex edge_stripes_[kEdgeStripes];
+
+  mutable std::mutex dirty_mutex_;
+  std::unordered_set<VertexId> dirty_;  ///< owner row newer than some mirror
+
+  std::mutex adopt_mutex_;  ///< serializes adopt() bodies
+  mutable std::mutex cut_mutex_;
+  std::shared_ptr<const ShardedCut> current_cut_;
+  std::atomic<std::uint64_t> cut_counter_{0};
+
+  std::atomic<std::int64_t> ingested_edges_{0};
+  std::atomic<std::int64_t> duplicate_edges_{0};
+  std::atomic<std::int64_t> removed_edges_{0};
+  std::atomic<std::int64_t> rejected_removals_{0};
+  std::atomic<std::int64_t> added_vertices_{0};
+  std::atomic<std::int64_t> removed_vertices_{0};
+  std::atomic<std::int64_t> feature_updates_{0};
+  std::atomic<std::int64_t> expired_vertices_{0};
+  std::atomic<std::int64_t> cut_adoptions_{0};
+  std::atomic<std::int64_t> halo_refreshed_rows_{0};
+  mutable std::atomic<std::int64_t> halo_hits_{0};
+  mutable std::atomic<std::int64_t> cross_shard_rows_{0};
+
+  // Registry mirrors + tracer/journal; all null when telemetry is off.
+  StageTracer* tracer_ = nullptr;
+  EventJournal* journal_ = nullptr;
+  Counter* m_adoptions_ = nullptr;
+  Counter* m_refreshed_ = nullptr;
+  Counter* m_halo_hits_ = nullptr;
+  Counter* m_cross_rows_ = nullptr;
+};
+
+}  // namespace hyscale

@@ -16,14 +16,17 @@ Compactor::Compactor(StreamingGraph& graph, CompactionPolicy policy)
     throw std::invalid_argument("Compactor: max_backoff must be non-negative");
   if (Telemetry* telemetry = graph_.telemetry(); telemetry != nullptr) {
     MetricsRegistry& reg = telemetry->registry();
-    m_compactions_ = &reg.counter("compactor.folds");
-    m_annihilation_passes_ = &reg.counter("compactor.annihilation_passes");
-    m_refused_folds_ = &reg.counter("compactor.refused_folds");
+    // Instruments inherit the graph's shard prefix so per-shard
+    // compactors sharing one registry stay distinguishable.
+    const std::string& prefix = graph_.config().metric_prefix;
+    m_compactions_ = &reg.counter(prefix + "compactor.folds");
+    m_annihilation_passes_ = &reg.counter(prefix + "compactor.annihilation_passes");
+    m_refused_folds_ = &reg.counter(prefix + "compactor.refused_folds");
     // Hint = poll cadence: between maintenance rounds the loop beats
     // once per wakeup, so a heart stale for many multiples of this
     // while busy means the thread is wedged inside a fold.
     heart_ = &telemetry->heartbeats().register_thread(
-        "stream.compactor",
+        prefix + "stream.compactor",
         std::max<std::int64_t>(static_cast<std::int64_t>(policy_.poll_interval * 1e9),
                                1'000'000));
   }

@@ -14,17 +14,20 @@ Publisher::Publisher(StreamingGraph& graph, PublisherPolicy policy)
     throw std::invalid_argument("Publisher: poll_floor must be in (0, staleness_budget]");
   if (Telemetry* telemetry = graph_.telemetry(); telemetry != nullptr) {
     MetricsRegistry& reg = telemetry->registry();
-    m_publishes_ = &reg.counter("publisher.publishes");
-    m_breaches_ = &reg.counter("publisher.breaches");
-    m_worst_staleness_ = &reg.gauge("publisher.worst_staleness_ms");
-    m_worst_cost_ = &reg.gauge("publisher.worst_publish_cost_ms");
-    m_staleness_ = &reg.histogram("publisher.visible_staleness_ms");
+    // Instruments inherit the graph's shard prefix so per-shard
+    // publishers sharing one registry stay distinguishable.
+    const std::string& prefix = graph_.config().metric_prefix;
+    m_publishes_ = &reg.counter(prefix + "publisher.publishes");
+    m_breaches_ = &reg.counter(prefix + "publisher.breaches");
+    m_worst_staleness_ = &reg.gauge(prefix + "publisher.worst_staleness_ms");
+    m_worst_cost_ = &reg.gauge(prefix + "publisher.worst_publish_cost_ms");
+    m_staleness_ = &reg.histogram(prefix + "publisher.visible_staleness_ms");
     journal_ = &telemetry->journal();
     telemetry_ = telemetry;
     // Busy time is one publish; the budget is the natural hint (floored
     // so a sub-ms budget does not make the 250 ms stall floor moot).
     heart_ = &telemetry->heartbeats().register_thread(
-        "stream.publisher",
+        prefix + "stream.publisher",
         std::max<std::int64_t>(static_cast<std::int64_t>(policy_.staleness_budget * 1e9),
                                1'000'000));
   }

@@ -165,43 +165,47 @@ void StreamingGraph::bind_telemetry() {
   tracer_ = &config_.telemetry->tracer();
   journal_ = &config_.telemetry->journal();
   MetricsRegistry& reg = config_.telemetry->registry();
-  m_ingested_ = &reg.counter("stream.ingested_edges");
-  m_duplicates_ = &reg.counter("stream.duplicate_edges");
-  m_removed_ = &reg.counter("stream.removed_edges");
-  m_rejected_removals_ = &reg.counter("stream.rejected_removals");
-  m_added_vertices_ = &reg.counter("stream.added_vertices");
-  m_removed_vertices_ = &reg.counter("stream.removed_vertices");
-  m_recycled_vertices_ = &reg.counter("stream.recycled_vertices");
-  m_feature_updates_ = &reg.counter("stream.feature_updates");
-  m_publishes_ = &reg.counter("stream.publishes");
-  m_compactions_ = &reg.counter("stream.compactions");
-  m_annihilations_ = &reg.counter("stream.annihilations");
-  m_expired_ = &reg.counter("stream.expired_vertices");
-  m_cache_reranks_ = &reg.counter("stream.cache_reranks");
-  m_publish_lag_ = &reg.histogram("stream.publish_lag_ms");
+  // Per-shard graphs prefix every name ("shard0.stream.publishes") so N
+  // graphs sharing one registry never collide; the flat single-graph
+  // names are the empty-prefix case.
+  const auto name = [this](const char* suffix) { return config_.metric_prefix + suffix; };
+  m_ingested_ = &reg.counter(name("stream.ingested_edges"));
+  m_duplicates_ = &reg.counter(name("stream.duplicate_edges"));
+  m_removed_ = &reg.counter(name("stream.removed_edges"));
+  m_rejected_removals_ = &reg.counter(name("stream.rejected_removals"));
+  m_added_vertices_ = &reg.counter(name("stream.added_vertices"));
+  m_removed_vertices_ = &reg.counter(name("stream.removed_vertices"));
+  m_recycled_vertices_ = &reg.counter(name("stream.recycled_vertices"));
+  m_feature_updates_ = &reg.counter(name("stream.feature_updates"));
+  m_publishes_ = &reg.counter(name("stream.publishes"));
+  m_compactions_ = &reg.counter(name("stream.compactions"));
+  m_annihilations_ = &reg.counter(name("stream.annihilations"));
+  m_expired_ = &reg.counter(name("stream.expired_vertices"));
+  m_cache_reranks_ = &reg.counter(name("stream.cache_reranks"));
+  m_publish_lag_ = &reg.histogram(name("stream.publish_lag_ms"));
   // Structural state is pulled at snapshot time (callback gauges) —
   // overlay/tombstone/base sizes change on every op and counting them
   // twice would put a second atomic on the ingest path for nothing.
   // Detached (values frozen) in the destructor.
-  reg.register_callback("stream.overlay_edges", this,
+  reg.register_callback(name("stream.overlay_edges"), this,
                         [this] { return static_cast<double>(delta_.delta_edges()); });
-  reg.register_callback("stream.tombstones", this,
+  reg.register_callback(name("stream.tombstones"), this,
                         [this] { return static_cast<double>(delta_.delta_removes()); });
-  reg.register_callback("stream.base_edges", this,
+  reg.register_callback(name("stream.base_edges"), this,
                         [this] { return static_cast<double>(delta_.base()->num_edges()); });
-  reg.register_callback("stream.dead_vertices", this,
+  reg.register_callback(name("stream.dead_vertices"), this,
                         [this] { return static_cast<double>(delta_.dead_vertices()); });
-  reg.register_callback("stream.num_vertices", this,
+  reg.register_callback(name("stream.num_vertices"), this,
                         [this] { return static_cast<double>(delta_.num_vertices()); });
-  reg.register_callback("stream.version_id", this,
+  reg.register_callback(name("stream.version_id"), this,
                         [this] { return static_cast<double>(current()->id()); });
-  reg.register_callback("stream.annihilated_ops", this,
+  reg.register_callback(name("stream.annihilated_ops"), this,
                         [this] { return static_cast<double>(delta_.annihilated_ops()); });
-  reg.register_callback("stream.recyclable_vertices", this,
+  reg.register_callback(name("stream.recyclable_vertices"), this,
                         [this] { return static_cast<double>(delta_.recyclable_vertices()); });
-  reg.register_callback("featstore.rows", this,
+  reg.register_callback(name("featstore.rows"), this,
                         [this] { return static_cast<double>(features_.rows()); });
-  reg.register_callback("featstore.released_rows", this,
+  reg.register_callback(name("featstore.released_rows"), this,
                         [this] { return static_cast<double>(features_.released_rows()); });
 }
 
@@ -252,8 +256,11 @@ VertexId StreamingGraph::add_vertex(std::span<const float> features) {
     // a compaction, so the slot is indistinguishable from a fresh one,
     // and its extension feature row is reused instead of growing the
     // store.  Reclaim + reuse stay under vertex_mutex_ so they pair
-    // atomically against remove_vertex's retire + release.
-    id = delta_.reclaim_vertex();
+    // atomically against remove_vertex's retire + release.  Sharded
+    // facades disable recycling: all shards must hand out the SAME id
+    // for the same logical add, and free lists drain on independent
+    // per-shard compaction schedules.
+    id = config_.recycle_ids ? delta_.reclaim_vertex() : VertexId{-1};
     if (id >= 0) {
       features_.reuse_row(id, features);
       recycled = true;
@@ -316,6 +323,20 @@ bool StreamingGraph::update_feature(VertexId v, std::span<const float> values) {
   feature_updates_.fetch_add(1, std::memory_order_relaxed);
   if (m_feature_updates_ != nullptr) m_feature_updates_->add(1);
   return true;
+}
+
+void StreamingGraph::refresh_mirror_row(VertexId v, std::span<const float> values) {
+  // Same locking discipline as update_feature (row write + cache
+  // invalidate are one atom against remove_vertex's release+evict), but
+  // no ingest counter and no freshness credit: this is a mirror
+  // catching up to the owner's row, not a new write.
+  std::lock_guard lock(cache_mutex_);
+  if (delta_.is_dead(v)) return;
+  features_.update_row(v, values);
+  if (cache_ != nullptr) {
+    const VertexId ids[1] = {v};
+    cache_->invalidate(std::span<const VertexId>(ids, 1));
+  }
 }
 
 std::shared_ptr<const GraphVersion> StreamingGraph::publish() {
@@ -495,6 +516,11 @@ bool StreamingGraph::compact() {
   // observed-traffic re-rank (and the moment freed slots get refilled).
   if (config_.cache_rerank) rerank_cache(*merged);
   return true;
+}
+
+void StreamingGraph::rerank_now() {
+  const auto base = base_snapshot();
+  rerank_cache(*base);
 }
 
 void StreamingGraph::rerank_cache(const CsrGraph& base) {

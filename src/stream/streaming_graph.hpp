@@ -152,6 +152,18 @@ struct StreamingConfig {
   /// copies of identical values).  Off restores the fixed
   /// construction-time admission set.
   bool cache_rerank = true;
+  /// Serve add_vertex from the free list of fully-compacted deleted
+  /// streamed-in ids (the default).  A ShardedStreamingGraph turns this
+  /// OFF for its per-shard graphs: every shard holds the full vertex
+  /// space, so add_vertex must return the SAME id on every shard — an
+  /// id only one shard's compaction schedule happened to reclaim would
+  /// diverge the spaces.
+  bool recycle_ids = true;
+  /// Prepended to every instrument this graph (and its Publisher /
+  /// Compactor) registers — "shard0." gives "shard0.stream.publishes" —
+  /// so N shards sharing one Telemetry plane never collide in the
+  /// registry.  Empty (default) keeps the flat single-graph names.
+  std::string metric_prefix;
   /// Telemetry plane to report through: stream.* counters and callback
   /// gauges, publish/fold/annihilate/sweep spans, lifecycle journal
   /// events.  The background maintenance components (Publisher,
@@ -234,6 +246,14 @@ class StreamingGraph {
   /// for embeddings/profiles).  Returns false for dead vertices — a
   /// retracted entity's zeroed row is never repopulated.
   bool update_feature(VertexId v, std::span<const float> values);
+
+  /// Halo-mirror refresh: overwrites v's feature row and invalidates
+  /// any cached device copy WITHOUT counting a feature update or
+  /// touching freshness markers — this is a replica catching up to the
+  /// owner shard's row, not new ingest.  Dead vertices are skipped
+  /// (their zeroed row must stay zeroed).  Only meaningful when this
+  /// graph is a non-owner shard inside a ShardedStreamingGraph.
+  void refresh_mirror_row(VertexId v, std::span<const float> values);
 
   // ---- versions ----
 
@@ -332,6 +352,13 @@ class StreamingGraph {
   /// by remove_vertex (pass nullptr to detach).  The cache must be
   /// built over features().base().
   void attach_cache(StaticFeatureCache* cache);
+
+  /// On-demand re-rank of the attached cache over the CURRENT base —
+  /// the fold-independent path (periodic or traffic-triggered callers:
+  /// InferenceServer's gathered-rows cadence, a shard facade's
+  /// rerank_all).  Same ranking as the REBASE-time re-rank; no-op when
+  /// no cache is attached.
+  void rerank_now();
 
   // ---- test seams ----
 

@@ -195,11 +195,28 @@ TEST(HotPathInt8, WireBytesRatioAtLeastThree) {
 }
 
 TEST(HotPathInt8, Fp16DeviceRowsAreRejected) {
+  // The messages are PINNED: operators grep logs for them, and a silent
+  // rewording (or a swapped throw site) would break the runbooks that
+  // tell users which knob to change.
   const Dataset& ds = hotpath_dataset();
-  EXPECT_THROW(StaticFeatureCache(ds.graph, ds.features, 8, TransferPrecision::kFp16),
-               std::invalid_argument);
+  try {
+    StaticFeatureCache cache(ds.graph, ds.features, 8, TransferPrecision::kFp16);
+    FAIL() << "fp16 device rows must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "StaticFeatureCache: fp16 device rows not implemented (use fp32 or int8)");
+  }
   MutableFeatureStore store(ds.features);
-  EXPECT_THROW(store.set_transfer_precision(TransferPrecision::kFp16), std::invalid_argument);
+  try {
+    store.set_transfer_precision(TransferPrecision::kFp16);
+    FAIL() << "fp16 wire precision must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "MutableFeatureStore: fp16 wire precision not implemented (use fp32 or int8)");
+  }
+  // A failed set leaves the store on its previous (fp32) precision.
+  EXPECT_DOUBLE_EQ(store.row_wire_bytes(),
+                   static_cast<double>(ds.features.cols()) * sizeof(float));
 }
 
 TEST(HotPathInt8, CacheHitMatchesHostMissExactly) {

@@ -13,6 +13,12 @@ its own documented logit tolerance while moving >= 3x fewer bytes per
 row than fp32, and the fold-time cache re-rank must never LOWER the hit
 rate (delta >= 0, after >= before).
 
+Sharded gate ("sharded" records, standalone or nested inside a
+streaming record): every shard's SLO publisher must hold the point's
+staleness budget with zero breaches, the halo-plane fractions
+(halo_hit_rate, cross_shard_gather_fraction) must lie in [0, 1], and
+the 1-shard degenerate points must report zero cross-shard traffic.
+
 SLO gate (streaming records): the non-blocking-fold work (ISSUE-5)
 tightened the streaming staleness bound to the publisher budget alone:
 `sustained_churn_slo` must report zero breaches and a worst
@@ -53,7 +59,20 @@ COUNTER_KEYS = {
         "publishes",
         "full_compactions", "annihilation_passes", "annihilated_ops",
     ],
+    "sharded": [
+        "shards", "completed_requests", "last_served_cut",
+        "accepted_edges", "removed_edges", "rejected_removals",
+        "added_vertices", "removed_vertices", "feature_updates",
+        "cut_adoptions", "halo_refreshed_rows", "halo_hits",
+        "cross_shard_rows",
+    ],
 }
+# Every per_shard entry of a sharded point carries its shard's publish
+# and publisher-staleness instruments.
+PER_SHARD_COUNTER_KEYS = ["shard", "publishes", "compactions",
+                          "publisher_publishes", "publisher_breaches"]
+PER_SHARD_NONNEG_KEYS = ["publisher_worst_staleness_ms",
+                         "publisher_worst_publish_cost_ms"]
 # publisher_* fields exist only on points that actually ran the
 # background publisher (slo_budget_ms > 0); on publisher-less points
 # they must be ABSENT or null — a zero-filled publisher_breaches on a
@@ -76,6 +95,11 @@ NONNEG_KEYS = {
         "ingest_edges_per_second", "publish_lag_mean_ms",
         "publish_lag_max_ms", "cache_hit_rate",
     ],
+    "sharded": [
+        "qps", "p50_ms", "p99_ms", "ingest_edges_per_second",
+        "edge_cut_fraction", "imbalance", "halo_hit_rate",
+        "cross_shard_gather_fraction", "cache_hit_rate",
+    ],
 }
 REQUIRED_KEYS = {
     "serving": ["name", "workers", "cache_rows", "clients"]
@@ -84,6 +108,9 @@ REQUIRED_KEYS = {
     "streaming": ["name", "update_ops", "update_threads", "publish_every",
                   "slo_budget_ms", "ttl_ms", "compute_mean_ms"]
                   + COUNTER_KEYS["streaming"] + NONNEG_KEYS["streaming"],
+    "sharded": ["name", "partitioner", "mix", "update_ops", "update_threads",
+                "slo_budget_ms", "per_shard"]
+                + COUNTER_KEYS["sharded"] + NONNEG_KEYS["sharded"],
 }
 
 
@@ -145,6 +172,34 @@ def check_schema(path, record):
                             f"{label}: '{key}' present ({point[key]!r}) but "
                             f"slo_budget_ms <= 0 — publisher fields must be "
                             f"absent or null on publisher-less points")
+        if kind == "sharded":
+            shards = point.get("shards")
+            per_shard = point.get("per_shard")
+            if not isinstance(per_shard, list) or not per_shard:
+                failures.append(f"{label}: 'per_shard' must be a non-empty "
+                                f"array")
+                continue
+            if isinstance(shards, int) and not isinstance(shards, bool) \
+                    and len(per_shard) != shards:
+                failures.append(f"{label}: per_shard has {len(per_shard)} "
+                                f"entries but shards={shards}")
+            for s, entry in enumerate(per_shard):
+                slabel = f"{label}.per_shard[{s}]"
+                if not isinstance(entry, dict):
+                    failures.append(f"{slabel}: must be an object")
+                    continue
+                for key in PER_SHARD_COUNTER_KEYS:
+                    value = entry.get(key)
+                    if not isinstance(value, int) or isinstance(value, bool) \
+                            or value < 0:
+                        failures.append(f"{slabel}: counter '{key}' must be a "
+                                        f"non-negative integer, got {value!r}")
+                for key in PER_SHARD_NONNEG_KEYS:
+                    value = entry.get(key)
+                    if not isinstance(value, (int, float)) \
+                            or isinstance(value, bool) or value < 0:
+                        failures.append(f"{slabel}: '{key}' must be a "
+                                        f"non-negative number, got {value!r}")
     return failures
 
 
@@ -248,6 +303,55 @@ def check_hotpath(record):
     return [], ok
 
 
+def check_sharded(record, tolerance):
+    """Returns (failures, ok_message) for the shard-scaling gates:
+    every shard's publisher must hold the point's staleness budget with
+    zero breaches, the halo-plane fractions must be sane, and the
+    1-shard degenerate points must show no cross-shard traffic at all
+    (a non-zero owner fetch on one shard means the routing tier is
+    misclassifying local rows as remote)."""
+    failures = []
+    worst_ms = 0.0
+    for point in record.get("points", []):
+        name = point.get("name", "?")
+        for key in ("halo_hit_rate", "cross_shard_gather_fraction"):
+            value = point.get(key)
+            if isinstance(value, (int, float)) and not 0.0 <= value <= 1.0:
+                failures.append(f"{name}: {key} {value!r} outside [0, 1]")
+        if point.get("shards") == 1:
+            for key in ("halo_hits", "cross_shard_rows"):
+                if point.get(key) != 0:
+                    failures.append(f"{name}: 1-shard point has {key}="
+                                    f"{point.get(key)!r} (must be 0 — nothing "
+                                    f"is remote to a single shard)")
+            if point.get("edge_cut_fraction") != 0:
+                failures.append(f"{name}: 1-shard point has edge_cut_fraction="
+                                f"{point.get('edge_cut_fraction')!r} (must "
+                                f"be 0)")
+        budget_ms = point.get("slo_budget_ms", 0.0)
+        if budget_ms <= 0.0:
+            continue
+        limit_ms = budget_ms * tolerance
+        for entry in point.get("per_shard", []):
+            shard = entry.get("shard", "?")
+            staleness = entry.get("publisher_worst_staleness_ms", 0.0)
+            breaches = entry.get("publisher_breaches", 0)
+            worst_ms = max(worst_ms, staleness)
+            if staleness > limit_ms:
+                failures.append(f"{name} shard {shard}: "
+                                f"publisher_worst_staleness_ms "
+                                f"{staleness:.3f} > {limit_ms:.3f} (budget "
+                                f"{budget_ms:.3f} x tolerance {tolerance})")
+            if breaches != 0:
+                failures.append(f"{name} shard {shard}: publisher_breaches "
+                                f"{breaches} != 0")
+    if failures:
+        return failures, None
+    return [], (f"per-shard publishers held their budgets (worst staleness "
+                f"{worst_ms:.3f} ms across all shards), 1-shard points "
+                f"cross-shard-clean")
+
+
 def check_slo(record, tolerance):
     """Returns (failures, ok_message) for the streaming publisher SLO."""
     points = {p.get("name"): p for p in record.get("points", [])}
@@ -316,8 +420,48 @@ def main() -> int:
             else:
                 print(f"check_bench_slo: {path} {hotpath_ok}")
             continue
+        if kind == "sharded":
+            sharded_failures, sharded_ok = check_sharded(record, args.tolerance)
+            if sharded_failures:
+                print(f"check_bench_slo: {path} fails the sharded gate:",
+                      file=sys.stderr)
+                for failure in sharded_failures:
+                    print(f"  - {failure}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"check_bench_slo: {path} {sharded_ok}")
+            continue
         if kind != "streaming":
             continue
+        # The streaming bench embeds its shard-scaling sweep as a nested
+        # "sharded" record; a regenerated record that silently dropped it
+        # would un-gate the sharded plane, so its absence is a failure.
+        sharded_record = record.get("sharded")
+        if not isinstance(sharded_record, dict):
+            print(f"check_bench_slo: {path} has no nested 'sharded' record "
+                  f"(regenerate with bench_streaming)", file=sys.stderr)
+            status = 1
+        else:
+            sub_failures = check_schema(path, sharded_record)
+            if sub_failures:
+                print(f"check_bench_slo: {path} nested sharded record fails "
+                      f"the schema gate:", file=sys.stderr)
+                for failure in sub_failures:
+                    print(f"  - {failure}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"check_bench_slo: {path} nested sharded schema ok "
+                      f"({len(sharded_record['points'])} points)")
+                sharded_failures, sharded_ok = check_sharded(sharded_record,
+                                                             args.tolerance)
+                if sharded_failures:
+                    print(f"check_bench_slo: {path} fails the sharded gate:",
+                          file=sys.stderr)
+                    for failure in sharded_failures:
+                        print(f"  - {failure}", file=sys.stderr)
+                    status = 1
+                else:
+                    print(f"check_bench_slo: {path} {sharded_ok}")
         slo_failures, ok = check_slo(record, args.tolerance)
         if slo_failures:
             print(f"check_bench_slo: '{SLO_POINT}' violates the publisher SLO:",
