@@ -428,8 +428,10 @@ void stream_usage(const char* argv0) {
       "(swept every --sweep-ms), --no-annihilate disables in-place tombstone GC.\n"
       "sharding: --shards N > 1 splits the evolving graph into N partition-routed\n"
       "shards (--partitioner picks the base assignment) with per-shard compaction\n"
-      "and publishing; queries sample a consistent cross-shard cut.  --rerank-rows\n"
-      "re-ranks the device cache every R gathered rows regardless of fold cadence.\n",
+      "and publishing; queries sample a consistent cross-shard cut, and --ttl-ms\n"
+      "runs ONE facade-wide sweeper so shard vertex spaces stay in lockstep.\n"
+      "--rerank-rows re-ranks the device cache every R gathered rows regardless\n"
+      "of fold cadence.\n",
       argv0);
 }
 
@@ -607,17 +609,16 @@ int run_stream_impl(const StreamOptions& options) {
   expiry.sweep_interval = options.sweep_ms * 1e-3;
 
   if (options.shards > 1) {
-    if (options.ttl_ms >= 0.0) {
-      std::printf("note: --ttl-ms has no background sweeper in sharded mode; expiry is\n"
-                  "      caller-driven via ShardedStreamingGraph::sweep_expired\n");
-    }
     ShardedConfig sharded;
     sharded.num_shards = options.shards;
     sharded.partitioner = options.partitioner == "bfs" ? ShardedConfig::Partitioner::kBfs
                                                        : ShardedConfig::Partitioner::kHash;
     sharded.stream = streaming;
+    // One facade-wide TTL sweeper, paced through the ServingBackend
+    // seam — retirement broadcasts to every shard so the vertex spaces
+    // stay in lockstep.
     ShardedStreamingSession session =
-        system.stream_sharded(sharded, serving, compaction, publisher);
+        system.stream_sharded(sharded, serving, compaction, publisher, {}, expiry);
 
     const Partition& partition = session.shards().partition();
     std::printf("\nsharded streaming %s: %d shards (%s partition, imbalance %.3f, "
@@ -627,6 +628,10 @@ int run_stream_impl(const StreamOptions& options) {
                 partition.edge_cut_fraction(dataset.graph.num_edges()) * 100.0,
                 serve.workers, transfer_precision_name(serve.precision),
                 static_cast<long long>(options.rerank_rows));
+    if (session.sweeper != nullptr) {
+      std::printf("expiry:   ttl %.1f ms, sweep every %.1f ms (facade-wide)\n",
+                  options.ttl_ms, options.sweep_ms);
+    }
 
     UpdateGeneratorConfig updates;
     updates.operations = options.updates;
@@ -670,6 +675,11 @@ int run_stream_impl(const StreamOptions& options) {
     std::printf("adopter:  %lld cut adoptions (cut %llu served)\n",
                 static_cast<long long>(session.adopter->adoptions()),
                 static_cast<unsigned long long>(session.server->last_served_version()));
+    if (session.sweeper != nullptr) {
+      std::printf("expiry:   %lld retired in %lld sweeps\n",
+                  static_cast<long long>(session.sweeper->retired()),
+                  static_cast<long long>(session.sweeper->sweeps()));
+    }
     if (options.rerank_rows > 0) {
       std::printf("rerank:   %lld traffic-triggered re-ranks\n",
                   static_cast<long long>(session.server->traffic_reranks()));
@@ -687,7 +697,7 @@ int run_stream_impl(const StreamOptions& options) {
               static_cast<long long>(options.compact_edges), options.compact_ratio * 100.0,
               transfer_precision_name(serve.precision),
               options.cache_rerank ? "on" : "off");
-  if (session.publisher != nullptr) {
+  if (session.publisher() != nullptr) {
     std::printf("publisher: staleness budget %.3f ms\n", options.slo_ms);
   } else if (options.publish_every > 0) {
     std::printf("publisher: off (fixed cadence, publish every %lld ops)\n",
@@ -745,10 +755,10 @@ int run_stream_impl(const StreamOptions& options) {
               static_cast<long long>(stream_stats.annihilated_ops),
               static_cast<long long>(stream_stats.annihilations),
               static_cast<long long>(stream_stats.expired_vertices));
-  if (session.publisher != nullptr) {
+  if (session.publisher() != nullptr) {
     std::printf(", publisher %lld publishes (worst staleness %.3f ms)",
-                static_cast<long long>(session.publisher->publishes()),
-                session.publisher->worst_staleness() * 1e3);
+                static_cast<long long>(session.publisher()->publishes()),
+                session.publisher()->worst_staleness() * 1e3);
   }
   std::printf("\n");
   if (serve.cache_rows > 0) {

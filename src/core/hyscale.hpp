@@ -59,45 +59,44 @@ namespace hyscale {
 /// Library version.
 inline constexpr const char* kVersion = "1.0.0";
 
-/// A live streaming deployment: the evolving graph, an inference server
-/// bound to its latest published version, and the background lifecycle
-/// threads — compactor (annihilate-then-fold), SLO publisher (staleness
-/// budget, on by default), and TTL expiry sweeper (opt-in).  Members
-/// are declared in dependency order so teardown is safe: the sweeper
-/// stops first (it feeds retirements into the graph), then the
-/// publisher and compactor, then the server drains (detaching its
-/// cache), then the graph goes away.  Quiesce your ingest threads
-/// before dropping the session.
-struct StreamingSession {
-  std::unique_ptr<StreamingGraph> graph;
+/// A live serving deployment, flat or sharded: the evolving graph, the
+/// ServingBackend seam the server runs on, the inference server, and
+/// the background lifecycle threads — per-shard compactors
+/// (annihilate-then-fold; exactly one in flat mode), SLO publishers
+/// (staleness budget, on by default), the CutAdopter folding per-shard
+/// publishes into consistent cuts (sharded only), and ONE TTL expiry
+/// sweeper paced through the backend (opt-in; facade-wide in sharded
+/// mode, so retirement keeps every shard's vertex space in lockstep).
+///
+/// This one struct replaced the near-identical StreamingSession /
+/// ShardedStreamingSession pair; those names remain as aliases.
+/// Members are declared in dependency order so teardown is safe: the
+/// sweeper stops first (it feeds retirements into the graph), then the
+/// adopter (cuts freeze), the publishers and compactors, then the
+/// server drains, then the backend detaches its caches, then the graph
+/// goes away.  Quiesce your ingest threads before dropping the session.
+struct ServingSession {
+  std::unique_ptr<StreamingGraph> graph;           ///< flat mode; null when sharded
+  std::unique_ptr<ShardedStreamingGraph> sharded;  ///< sharded mode; null when flat
+  std::unique_ptr<ServingBackend> backend;
   std::unique_ptr<InferenceServer> server;
-  std::unique_ptr<Compactor> compactor;
-  std::unique_ptr<Publisher> publisher;  ///< null when the staleness budget is disabled
+  std::vector<std::unique_ptr<Compactor>> compactors;  ///< one per shard (flat: one)
+  std::vector<std::unique_ptr<Publisher>> publishers;  ///< one per shard; empty when disabled
+  std::unique_ptr<CutAdopter> adopter;     ///< sharded mode only
   std::unique_ptr<ExpirySweeper> sweeper;  ///< null unless the expiry policy is enabled
 
   StreamingGraph& stream() { return *graph; }
+  ShardedStreamingGraph& shards() { return *sharded; }
+  /// Flat mode's single lifecycle threads (null when absent).
+  Compactor* compactor() { return compactors.empty() ? nullptr : compactors.front().get(); }
+  Publisher* publisher() { return publishers.empty() ? nullptr : publishers.front().get(); }
   InferenceResult infer(std::vector<VertexId> seeds) { return server->infer(std::move(seeds)); }
 };
 
-/// A live SHARDED streaming deployment: N partition-routed shards
-/// behind one facade, an inference server bound to the latest adopted
-/// cross-shard cut, per-shard compactors and SLO publishers (reused
-/// unchanged from the flat stack), and the CutAdopter that folds
-/// per-shard publishes into consistent cuts.  Teardown runs in reverse
-/// declaration order: the adopter stops first (cuts freeze), then the
-/// publishers and compactors, then the server drains (detaching its
-/// per-shard caches), then the facade and its shards go away.  Quiesce
-/// your ingest threads before dropping the session.
-struct ShardedStreamingSession {
-  std::unique_ptr<ShardedStreamingGraph> graph;
-  std::unique_ptr<InferenceServer> server;
-  std::vector<std::unique_ptr<Compactor>> compactors;  ///< one per shard
-  std::vector<std::unique_ptr<Publisher>> publishers;  ///< one per shard; empty when disabled
-  std::unique_ptr<CutAdopter> adopter;
-
-  ShardedStreamingGraph& shards() { return *graph; }
-  InferenceResult infer(std::vector<VertexId> seeds) { return server->infer(std::move(seeds)); }
-};
+/// Thin typed aliases kept for API compatibility with the pre-seam
+/// facades.
+using StreamingSession = ServingSession;
+using ShardedStreamingSession = ServingSession;
 
 /// Facade: dataset + platform + config -> trained model, reports, and an
 /// online inference server over the trained weights.
@@ -135,17 +134,20 @@ class HyScale {
                           CompactionPolicy compaction = {}, PublisherPolicy publisher = {},
                           ExpiryPolicy expiry = {}) {
     const ModelSnapshot snapshot(trainer_.model());
-    StreamingSession session;
+    ServingSession session;
     session.graph = std::make_unique<StreamingGraph>(*dataset_, streaming);
+    session.backend = make_streaming_backend(*session.graph, serving);
     session.server =
-        std::make_unique<InferenceServer>(*session.graph, snapshot, std::move(serving));
-    session.compactor = std::make_unique<Compactor>(*session.graph, compaction);
+        std::make_unique<InferenceServer>(*session.backend, snapshot, std::move(serving));
+    session.compactors.push_back(std::make_unique<Compactor>(*session.graph, compaction));
     if (publisher.staleness_budget > 0.0)
-      session.publisher = std::make_unique<Publisher>(*session.graph, publisher);
+      session.publishers.push_back(std::make_unique<Publisher>(*session.graph, publisher));
     if (expiry.enabled()) {
       if (expiry.pending_op_budget == ExpiryPolicy::kDeriveFromCompaction)
         expiry.pending_op_budget = compaction.max_overlay_edges / 2;
-      session.sweeper = std::make_unique<ExpirySweeper>(*session.graph, expiry);
+      // Paced through the backend seam — same target as the sharded
+      // variant, so TTL wiring is written once.
+      session.sweeper = std::make_unique<ExpirySweeper>(*session.backend, expiry);
     }
     return session;
   }
@@ -154,29 +156,36 @@ class HyScale {
   /// `sharded.num_shards` partition-routed StreamingGraph shards (hash
   /// or BFS partitioner), each with its own Compactor and SLO
   /// Publisher, while a CutAdopter folds the shards' independent
-  /// publishes into consistent cross-shard cuts for the server.  TTL
-  /// expiry is driven by the caller in sharded mode (see
-  /// ShardedStreamingGraph::sweep_expired) — there is no per-session
-  /// sweeper, because retirement must be facade-wide to keep the
-  /// shards' vertex spaces in lockstep.
+  /// publishes into consistent cross-shard cuts for the server.  When
+  /// `expiry.enabled()`, ONE ExpirySweeper paces TTL retirement through
+  /// the backend's facade-wide sweep — broadcast retirement keeps the
+  /// shards' vertex spaces in lockstep (the reason per-shard sweepers
+  /// would be wrong, and why sharded TTL used to be caller-paced).
   ShardedStreamingSession stream_sharded(ShardedConfig sharded = {},
                                          ServingConfig serving = {},
                                          CompactionPolicy compaction = {},
                                          PublisherPolicy publisher = {},
-                                         CutAdopterPolicy adopter = {}) {
+                                         CutAdopterPolicy adopter = {},
+                                         ExpiryPolicy expiry = {}) {
     const ModelSnapshot snapshot(trainer_.model());
-    ShardedStreamingSession session;
-    session.graph = std::make_unique<ShardedStreamingGraph>(*dataset_, std::move(sharded));
+    ServingSession session;
+    session.sharded = std::make_unique<ShardedStreamingGraph>(*dataset_, std::move(sharded));
+    session.backend = make_sharded_backend(*session.sharded, serving);
     session.server =
-        std::make_unique<InferenceServer>(*session.graph, snapshot, std::move(serving));
-    for (int s = 0; s < session.graph->num_shards(); ++s) {
+        std::make_unique<InferenceServer>(*session.backend, snapshot, std::move(serving));
+    for (int s = 0; s < session.sharded->num_shards(); ++s) {
       session.compactors.push_back(
-          std::make_unique<Compactor>(session.graph->shard(s), compaction));
+          std::make_unique<Compactor>(session.sharded->shard(s), compaction));
       if (publisher.staleness_budget > 0.0)
         session.publishers.push_back(
-            std::make_unique<Publisher>(session.graph->shard(s), publisher));
+            std::make_unique<Publisher>(session.sharded->shard(s), publisher));
     }
-    session.adopter = std::make_unique<CutAdopter>(*session.graph, adopter);
+    session.adopter = std::make_unique<CutAdopter>(*session.sharded, adopter);
+    if (expiry.enabled()) {
+      if (expiry.pending_op_budget == ExpiryPolicy::kDeriveFromCompaction)
+        expiry.pending_op_budget = compaction.max_overlay_edges / 2;
+      session.sweeper = std::make_unique<ExpirySweeper>(*session.backend, expiry);
+    }
     return session;
   }
 

@@ -2,16 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
-#include <numeric>
-#include <span>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "common/rng.hpp"
-#include "shard/sharded_graph.hpp"
-#include "shard/sharded_sampler.hpp"
-#include "stream/overlay_sampler.hpp"
-#include "stream/streaming_graph.hpp"
+#include "obs/telemetry.hpp"
+#include "serving/sharded_backend.hpp"
+#include "serving/static_backend.hpp"
+#include "serving/streaming_backend.hpp"
 
 namespace hyscale {
 
@@ -43,79 +44,59 @@ std::int64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
       .count();
 }
 
+/// Snapshot handles must drop even when sampling/forward throws — the
+/// next acquire() needs the session back in its released state.
+struct SessionReleaseGuard {
+  BackendSession* session;
+  ~SessionReleaseGuard() { session->release(); }
+};
+
 }  // namespace
 
 InferenceServer::InferenceServer(const Dataset& dataset, const ModelSnapshot& snapshot,
                                  ServingConfig config)
-    : dataset_(dataset),
-      config_(std::move(config)),
-      num_classes_(snapshot.num_classes()),
-      num_layers_(snapshot.num_layers()),
-      batcher_(config_.batch) {
-  if (config_.cache_capacity_rows > 0) {
-    cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, dataset_.features,
-                                                  config_.cache_capacity_rows,
-                                                  config_.transfer_precision);
-  } else if (config_.transfer_precision != TransferPrecision::kFp32) {
-    throw std::invalid_argument(
-        "InferenceServer: static mode applies transfer_precision to the device cache; "
-        "set cache_capacity_rows > 0 or use fp32");
-  }
-  bind_telemetry();
-  init_workers(snapshot);
-}
+    : InferenceServer(
+          [&dataset](const ServingConfig& c) { return make_static_backend(dataset, c); },
+          nullptr, snapshot, std::move(config)) {}
 
 InferenceServer::InferenceServer(StreamingGraph& stream, const ModelSnapshot& snapshot,
                                  ServingConfig config)
-    : dataset_(stream.dataset()),
-      stream_(&stream),
-      config_(std::move(config)),
+    : InferenceServer(
+          [&stream](const ServingConfig& c) { return make_streaming_backend(stream, c); },
+          nullptr, snapshot, std::move(config)) {}
+
+InferenceServer::InferenceServer(ShardedStreamingGraph& sharded,
+                                 const ModelSnapshot& snapshot, ServingConfig config)
+    : InferenceServer(
+          [&sharded](const ServingConfig& c) { return make_sharded_backend(sharded, c); },
+          nullptr, snapshot, std::move(config)) {}
+
+InferenceServer::InferenceServer(ServingBackend& backend, const ModelSnapshot& snapshot,
+                                 ServingConfig config)
+    : InferenceServer(BackendFactory{}, &backend, snapshot, std::move(config)) {}
+
+InferenceServer::InferenceServer(const BackendFactory& factory, ServingBackend* backend,
+                                 const ModelSnapshot& snapshot, ServingConfig config)
+    : config_(std::move(config)),
       num_classes_(snapshot.num_classes()),
       num_layers_(snapshot.num_layers()),
       batcher_(config_.batch) {
-  if (config_.cache_capacity_rows > 0) {
-    // Built over the streaming feature store's base matrix (stable
-    // address) and attached so update_feature refreshes device rows.
-    cache_ = std::make_unique<StaticFeatureCache>(dataset_.graph, stream.features().base(),
-                                                  config_.cache_capacity_rows,
-                                                  config_.transfer_precision);
-    stream.attach_cache(cache_.get());
+  if (factory) {
+    owned_backend_ = factory(config_);
+    backend_ = owned_backend_.get();
+  } else {
+    backend_ = backend;
   }
-  // Host-side wire simulation matches the cache precision, so a row
-  // gathers to the same values whether it hits or misses.
-  stream.features().set_transfer_precision(config_.transfer_precision);
   bind_telemetry();
   init_workers(snapshot);
 }
 
-InferenceServer::InferenceServer(ShardedStreamingGraph& sharded,
-                                 const ModelSnapshot& snapshot, ServingConfig config)
-    : dataset_(sharded.dataset()),
-      sharded_(&sharded),
-      config_(std::move(config)),
-      num_classes_(snapshot.num_classes()),
-      num_layers_(snapshot.num_layers()),
-      batcher_(config_.batch) {
-  if (config_.cache_capacity_rows > 0) {
-    // One device cache per shard, ranked by the shard's own (filtered)
-    // degrees and attached to that shard for invalidation/eviction.
-    // Membership differences versus a flat cache are value-neutral:
-    // device rows and store wire fetches apply the same per-row
-    // precision rule, so a hit and a miss gather identical bytes.
-    shard_caches_.reserve(static_cast<std::size_t>(sharded.num_shards()));
-    for (int s = 0; s < sharded.num_shards(); ++s) {
-      StreamingGraph& shard = sharded.shard(s);
-      shard_caches_.push_back(std::make_unique<StaticFeatureCache>(
-          sharded.shard_dataset(s).graph, shard.features().base(),
-          config_.cache_capacity_rows, config_.transfer_precision));
-      shard.attach_cache(shard_caches_.back().get());
-    }
-  }
-  for (int s = 0; s < sharded.num_shards(); ++s) {
-    sharded.shard(s).features().set_transfer_precision(config_.transfer_precision);
-  }
-  bind_telemetry();
-  init_workers(snapshot);
+bool InferenceServer::streaming() const {
+  return std::strcmp(backend_->name(), "streaming") == 0;
+}
+
+bool InferenceServer::sharded() const {
+  return std::strcmp(backend_->name(), "sharded") == 0;
 }
 
 void InferenceServer::bind_telemetry() {
@@ -127,47 +108,12 @@ void InferenceServer::bind_telemetry() {
     exemplars_ = &config_.telemetry->exemplars();
   MetricsRegistry& reg = config_.telemetry->registry();
   m_served_version_ = &reg.gauge("serving.last_served_version");
-  if (cache_) {
-    // Pulled at snapshot time; frozen by detach() in the destructor
-    // before the cache dies.
-    const StaticFeatureCache* cache = cache_.get();
-    reg.register_callback("cache.invalidations", this,
-                          [cache] { return static_cast<double>(cache->invalidations()); });
-    reg.register_callback("cache.evictions", this,
-                          [cache] { return static_cast<double>(cache->evictions()); });
-    reg.register_callback("cache.reranks", this,
-                          [cache] { return static_cast<double>(cache->reranks()); });
-    reg.register_callback("cache.readmitted_rows", this, [cache] {
-      return static_cast<double>(cache->readmitted_rows());
-    });
-    reg.register_callback("cache.rerank_evicted_rows", this, [cache] {
-      return static_cast<double>(cache->rerank_evicted_rows());
-    });
-  } else if (!shard_caches_.empty()) {
-    // Sharded mode: the cache.* names aggregate across shards (the
-    // per-shard split is visible through each shard's own counters).
-    const auto* caches = &shard_caches_;
-    auto sum = [caches](auto getter) {
-      return [caches, getter] {
-        double total = 0.0;
-        for (const auto& cache : *caches) total += static_cast<double>(getter(*cache));
-        return total;
-      };
-    };
-    reg.register_callback("cache.invalidations", this,
-                          sum([](const StaticFeatureCache& c) { return c.invalidations(); }));
-    reg.register_callback("cache.evictions", this,
-                          sum([](const StaticFeatureCache& c) { return c.evictions(); }));
-    reg.register_callback("cache.reranks", this,
-                          sum([](const StaticFeatureCache& c) { return c.reranks(); }));
-    reg.register_callback("cache.readmitted_rows", this, sum([](const StaticFeatureCache& c) {
-                            return c.readmitted_rows();
-                          }));
-    reg.register_callback("cache.rerank_evicted_rows", this,
-                          sum([](const StaticFeatureCache& c) {
-                            return c.rerank_evicted_rows();
-                          }));
-  }
+  m_model_epoch_ = &reg.gauge("model.epoch");
+  m_model_epoch_->set(1.0);
+  backend_->bind_metrics(reg);
+  config_.telemetry->journal().log(
+      "serving_start", std::string("backend=") + backend_->name() +
+                           " workers=" + std::to_string(config_.num_workers));
 }
 
 void InferenceServer::init_workers(const ModelSnapshot& snapshot) {
@@ -181,21 +127,7 @@ void InferenceServer::init_workers(const ModelSnapshot& snapshot) {
   workers_.resize(static_cast<std::size_t>(config_.num_workers));
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     workers_[w].model = snapshot.instantiate();
-    if (!config_.fanouts.empty()) {
-      if (sharded_ != nullptr) {
-        workers_[w].sharded = std::make_unique<ShardedSampler>(
-            sharded_->current_cut(), config_.fanouts, config_.seed + w);
-      } else if (stream_ != nullptr) {
-        workers_[w].overlay = std::make_unique<OverlaySampler>(
-            stream_->current(), config_.fanouts, config_.seed + w);
-      } else {
-        workers_[w].sampler = std::make_unique<NeighborSampler>(
-            dataset_.graph, config_.fanouts, config_.seed + w);
-      }
-    }
-    if (!cache_ && stream_ == nullptr && sharded_ == nullptr) {
-      workers_[w].loader = std::make_unique<FeatureLoader>(dataset_.features);
-    }
+    workers_[w].session = backend_->make_session(config_.seed + w, num_layers_);
     if (config_.telemetry != nullptr) {
       // Hint: the longest stage-to-stage gap while busy.  Workers beat
       // between pipeline stages, so only a single wedged stage (a
@@ -213,14 +145,11 @@ void InferenceServer::init_workers(const ModelSnapshot& snapshot) {
 
 InferenceServer::~InferenceServer() {
   batcher_.shutdown();
-  pool_.reset();  // joins the worker loops after they drain the queue
-  if (stream_ != nullptr && cache_) stream_->attach_cache(nullptr);
-  if (sharded_ != nullptr && !shard_caches_.empty()) {
-    for (int s = 0; s < sharded_->num_shards(); ++s) {
-      sharded_->shard(s).attach_cache(nullptr);
-    }
-  }
-  if (config_.telemetry != nullptr) config_.telemetry->registry().detach(this);
+  pool_.reset();     // joins the worker loops after they drain the queue
+  workers_.clear();  // sessions die before the backend they came from
+  // The owned backend detaches its caches and cache.* callbacks here; a
+  // borrowed backend keeps them until IT dies (it outlives the server).
+  owned_backend_.reset();
 }
 
 std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
@@ -230,9 +159,7 @@ std::optional<std::future<InferenceResult>> InferenceServer::try_submit(
   // Streaming vertices become queryable once a version containing them
   // is published (sharded: adopted — execute-time cuts/versions are
   // monotonically newer).
-  const VertexId limit = sharded_ != nullptr ? sharded_->current_cut()->num_vertices()
-                         : stream_ != nullptr ? stream_->current()->num_vertices()
-                                              : dataset_.graph.num_vertices();
+  const VertexId limit = backend_->query_limit();
   for (VertexId v : seeds) {
     if (v < 0 || v >= limit)
       throw std::invalid_argument("InferenceServer: seed vertex out of range");
@@ -255,6 +182,50 @@ InferenceResult InferenceServer::infer(std::vector<VertexId> seeds) {
     if (future) return future->get();
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
+}
+
+std::uint64_t InferenceServer::swap_model(const ModelSnapshot& snapshot) {
+  if (snapshot.num_classes() != num_classes_ || snapshot.num_layers() != num_layers_) {
+    throw std::invalid_argument(
+        "InferenceServer::swap_model: snapshot architecture does not match the serving "
+        "model (layer/class counts must be equal)");
+  }
+  // ModelSnapshot is move-only, so stage a deep copy: the caller keeps
+  // their snapshot, the server owns the staged weights for as long as
+  // workers may still instantiate from them.
+  auto staged = std::make_shared<const ModelSnapshot>(*snapshot.instantiate());
+  std::uint64_t epoch;
+  {
+    std::lock_guard lock(model_mutex_);
+    staged_model_ = std::move(staged);
+    // Publish the epoch AFTER the snapshot it names: a worker that sees
+    // the new epoch and takes the lock is guaranteed to find at least
+    // this snapshot staged.
+    epoch = model_epoch_.load(std::memory_order_relaxed) + 1;
+    model_epoch_.store(epoch, std::memory_order_release);
+  }
+  if (m_model_epoch_ != nullptr) m_model_epoch_->set(static_cast<double>(epoch));
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->journal().log(
+        "model_swap", std::string("backend=") + backend_->name() +
+                          " epoch=" + std::to_string(epoch));
+  }
+  return epoch;
+}
+
+void InferenceServer::refresh_worker_model(Worker& worker) {
+  // One relaxed-ish load per batch; only a swap pays the lock.
+  if (model_epoch_.load(std::memory_order_acquire) == worker.model_epoch) return;
+  std::shared_ptr<const ModelSnapshot> staged;
+  std::uint64_t epoch;
+  {
+    std::lock_guard lock(model_mutex_);
+    staged = staged_model_;
+    epoch = model_epoch_.load(std::memory_order_relaxed);
+  }
+  if (!staged) return;  // construction epoch: nothing staged yet
+  worker.model = staged->instantiate();
+  worker.model_epoch = epoch;
 }
 
 void InferenceServer::worker_loop(Worker& worker) {
@@ -291,6 +262,11 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
     }
   }
   try {
+    // Hot-swap pickup happens at the batch boundary, BEFORE the
+    // snapshot acquire: the whole batch runs on one replica, so a
+    // concurrent swap_model can never tear it.
+    refresh_worker_model(worker);
+
     // Coalesce: request seeds concatenate in arrival order, so logits
     // row blocks map back to requests by offset.  Worker-owned scratch:
     // capacity persists across batches.
@@ -300,56 +276,23 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
       combined.insert(combined.end(), request.seeds.begin(), request.seeds.end());
     }
 
+    BackendSession& session = *worker.session;
     const std::int64_t sample_begin_ns = diag ? StageTracer::now_ns() : 0;
-    MiniBatch mb;
-    {
-      if (sharded_ != nullptr) {
-        // Latest ADOPTED cut for the whole micro-batch: one frozen
-        // cross-shard version vector, so a query never mixes a
-        // pre-publish shard with a post-publish one.
-        const std::shared_ptr<const ShardedCut> cut = sharded_->current_cut();
-        std::uint64_t seen = last_served_version_.load(std::memory_order_relaxed);
-        while (seen < cut->cut_id() &&
-               !last_served_version_.compare_exchange_weak(seen, cut->cut_id(),
-                                                           std::memory_order_relaxed)) {
-        }
-        if (m_served_version_ != nullptr)
-          m_served_version_->set_max(static_cast<double>(cut->cut_id()));
-        if (worker.sharded) {
-          worker.sharded->set_cut(cut);
-          worker.sharded->reseed(batch_stream_seed(config_.seed, combined));
-          mb = worker.sharded->sample(combined);
-        } else {
-          mb = sample_full_sharded(*cut, combined, num_layers_);
-        }
-      } else if (stream_ != nullptr) {
-        // Latest published version for the whole micro-batch: consistent
-        // view per batch, freshest data per pickup.
-        const std::shared_ptr<const GraphVersion> version = stream_->current();
-        // Max-merge across workers: two batches can read current() in
-        // one order and store in the other, and a plain store would let
-        // the gauge go backwards.
-        std::uint64_t seen = last_served_version_.load(std::memory_order_relaxed);
-        while (seen < version->id() &&
-               !last_served_version_.compare_exchange_weak(seen, version->id(),
-                                                           std::memory_order_relaxed)) {
-        }
-        if (m_served_version_ != nullptr)
-          m_served_version_->set_max(static_cast<double>(version->id()));
-        if (worker.overlay) {
-          worker.overlay->set_version(version);
-          worker.overlay->reseed(batch_stream_seed(config_.seed, combined));
-          mb = worker.overlay->sample(combined);
-        } else {
-          mb = sample_full_overlay(*version, combined, num_layers_);
-        }
-      } else if (worker.sampler) {
-        worker.sampler->reseed(batch_stream_seed(config_.seed, combined));
-        mb = worker.sampler->sample(combined);
-      } else {
-        mb = sample_full(dataset_.graph, combined, num_layers_);
+    const std::uint64_t freshness = session.acquire();
+    SessionReleaseGuard release_guard{&session};
+    if (freshness > 0) {
+      // Max-merge across workers: two batches can acquire in one order
+      // and store in the other, and a plain store would let the gauge
+      // go backwards.
+      std::uint64_t seen = last_served_version_.load(std::memory_order_relaxed);
+      while (seen < freshness &&
+             !last_served_version_.compare_exchange_weak(seen, freshness,
+                                                         std::memory_order_relaxed)) {
       }
+      if (m_served_version_ != nullptr)
+        m_served_version_->set_max(static_cast<double>(freshness));
     }
+    MiniBatch mb = session.sample(combined, batch_stream_seed(config_.seed, combined));
     const std::int64_t sample_end_ns = diag ? StageTracer::now_ns() : 0;
     if (tracing)
       tracer_->record(TraceStage::kSample, batch_id, combined.size(), sample_begin_ns,
@@ -357,31 +300,8 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
     if (worker.heart != nullptr) worker.heart->beat();
 
     Tensor& x = worker.x;
-    {
-      if (sharded_ != nullptr) {
-        // Route through the home shard of the batch's first seed; the
-        // facade patches still-dirty halo rows from their owners so the
-        // block is bit-identical to a flat gather.
-        const auto& nodes = mb.input_nodes();
-        const int home = sharded_->owner(combined.front());
-        const auto gather_stats = sharded_->gather(
-            home, std::span<const VertexId>(nodes.data(), nodes.size()), x,
-            worker.hit_scratch);
-        if (!shard_caches_.empty()) stats_.record_gather(gather_stats);
-      } else if (stream_ != nullptr) {
-        // Fused sample->gather: the minibatch's input-node span feeds the
-        // gather directly and lands in the worker's reusable tensor — no
-        // temporary id or feature buffers between the stages.
-        const auto& nodes = mb.input_nodes();
-        const auto gather_stats = stream_->gather(
-            std::span<const VertexId>(nodes.data(), nodes.size()), x, worker.hit_scratch);
-        if (cache_) stats_.record_gather(gather_stats);
-      } else if (cache_) {
-        stats_.record_gather(cache_->load(mb, x));
-      } else {
-        worker.loader->load(mb, x);
-      }
-    }
+    const auto gather_stats = session.gather(mb, x, worker.hit_scratch);
+    if (gather_stats) stats_.record_gather(*gather_stats);
     maybe_rerank(static_cast<std::int64_t>(mb.input_nodes().size()));
     const std::int64_t gather_end_ns = diag ? StageTracer::now_ns() : 0;
     if (tracing)
@@ -460,7 +380,7 @@ void InferenceServer::execute_batch(Worker& worker, std::vector<InferenceRequest
 void InferenceServer::maybe_rerank(std::int64_t gathered_rows) {
   const std::int64_t every = config_.cache_rerank_every_rows;
   if (every <= 0 || gathered_rows <= 0) return;
-  if (!cache_ && shard_caches_.empty()) return;
+  if (!backend_->has_cache()) return;
   const std::int64_t total =
       rerank_rows_.fetch_add(gathered_rows, std::memory_order_relaxed) + gathered_rows;
   std::int64_t due = rerank_due_.load(std::memory_order_relaxed);
@@ -471,44 +391,9 @@ void InferenceServer::maybe_rerank(std::int64_t gathered_rows) {
     const std::int64_t next = due + every * ((total - due) / every);
     if (!rerank_due_.compare_exchange_weak(due, next, std::memory_order_relaxed)) continue;
     traffic_reranks_.fetch_add(1, std::memory_order_relaxed);
-    if (sharded_ != nullptr) {
-      sharded_->rerank_all();
-    } else if (stream_ != nullptr) {
-      stream_->rerank_now();
-    } else {
-      rerank_static_cache();
-    }
+    backend_->rerank();
     break;
   }
-}
-
-void InferenceServer::rerank_static_cache() {
-  if (!cache_ || cache_->capacity() == 0) return;
-  // Static mode has no dead vertices, so the candidate pool is simply
-  // every trackable row; the ranking matches StreamingGraph's fold-time
-  // re-rank (traffic first, dataset degree breaks ties, id stabilises).
-  const auto limit =
-      std::min<VertexId>(static_cast<VertexId>(cache_->trackable_rows()),
-                         dataset_.graph.num_vertices());
-  if (limit <= 0) return;
-  std::vector<VertexId> candidates(static_cast<std::size_t>(limit));
-  std::iota(candidates.begin(), candidates.end(), VertexId{0});
-  const auto hotter = [this](VertexId a, VertexId b) {
-    const std::uint64_t ca = cache_->access_count(a);
-    const std::uint64_t cb = cache_->access_count(b);
-    if (ca != cb) return ca > cb;
-    const EdgeId da = dataset_.graph.degree(a);
-    const EdgeId db = dataset_.graph.degree(b);
-    if (da != db) return da > db;
-    return a < b;
-  };
-  const auto top = std::min<std::size_t>(candidates.size(),
-                                         static_cast<std::size_t>(cache_->capacity()));
-  std::partial_sort(candidates.begin(),
-                    candidates.begin() + static_cast<std::ptrdiff_t>(top),
-                    candidates.end(), hotter);
-  candidates.resize(top);
-  cache_->rerank(candidates);
 }
 
 }  // namespace hyscale

@@ -1,23 +1,27 @@
 // In-process multi-threaded GNN inference server.
 //
 // Pipeline per micro-batch (one InferenceWorker, end to end):
-//   coalesce requests -> neighbor sampling at inference fanouts ->
-//   feature gather (StaticFeatureCache when configured, plain
-//   FeatureLoader otherwise) -> forward pass on a worker-local
-//   ModelSnapshot replica -> scatter logits back to the requests.
+//   coalesce requests -> acquire the backend's consistent snapshot ->
+//   neighbor sampling at inference fanouts -> feature gather at wire
+//   precision through the backend's cache -> forward pass on a
+//   worker-local ModelSnapshot replica -> scatter logits back to the
+//   requests -> release the snapshot.
 //
-// Streaming mode (construct over a StreamingGraph): every micro-batch
-// grabs the graph's latest published GraphVersion and samples the live
-// adjacency (base CSR minus tombstones plus delta insertions) through
-// an OverlaySampler, so queries see insertions AND retractions as soon
-// as they are published — while in-flight batches keep their version
-// until done (snapshot isolation per micro-batch).  Deleted vertices
-// stay addressable: a query for a dead id serves the isolated,
-// zero-feature entity of the batch's version rather than erroring, so
-// racing a retraction is benign.  Gathers go through
-// StreamingGraph::gather (cache device rows + live feature store); the
-// cache is attached for update_feature invalidation / remove_vertex
-// eviction and detached on server destruction.
+// The server is MODE-BLIND: every mode-specific step above lives
+// behind ServingBackend (serving/backend.hpp).  The compat
+// constructors build the matching backend internally — static over the
+// dataset CSR, streaming over a StreamingGraph's latest published
+// version, sharded over a ShardedStreamingGraph's latest adopted cut —
+// and the seam constructor serves over any ServingBackend you hand it.
+// Each worker holds ONE BackendSession; snapshot isolation per
+// micro-batch (in-flight batches keep their version/cut until done) is
+// the session's acquire/release contract.
+//
+// Live model hot-swap: swap_model() stages a new ModelSnapshot under an
+// atomic model epoch; workers notice the epoch at the NEXT batch
+// boundary and re-instantiate their replica, so a batch in flight
+// finishes entirely on the weights it started with (no torn batches)
+// and the very next batch that worker picks up serves the new epoch.
 //
 // Workers run as long-lived tasks on a dedicated ThreadPool
 // (common/thread_pool.hpp).  The pool is deliberately NOT
@@ -35,15 +39,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "graph/datasets.hpp"
-#include "runtime/feature_cache.hpp"
-#include "runtime/feature_loader.hpp"
-#include "sampling/neighbor_sampler.hpp"
+#include "serving/backend.hpp"
 #include "serving/batcher.hpp"
 #include "serving/model_snapshot.hpp"
 #include "serving/serving_stats.hpp"
@@ -51,66 +55,31 @@
 namespace hyscale {
 
 class StreamingGraph;
-class OverlaySampler;
 class ShardedStreamingGraph;
-class ShardedSampler;
-
-struct ServingConfig {
-  /// Inference fanouts, input layer first (like HybridTrainerConfig).
-  /// EMPTY means full-neighborhood inference — exact logits, higher
-  /// cost; the equivalence tests rely on it.
-  std::vector<int> fanouts;
-  int num_workers = 2;
-  BatchPolicy batch;
-  /// Rows pinned by the PaGraph-style static cache; 0 disables it and
-  /// gathers go through a per-worker FeatureLoader.
-  std::int64_t cache_capacity_rows = 0;
-  /// Feature transfer precision for the gather hot path: device cache
-  /// rows are stored (and streaming host fetches are wire-simulated) at
-  /// this precision.  kInt8 moves ~4x fewer bytes per row at the
-  /// documented per-row quantization error; kFp16 is rejected at
-  /// construction.  Default kFp32 (lossless).
-  TransferPrecision transfer_precision = TransferPrecision::kFp32;
-  std::uint64_t seed = 1;
-  /// Traffic-triggered cache re-rank cadence, in gathered input rows
-  /// summed across all workers: every N rows the serving tier recomputes
-  /// the attached cache's hot set from its observed access counters
-  /// (streaming: StreamingGraph::rerank_now; sharded: every shard's
-  /// cache; static: the same traffic-first/degree-tiebreak ranking over
-  /// the dataset graph).  Decouples admission-drift correction from
-  /// compaction folds — a serving-heavy session whose quiet ingest never
-  /// triggers a fold still re-ranks.  0 (default) leaves re-ranking to
-  /// the fold-time path alone.
-  std::int64_t cache_rerank_every_rows = 0;
-  /// Telemetry plane (obs/) to report through: serving.* instruments,
-  /// request/batch stage spans.  Null = telemetry off (default); must
-  /// outlive the server when set.
-  Telemetry* telemetry = nullptr;
-};
 
 class InferenceServer {
  public:
-  /// `dataset` must outlive the server; the snapshot is consumed at
-  /// construction (per-worker replicas are stamped out immediately).
+  /// Static mode over `dataset` (must outlive the server); the snapshot
+  /// is consumed at construction (per-worker replicas are stamped out
+  /// immediately).
   InferenceServer(const Dataset& dataset, const ModelSnapshot& snapshot,
                   ServingConfig config = {});
 
   /// Streaming mode: serve over `stream`'s latest published version.
-  /// `stream` (and its dataset) must outlive the server.  When a cache
-  /// is configured it is built over the streaming feature store's base
-  /// matrix and attached to the graph for invalidation on feature
-  /// updates.
+  /// `stream` (and its dataset) must outlive the server.
   InferenceServer(StreamingGraph& stream, const ModelSnapshot& snapshot,
                   ServingConfig config = {});
 
-  /// Sharded mode: serve over `sharded`'s latest ADOPTED cut.  Every
-  /// micro-batch samples one frozen cross-shard version vector through
-  /// a ShardedSampler and gathers through the facade's halo plane,
-  /// routed via the home shard of the batch's first seed.  When a cache
-  /// is configured, one per-shard StaticFeatureCache is built over each
-  /// shard's store base and attached for invalidation/eviction.
+  /// Sharded mode: serve over `sharded`'s latest ADOPTED cut.
   /// `sharded` (and its dataset) must outlive the server.
   InferenceServer(ShardedStreamingGraph& sharded, const ModelSnapshot& snapshot,
+                  ServingConfig config = {});
+
+  /// The seam: serve over any ServingBackend.  `backend` must outlive
+  /// the server and serve only this server; its cache.* gauges are
+  /// bound to config.telemetry's registry (if set) and stay registered
+  /// until the BACKEND dies.
+  InferenceServer(ServingBackend& backend, const ModelSnapshot& snapshot,
                   ServingConfig config = {});
   ~InferenceServer();
 
@@ -126,27 +95,37 @@ class InferenceServer {
   /// waits for the result.
   InferenceResult infer(std::vector<VertexId> seeds);
 
+  /// Live hot-swap: stages `snapshot` as the new serving weights and
+  /// bumps the model epoch.  Safe under concurrent traffic — workers
+  /// adopt the new weights at their next batch boundary; a batch in
+  /// flight completes entirely on its old replica.  Returns the new
+  /// epoch (journaled as a model_swap event and exported as the
+  /// model.epoch gauge when telemetry is on).  Throws
+  /// std::invalid_argument when the architecture (layer/class counts)
+  /// does not match the serving model's.
+  std::uint64_t swap_model(const ModelSnapshot& snapshot);
+  /// Current model epoch (1 = the construction snapshot).
+  std::uint64_t model_epoch() const { return model_epoch_.load(std::memory_order_acquire); }
+
   ServingSnapshot stats() const { return stats_.snapshot(); }
-  const StaticFeatureCache* cache() const { return cache_.get(); }
+  const StaticFeatureCache* cache() const { return backend_->cache(); }
   /// Shard `s`'s device cache (sharded mode with a cache configured;
   /// null otherwise).
-  const StaticFeatureCache* shard_cache(int s) const {
-    return static_cast<std::size_t>(s) < shard_caches_.size()
-               ? shard_caches_[static_cast<std::size_t>(s)].get()
-               : nullptr;
-  }
+  const StaticFeatureCache* shard_cache(int s) const { return backend_->shard_cache(s); }
   const ServingConfig& config() const { return config_; }
   int num_classes() const { return num_classes_; }
-  bool streaming() const { return stream_ != nullptr; }
-  bool sharded() const { return sharded_ != nullptr; }
+  const ServingBackend& backend() const { return *backend_; }
+  bool streaming() const;
+  bool sharded() const;
   /// Traffic-triggered cache re-ranks this server has issued
   /// (cache_rerank_every_rows crossings; 0 when the cadence is off).
   std::int64_t traffic_reranks() const {
     return traffic_reranks_.load(std::memory_order_relaxed);
   }
-  /// Id of the newest GraphVersion any micro-batch has sampled (0 in
-  /// static mode or before the first streaming batch) — how the SLO
-  /// publisher's freshness actually reaches queries.
+  /// Id of the newest snapshot (GraphVersion / ShardedCut) any
+  /// micro-batch has sampled (0 in static mode or before the first
+  /// streaming batch) — how the SLO publisher's freshness actually
+  /// reaches queries.
   std::uint64_t last_served_version() const {
     return last_served_version_.load(std::memory_order_relaxed);
   }
@@ -155,11 +134,9 @@ class InferenceServer {
   /// Per-worker state: everything GnnModel::forward / sampling mutates.
   struct Worker {
     std::unique_ptr<GnnModel> model;
-    std::unique_ptr<NeighborSampler> sampler;  ///< null in full-neighborhood mode
-    std::unique_ptr<OverlaySampler> overlay;   ///< streaming mode, sampled fanouts
-    std::unique_ptr<ShardedSampler> sharded;   ///< sharded mode, sampled fanouts
-    std::unique_ptr<FeatureLoader> loader;     ///< fallback when no cache
-    Heartbeat* heart = nullptr;                ///< liveness stamp when telemetry on
+    std::uint64_t model_epoch = 1;  ///< epoch `model` was instantiated at
+    std::unique_ptr<BackendSession> session;
+    Heartbeat* heart = nullptr;  ///< liveness stamp when telemetry on
     // Reusable batch scratch: coalesced seed ids, the gathered feature
     // block, and the gather hit bitmap live across batches so the hot
     // path stops paying a fresh allocation per micro-batch (the fused
@@ -169,34 +146,35 @@ class InferenceServer {
     std::vector<char> hit_scratch;
   };
 
+  using BackendFactory = std::function<std::unique_ptr<ServingBackend>(const ServingConfig&)>;
+  /// Common construction: `factory` (compat modes) builds the owned
+  /// backend from the final config; null factory = borrowed `backend`.
+  InferenceServer(const BackendFactory& factory, ServingBackend* backend,
+                  const ModelSnapshot& snapshot, ServingConfig config);
+
   void init_workers(const ModelSnapshot& snapshot);
   void bind_telemetry();
   void worker_loop(Worker& worker);
   void execute_batch(Worker& worker, std::vector<InferenceRequest>& batch);
+  /// Batch-boundary hot-swap pickup: re-instantiates the worker's model
+  /// replica when the server's epoch moved past the worker's.
+  void refresh_worker_model(Worker& worker);
   /// Folds `gathered_rows` into the traffic-rerank cadence and issues a
   /// re-rank when a cache_rerank_every_rows boundary is crossed (one
   /// trigger per crossing, CAS-claimed so concurrent workers never
   /// stampede).
   void maybe_rerank(std::int64_t gathered_rows);
-  /// Static-mode re-rank: same traffic-first/degree-tiebreak ranking as
-  /// StreamingGraph::rerank_cache, over the (immutable) dataset graph.
-  void rerank_static_cache();
 
-  const Dataset& dataset_;
-  StreamingGraph* stream_ = nullptr;          ///< null unless streaming mode
-  ShardedStreamingGraph* sharded_ = nullptr;  ///< null unless sharded mode
   ServingConfig config_;
   int num_classes_ = 0;
   int num_layers_ = 0;
+  std::unique_ptr<ServingBackend> owned_backend_;  ///< compat ctors only
+  ServingBackend* backend_ = nullptr;              ///< never null after construction
 
   DynamicBatcher batcher_;
   ServingStats stats_;
-  std::unique_ptr<StaticFeatureCache> cache_;
-  /// Sharded mode: one device cache per shard (attached to that shard's
-  /// StreamingGraph for invalidation/eviction); cache_ stays null.
-  std::vector<std::unique_ptr<StaticFeatureCache>> shard_caches_;
   std::vector<Worker> workers_;
-  std::unique_ptr<ThreadPool> pool_;  ///< dedicated; keep last so it joins first
+  std::unique_ptr<ThreadPool> pool_;  ///< dedicated; keep after workers_ so it joins first
   std::atomic<std::uint64_t> next_request_id_{0};
   std::atomic<std::uint64_t> next_batch_id_{0};
   std::atomic<std::uint64_t> last_served_version_{0};
@@ -204,9 +182,17 @@ class InferenceServer {
   std::atomic<std::int64_t> rerank_due_{0};       ///< next cadence boundary
   std::atomic<std::int64_t> traffic_reranks_{0};  ///< cadence triggers issued
 
-  StageTracer* tracer_ = nullptr;        ///< from config_.telemetry, may be null
-  ExemplarRing* exemplars_ = nullptr;    ///< tail-trace ring, null when off
-  Gauge* m_served_version_ = nullptr;    ///< serving.last_served_version
+  // Hot-swap plane: the staged snapshot is guarded by model_mutex_; the
+  // epoch is the lock-free "did anything change" fast path workers read
+  // once per batch.
+  std::mutex model_mutex_;
+  std::shared_ptr<const ModelSnapshot> staged_model_;  ///< guarded by model_mutex_
+  std::atomic<std::uint64_t> model_epoch_{1};
+
+  StageTracer* tracer_ = nullptr;      ///< from config_.telemetry, may be null
+  ExemplarRing* exemplars_ = nullptr;  ///< tail-trace ring, null when off
+  Gauge* m_served_version_ = nullptr;  ///< serving.last_served_version
+  Gauge* m_model_epoch_ = nullptr;     ///< model.epoch
 };
 
 }  // namespace hyscale

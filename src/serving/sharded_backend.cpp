@@ -1,0 +1,173 @@
+#include "serving/sharded_backend.hpp"
+
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "shard/sharded_graph.hpp"
+#include "shard/sharded_sampler.hpp"
+
+namespace hyscale {
+
+namespace {
+
+class ShardedBackendSession final : public BackendSession {
+ public:
+  ShardedBackendSession(ShardedStreamingGraph& sharded, bool cached,
+                        const std::vector<int>& fanouts, std::uint64_t sampler_seed,
+                        int num_layers)
+      : sharded_(sharded), cached_(cached), num_layers_(num_layers) {
+    if (!fanouts.empty()) {
+      sampler_ =
+          std::make_unique<ShardedSampler>(sharded.current_cut(), fanouts, sampler_seed);
+    }
+  }
+
+  std::uint64_t acquire() override {
+    // Latest ADOPTED cut for the whole micro-batch: one frozen
+    // cross-shard version vector, so a query never mixes a pre-publish
+    // shard with a post-publish one.
+    cut_ = sharded_.current_cut();
+    return cut_->cut_id();
+  }
+
+  MiniBatch sample(const std::vector<VertexId>& seeds, std::uint64_t stream_seed) override {
+    if (sampler_) {
+      sampler_->set_cut(cut_);
+      sampler_->reseed(stream_seed);
+      return sampler_->sample(seeds);
+    }
+    return sample_full_sharded(*cut_, seeds, num_layers_);
+  }
+
+  std::optional<StaticFeatureCache::LoadStats> gather(
+      const MiniBatch& batch, Tensor& out, std::vector<char>& hit_scratch) override {
+    // Route through the home shard of the batch's first seed; the
+    // facade patches still-dirty halo rows from their owners so the
+    // block is bit-identical to a flat gather.
+    const auto& nodes = batch.input_nodes();
+    const int home = sharded_.owner(batch.seeds.front());
+    const auto stats = sharded_.gather(
+        home, std::span<const VertexId>(nodes.data(), nodes.size()), out, hit_scratch);
+    if (cached_) return stats;
+    return std::nullopt;
+  }
+
+  void release() override { cut_.reset(); }
+
+ private:
+  ShardedStreamingGraph& sharded_;
+  bool cached_;
+  std::unique_ptr<ShardedSampler> sampler_;  ///< null in full-neighborhood mode
+  std::shared_ptr<const ShardedCut> cut_;    ///< held acquire -> release
+  int num_layers_;
+};
+
+class ShardedBackend final : public ServingBackend {
+ public:
+  ShardedBackend(ShardedStreamingGraph& sharded, const ServingConfig& config)
+      : sharded_(sharded), fanouts_(config.fanouts) {
+    if (config.cache_capacity_rows > 0) {
+      // One device cache per shard, ranked by the shard's own (filtered)
+      // degrees and attached to that shard for invalidation/eviction.
+      // Membership differences versus a flat cache are value-neutral:
+      // device rows and store wire fetches apply the same per-row
+      // precision rule, so a hit and a miss gather identical bytes.
+      caches_.reserve(static_cast<std::size_t>(sharded.num_shards()));
+      for (int s = 0; s < sharded.num_shards(); ++s) {
+        StreamingGraph& shard = sharded.shard(s);
+        caches_.push_back(std::make_unique<StaticFeatureCache>(
+            sharded.shard_dataset(s).graph, shard.features().base(),
+            config.cache_capacity_rows, config.transfer_precision));
+        shard.attach_cache(caches_.back().get());
+      }
+    }
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      sharded.shard(s).features().set_transfer_precision(config.transfer_precision);
+    }
+  }
+
+  ~ShardedBackend() override {
+    if (!caches_.empty()) {
+      for (int s = 0; s < sharded_.num_shards(); ++s) {
+        sharded_.shard(s).attach_cache(nullptr);
+      }
+    }
+    if (registry_ != nullptr) registry_->detach(this);
+  }
+
+  const char* name() const override { return "sharded"; }
+  const Dataset& dataset() const override { return sharded_.dataset(); }
+  VertexId query_limit() const override { return sharded_.current_cut()->num_vertices(); }
+
+  std::unique_ptr<BackendSession> make_session(std::uint64_t sampler_seed,
+                                               int num_layers) override {
+    return std::make_unique<ShardedBackendSession>(sharded_, !caches_.empty(), fanouts_,
+                                                   sampler_seed, num_layers);
+  }
+
+  bool has_cache() const override { return !caches_.empty(); }
+  const StaticFeatureCache* shard_cache(int s) const override {
+    return s >= 0 && static_cast<std::size_t>(s) < caches_.size()
+               ? caches_[static_cast<std::size_t>(s)].get()
+               : nullptr;
+  }
+
+  void rerank() override { sharded_.rerank_all(); }
+
+  void bind_metrics(MetricsRegistry& registry) override {
+    if (caches_.empty() || registry_ == &registry) return;
+    if (registry_ != nullptr) registry_->detach(this);
+    registry_ = &registry;
+    // The cache.* names aggregate across shards (the per-shard split is
+    // visible through each shard's own counters); frozen by detach() in
+    // the destructor before the caches die.
+    const auto* caches = &caches_;
+    auto sum = [caches](auto getter) {
+      return [caches, getter] {
+        double total = 0.0;
+        for (const auto& cache : *caches) total += static_cast<double>(getter(*cache));
+        return total;
+      };
+    };
+    registry.register_callback("cache.invalidations", this,
+                               sum([](const StaticFeatureCache& c) { return c.invalidations(); }));
+    registry.register_callback("cache.evictions", this,
+                               sum([](const StaticFeatureCache& c) { return c.evictions(); }));
+    registry.register_callback("cache.reranks", this,
+                               sum([](const StaticFeatureCache& c) { return c.reranks(); }));
+    registry.register_callback("cache.readmitted_rows", this,
+                               sum([](const StaticFeatureCache& c) {
+                                 return c.readmitted_rows();
+                               }));
+    registry.register_callback("cache.rerank_evicted_rows", this,
+                               sum([](const StaticFeatureCache& c) {
+                                 return c.rerank_evicted_rows();
+                               }));
+  }
+
+  // ExpiryTarget: forward to the facade's facade-wide sweep — broadcast
+  // retirement keeps every shard's vertex space in lockstep, which is
+  // exactly why per-shard sweepers would be wrong here.
+  std::int64_t sweep_expired(Seconds ttl, std::int64_t max_retire,
+                             EdgeId pending_op_budget) override {
+    return sharded_.sweep_expired(ttl, max_retire, pending_op_budget);
+  }
+  Telemetry* telemetry() const override { return sharded_.telemetry(); }
+  const char* expiry_scope() const override { return sharded_.expiry_scope(); }
+
+ private:
+  ShardedStreamingGraph& sharded_;
+  std::vector<int> fanouts_;
+  std::vector<std::unique_ptr<StaticFeatureCache>> caches_;  ///< one per shard
+  MetricsRegistry* registry_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<ServingBackend> make_sharded_backend(ShardedStreamingGraph& sharded,
+                                                     const ServingConfig& config) {
+  return std::make_unique<ShardedBackend>(sharded, config);
+}
+
+}  // namespace hyscale

@@ -1,0 +1,27 @@
+// Static serving backend: the immutable dataset CSR behind the seam.
+//
+// The snapshot is the dataset itself, so acquire() is free and the
+// freshness id is always 0.  Sampling goes through NeighborSampler (or
+// sample_full when the fanouts are empty); gathers go through one
+// PaGraph-style StaticFeatureCache when configured — which is also
+// where transfer_precision applies, hence the construction-time
+// rejection of a non-fp32 precision with no cache — and a plain
+// FeatureLoader otherwise.  The traffic-cadence re-rank recomputes the
+// cache's hot set with the same traffic-first/degree-tiebreak ranking
+// StreamingGraph uses at fold time.
+#pragma once
+
+#include <memory>
+
+#include "serving/backend.hpp"
+
+namespace hyscale {
+
+/// `dataset` must outlive the backend.  Copies what it needs from
+/// `config` (fanouts, cache sizing, precision); throws
+/// std::invalid_argument when transfer_precision != kFp32 without a
+/// cache to apply it to.
+std::unique_ptr<ServingBackend> make_static_backend(const Dataset& dataset,
+                                                    const ServingConfig& config);
+
+}  // namespace hyscale

@@ -1,0 +1,143 @@
+#include "serving/streaming_backend.hpp"
+
+#include <span>
+
+#include "obs/metrics.hpp"
+#include "stream/overlay_sampler.hpp"
+#include "stream/streaming_graph.hpp"
+
+namespace hyscale {
+
+namespace {
+
+class StreamingBackendSession final : public BackendSession {
+ public:
+  StreamingBackendSession(StreamingGraph& stream, bool cached,
+                          const std::vector<int>& fanouts, std::uint64_t sampler_seed,
+                          int num_layers)
+      : stream_(stream), cached_(cached), num_layers_(num_layers) {
+    if (!fanouts.empty()) {
+      sampler_ = std::make_unique<OverlaySampler>(stream.current(), fanouts, sampler_seed);
+    }
+  }
+
+  std::uint64_t acquire() override {
+    // Latest published version for the whole micro-batch: consistent
+    // view per batch, freshest data per pickup.
+    version_ = stream_.current();
+    return version_->id();
+  }
+
+  MiniBatch sample(const std::vector<VertexId>& seeds, std::uint64_t stream_seed) override {
+    if (sampler_) {
+      sampler_->set_version(version_);
+      sampler_->reseed(stream_seed);
+      return sampler_->sample(seeds);
+    }
+    return sample_full_overlay(*version_, seeds, num_layers_);
+  }
+
+  std::optional<StaticFeatureCache::LoadStats> gather(
+      const MiniBatch& batch, Tensor& out, std::vector<char>& hit_scratch) override {
+    // Fused sample->gather: the minibatch's input-node span feeds the
+    // gather directly and lands in the worker's reusable tensor — no
+    // temporary id or feature buffers between the stages.
+    const auto& nodes = batch.input_nodes();
+    const auto stats = stream_.gather(std::span<const VertexId>(nodes.data(), nodes.size()),
+                                      out, hit_scratch);
+    if (cached_) return stats;
+    return std::nullopt;
+  }
+
+  void release() override { version_.reset(); }
+
+ private:
+  StreamingGraph& stream_;
+  bool cached_;
+  std::unique_ptr<OverlaySampler> sampler_;  ///< null in full-neighborhood mode
+  std::shared_ptr<const GraphVersion> version_;  ///< held acquire -> release
+  int num_layers_;
+};
+
+class StreamingBackend final : public ServingBackend {
+ public:
+  StreamingBackend(StreamingGraph& stream, const ServingConfig& config)
+      : stream_(stream), fanouts_(config.fanouts) {
+    if (config.cache_capacity_rows > 0) {
+      // Built over the streaming feature store's base matrix (stable
+      // address) and attached so update_feature refreshes device rows.
+      cache_ = std::make_unique<StaticFeatureCache>(
+          stream.dataset().graph, stream.features().base(), config.cache_capacity_rows,
+          config.transfer_precision);
+      stream.attach_cache(cache_.get());
+    }
+    // Host-side wire simulation matches the cache precision, so a row
+    // gathers to the same values whether it hits or misses.
+    stream.features().set_transfer_precision(config.transfer_precision);
+  }
+
+  ~StreamingBackend() override {
+    if (cache_) stream_.attach_cache(nullptr);
+    if (registry_ != nullptr) registry_->detach(this);
+  }
+
+  const char* name() const override { return "streaming"; }
+  const Dataset& dataset() const override { return stream_.dataset(); }
+  VertexId query_limit() const override { return stream_.current()->num_vertices(); }
+
+  std::unique_ptr<BackendSession> make_session(std::uint64_t sampler_seed,
+                                               int num_layers) override {
+    return std::make_unique<StreamingBackendSession>(stream_, cache_ != nullptr, fanouts_,
+                                                     sampler_seed, num_layers);
+  }
+
+  bool has_cache() const override { return cache_ != nullptr; }
+  const StaticFeatureCache* cache() const override { return cache_.get(); }
+
+  void rerank() override { stream_.rerank_now(); }
+
+  void bind_metrics(MetricsRegistry& registry) override {
+    if (!cache_ || registry_ == &registry) return;
+    if (registry_ != nullptr) registry_->detach(this);
+    registry_ = &registry;
+    const StaticFeatureCache* cache = cache_.get();
+    registry.register_callback("cache.invalidations", this, [cache] {
+      return static_cast<double>(cache->invalidations());
+    });
+    registry.register_callback("cache.evictions", this,
+                               [cache] { return static_cast<double>(cache->evictions()); });
+    registry.register_callback("cache.reranks", this,
+                               [cache] { return static_cast<double>(cache->reranks()); });
+    registry.register_callback("cache.readmitted_rows", this, [cache] {
+      return static_cast<double>(cache->readmitted_rows());
+    });
+    registry.register_callback("cache.rerank_evicted_rows", this, [cache] {
+      return static_cast<double>(cache->rerank_evicted_rows());
+    });
+  }
+
+  // ExpiryTarget: forward to the graph so one sweeper paces TTL expiry
+  // through the seam (keeps the flat stack's "stream.*" instrument
+  // names).
+  std::int64_t sweep_expired(Seconds ttl, std::int64_t max_retire,
+                             EdgeId pending_op_budget) override {
+    return stream_.sweep_expired(ttl, max_retire, pending_op_budget);
+  }
+  Telemetry* telemetry() const override { return stream_.telemetry(); }
+  const char* expiry_scope() const override { return stream_.expiry_scope(); }
+
+ private:
+  StreamingGraph& stream_;
+  std::vector<int> fanouts_;
+  std::unique_ptr<StaticFeatureCache> cache_;
+  MetricsRegistry* registry_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<ServingBackend> make_streaming_backend(StreamingGraph& stream,
+                                                       const ServingConfig& config) {
+  return std::make_unique<StreamingBackend>(stream, config);
+}
+
+}  // namespace hyscale

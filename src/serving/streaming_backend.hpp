@@ -1,0 +1,29 @@
+// Streaming serving backend: an evolving StreamingGraph behind the seam.
+//
+// acquire() pins the graph's latest PUBLISHED GraphVersion for the
+// whole micro-batch (snapshot isolation: in-flight batches keep their
+// version until release), sampling goes through an OverlaySampler over
+// that version (sample_full_overlay when the fanouts are empty), and
+// gathers go through StreamingGraph::gather — device cache rows plus
+// live feature store at wire precision.  The backend owns the device
+// cache: built over the store's base matrix, attached to the graph for
+// update_feature invalidation / remove_vertex eviction, detached when
+// the backend dies.  ExpiryTarget forwards to the graph, so a session
+// facade hangs its TTL ExpirySweeper directly off this backend.
+#pragma once
+
+#include <memory>
+
+#include "serving/backend.hpp"
+
+namespace hyscale {
+
+class StreamingGraph;
+
+/// `stream` (and its dataset) must outlive the backend.  Sets the
+/// feature store's wire precision to config.transfer_precision so a
+/// row gathers to the same values whether it hits or misses the cache.
+std::unique_ptr<ServingBackend> make_streaming_backend(StreamingGraph& stream,
+                                                       const ServingConfig& config);
+
+}  // namespace hyscale

@@ -172,7 +172,7 @@ struct ShardedStats {
   std::string to_string() const;
 };
 
-class ShardedStreamingGraph {
+class ShardedStreamingGraph : public ExpiryTarget {
  public:
   /// Partitions `dataset` and builds one StreamingGraph per shard (full
   /// vertex space, owner-incident edges, full feature copy).  The
@@ -249,7 +249,7 @@ class ShardedStreamingGraph {
   /// contract as StreamingGraph::sweep_expired (the budget is checked
   /// against the busiest shard's overlay).
   std::int64_t sweep_expired(Seconds ttl, std::int64_t max_retire,
-                             EdgeId pending_op_budget = 0);
+                             EdgeId pending_op_budget = 0) override;
 
   // ---- accessors ----
 
@@ -263,7 +263,8 @@ class ShardedStreamingGraph {
   /// copy) — what the serving tier builds shard `s`'s device cache over.
   const Dataset& shard_dataset(int s) const { return shard_datasets_[static_cast<std::size_t>(s)]; }
   const ShardedConfig& config() const { return config_; }
-  Telemetry* telemetry() const { return config_.stream.telemetry; }
+  Telemetry* telemetry() const override { return config_.stream.telemetry; }
+  const char* expiry_scope() const override { return "sharded"; }
   VertexId num_vertices() const { return shards_.front()->num_vertices(); }
   std::int64_t dirty_rows() const;
   ShardedStats stats() const;

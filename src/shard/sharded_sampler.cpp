@@ -1,118 +1,14 @@
 #include "shard/sharded_sampler.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "common/rng.hpp"
-
 namespace hyscale {
 
-ShardedSampler::ShardedSampler(std::shared_ptr<const ShardedCut> cut,
-                               std::vector<int> fanouts, std::uint64_t seed)
-    : cut_(std::move(cut)), fanouts_(std::move(fanouts)), stream_(seed) {
-  if (!cut_) throw std::invalid_argument("ShardedSampler: null cut");
-  if (fanouts_.empty()) throw std::invalid_argument("ShardedSampler: fanouts empty");
-  for (int f : fanouts_) {
-    if (f <= 0) throw std::invalid_argument("ShardedSampler: fanouts must be positive");
-  }
-  local_of_.assign(static_cast<std::size_t>(cut_->num_vertices()), 0);
-}
-
-void ShardedSampler::set_cut(std::shared_ptr<const ShardedCut> cut) {
-  if (!cut) throw std::invalid_argument("ShardedSampler::set_cut: null cut");
-  cut_ = std::move(cut);
-  if (static_cast<std::size_t>(cut_->num_vertices()) > local_of_.size()) {
-    local_of_.resize(static_cast<std::size_t>(cut_->num_vertices()), 0);
-  }
-}
-
-ShardedSampler::Frontier ShardedSampler::expand(const std::vector<VertexId>& dst, int fanout) {
-  Frontier frontier;
-  LayerBlock& block = frontier.block;
-  block.num_dst = static_cast<std::int64_t>(dst.size());
-  block.src_nodes = dst;  // dst prefix convention
-  block.indptr.reserve(dst.size() + 1);
-  block.indptr.push_back(0);
-
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    local_of_[static_cast<std::size_t>(dst[i])] = static_cast<std::int64_t>(i) + 1;
-    touched_.push_back(dst[i]);
-  }
-
-  Xoshiro256 rng(splitmix64(stream_));
-  for (VertexId v : dst) {
-    // The owner shard's merged live adjacency — element for element
-    // what the flat graph's version (and a rebuilt CSR) would store,
-    // so the partial Fisher-Yates below draws the same sample.
-    combined_.clear();
-    cut_->append_neighbors(v, combined_);
-    const auto degree = static_cast<std::int64_t>(combined_.size());
-    const std::int64_t take = std::min<std::int64_t>(fanout, degree);
-    // Partial Fisher-Yates: the first `take` entries become a uniform
-    // sample without replacement.
-    for (std::int64_t i = 0; i < take; ++i) {
-      const auto j = i + static_cast<std::int64_t>(
-                             rng.bounded(static_cast<std::uint64_t>(degree - i)));
-      std::swap(combined_[static_cast<std::size_t>(i)], combined_[static_cast<std::size_t>(j)]);
-      const VertexId u = combined_[static_cast<std::size_t>(i)];
-      std::int64_t& slot = local_of_[static_cast<std::size_t>(u)];
-      if (slot == 0) {
-        block.src_nodes.push_back(u);
-        slot = static_cast<std::int64_t>(block.src_nodes.size());
-        touched_.push_back(u);
-      }
-      block.indices.push_back(slot - 1);
-    }
-    block.indptr.push_back(static_cast<EdgeId>(block.indices.size()));
-  }
-
-  for (VertexId v : touched_) local_of_[static_cast<std::size_t>(v)] = 0;
-  touched_.clear();
-
-  // True live degrees (owner-shard exact) for the GCN normalisation —
-  // the live graph's D(v), not the sampled degree.
-  block.src_degrees.reserve(block.src_nodes.size());
-  for (VertexId v : block.src_nodes) block.src_degrees.push_back(cut_->degree(v));
-
-  frontier.nodes = block.src_nodes;
-  return frontier;
-}
-
-MiniBatch ShardedSampler::sample(const std::vector<VertexId>& seeds) {
-  if (seeds.empty()) throw std::invalid_argument("ShardedSampler::sample: empty seeds");
-  for (VertexId s : seeds) {
-    if (s < 0 || s >= cut_->num_vertices())
-      throw std::invalid_argument("ShardedSampler::sample: seed out of range");
-  }
-  MiniBatch batch;
-  batch.seeds = seeds;
-  const int num_layers = static_cast<int>(fanouts_.size());
-  batch.blocks.resize(static_cast<std::size_t>(num_layers));
-
-  std::vector<VertexId> frontier = seeds;
-  // Top-down: output layer first, then inward toward the input features.
-  for (int l = num_layers - 1; l >= 0; --l) {
-    ++stream_;
-    Frontier next = expand(frontier, fanouts_[static_cast<std::size_t>(l)]);
-    batch.blocks[static_cast<std::size_t>(l)] = std::move(next.block);
-    frontier = std::move(next.nodes);
-  }
-  return batch;
-}
+// Shared fanout/RNG core pinned to one instantiation, like
+// OverlaySampler's (see sampling/fanout_core.hpp).
+template class FanoutSamplerCore<ShardedCut>;
 
 MiniBatch sample_full_sharded(const ShardedCut& cut, const std::vector<VertexId>& seeds,
                               int num_layers) {
-  if (num_layers <= 0)
-    throw std::invalid_argument("sample_full_sharded: num_layers must be positive");
-  // Like sample_full_overlay: any fanout >= every live degree takes
-  // every neighbor and burns the same number of RNG draws (one per
-  // taken edge), so the bound's exact value never changes the batch.
-  const int fanout = static_cast<int>(std::max<EdgeId>(1, cut.max_degree()));
-  // The cut is borrowed for the sampler's (stack-bound) lifetime.
-  ShardedSampler sampler(
-      std::shared_ptr<const ShardedCut>(&cut, [](const ShardedCut*) {}),
-      std::vector<int>(static_cast<std::size_t>(num_layers), fanout), /*seed=*/0);
-  return sampler.sample(seeds);
+  return sample_full_via<ShardedSampler>(cut, seeds, num_layers, "sample_full_sharded");
 }
 
 }  // namespace hyscale

@@ -1,59 +1,42 @@
 // GraphSAGE neighbor sampler over a cross-shard cut.
 //
-// A structural clone of stream/OverlaySampler with the read surface
+// The view-type twin of stream/OverlaySampler with the read surface
 // swapped from one GraphVersion to a ShardedCut: every vertex's live
 // adjacency and degree are read through its OWNER shard's frozen
 // version, which holds the vertex's complete adjacency (the facade
 // routes every edge op to both endpoint owners).  The RNG stream
 // discipline, partial Fisher-Yates, dst-prefix layout and degree
-// reporting are IDENTICAL to OverlaySampler's, so with the same
-// fanouts and seed the produced MiniBatch is BIT-IDENTICAL to
-// OverlaySampler over a flat StreamingGraph holding the same logical
-// state — the invariant the N-shard differential harness asserts at
-// every adopted cut.
+// reporting are shared with OverlaySampler — both are thin typed
+// wrappers over the single FanoutSamplerCore in
+// sampling/fanout_core.hpp — so with the same fanouts and seed the
+// produced MiniBatch is BIT-IDENTICAL to OverlaySampler over a flat
+// StreamingGraph holding the same logical state — the invariant the
+// N-shard differential harness asserts at every adopted cut.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "sampling/fanout_core.hpp"
 #include "sampling/minibatch.hpp"
 #include "shard/sharded_graph.hpp"
 
 namespace hyscale {
 
-class ShardedSampler {
+class ShardedSampler : public FanoutSamplerCore<ShardedCut> {
  public:
   /// `fanouts` ordered input-layer first, like NeighborSampler.
   ShardedSampler(std::shared_ptr<const ShardedCut> cut, std::vector<int> fanouts,
-                 std::uint64_t seed);
+                 std::uint64_t seed)
+      : FanoutSamplerCore(std::move(cut), std::move(fanouts), seed,
+                          {"ShardedSampler", "set_cut", "cut"}) {}
 
   /// Points the sampler at a newer cut (scratch is re-sized for the
   /// grown vertex space).  Cheap when the vertex count is unchanged.
-  void set_cut(std::shared_ptr<const ShardedCut> cut);
+  void set_cut(std::shared_ptr<const ShardedCut> cut) { set_view(std::move(cut)); }
 
-  /// Samples one mini-batch for the given seed vertices against the
-  /// current cut.
-  MiniBatch sample(const std::vector<VertexId>& seeds);
-
-  void reseed(std::uint64_t seed) { stream_ = seed; }
-
-  const ShardedCut& cut() const { return *cut_; }
-  const std::vector<int>& fanouts() const { return fanouts_; }
-
- private:
-  struct Frontier {
-    std::vector<VertexId> nodes;
-    LayerBlock block;
-  };
-  Frontier expand(const std::vector<VertexId>& dst, int fanout);
-
-  std::shared_ptr<const ShardedCut> cut_;
-  std::vector<int> fanouts_;
-  std::uint64_t stream_;
-  std::vector<std::int64_t> local_of_;  ///< scratch: global -> local (+1), 0 = absent
-  std::vector<VertexId> touched_;       ///< scratch: which entries of local_of_ are set
-  std::vector<VertexId> combined_;      ///< scratch: one vertex's owner-shard adjacency
+  const ShardedCut& cut() const { return view(); }
 };
 
 /// Full-neighborhood (exact) computation graph over a cut; the sharded

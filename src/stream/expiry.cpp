@@ -1,12 +1,16 @@
 #include "stream/expiry.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
+
+#include "obs/telemetry.hpp"
 
 namespace hyscale {
 
-ExpirySweeper::ExpirySweeper(StreamingGraph& graph, ExpiryPolicy policy)
-    : graph_(graph), policy_(policy) {
+ExpirySweeper::ExpirySweeper(ExpiryTarget& target, ExpiryPolicy policy)
+    : target_(target), policy_(policy) {
   if (!policy_.enabled())
     throw std::invalid_argument("ExpirySweeper: ttl must be >= 0 (policy disabled)");
   if (policy_.sweep_interval <= 0.0)
@@ -16,12 +20,12 @@ ExpirySweeper::ExpirySweeper(StreamingGraph& graph, ExpiryPolicy policy)
   if (policy_.pending_op_budget < 0)
     throw std::invalid_argument(
         "ExpirySweeper: pending_op_budget must be resolved (>= 0) before construction");
-  if (Telemetry* telemetry = graph_.telemetry(); telemetry != nullptr) {
+  if (Telemetry* telemetry = target_.telemetry(); telemetry != nullptr) {
     MetricsRegistry& reg = telemetry->registry();
     m_sweeps_ = &reg.counter("expiry.sweeps");
     m_retired_ = &reg.counter("expiry.retired");
     heart_ = &telemetry->heartbeats().register_thread(
-        "stream.expiry_sweeper",
+        std::string(target_.expiry_scope()) + ".expiry_sweeper",
         std::max<std::int64_t>(static_cast<std::int64_t>(policy_.sweep_interval * 1e9),
                                1'000'000));
   }
@@ -49,8 +53,8 @@ void ExpirySweeper::loop() {
     if (heart_ != nullptr) heart_->idle_exit();
     if (stop_) break;
     lock.unlock();
-    const std::int64_t swept = graph_.sweep_expired(policy_.ttl, policy_.max_retire_per_sweep,
-                                                    policy_.pending_op_budget);
+    const std::int64_t swept = target_.sweep_expired(policy_.ttl, policy_.max_retire_per_sweep,
+                                                     policy_.pending_op_budget);
     if (heart_ != nullptr) heart_->beat();
     sweeps_.fetch_add(1, std::memory_order_relaxed);
     retired_.fetch_add(swept, std::memory_order_relaxed);

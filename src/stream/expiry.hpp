@@ -3,10 +3,14 @@
 // Deletions reclaim rows and ids (PR 3), but nothing EXPIRES entities
 // on its own: fraud/recommendation entities age out of the feed and
 // should be retired automatically.  The ExpirySweeper is a background
-// thread that periodically runs StreamingGraph::sweep_expired —
-// retiring (remove_vertex) streamed-in vertices whose feature row has
-// not been touched (appended/updated/reused, per
-// MutableFeatureStore::last_touch_ns) for longer than the TTL.
+// thread that periodically runs its target's sweep_expired — retiring
+// (remove_vertex) streamed-in vertices whose feature row has not been
+// touched (appended/updated/reused, per
+// MutableFeatureStore::last_touch_ns) for longer than the TTL.  The
+// target is any ExpiryTarget: a flat StreamingGraph, the
+// ShardedStreamingGraph facade (whose pass retires facade-wide, keeping
+// the shards' vertex spaces in lockstep), or a ServingBackend
+// forwarding to whichever it serves.
 //
 // A retirement is a tombstone burst (every live incident edge is
 // retracted), so an unpaced sweep over a large idle population would
@@ -24,9 +28,12 @@
 #include <thread>
 
 #include "common/timer.hpp"
-#include "stream/streaming_graph.hpp"
+#include "stream/expiry_target.hpp"
 
 namespace hyscale {
+
+class Counter;
+class Heartbeat;
 
 struct ExpiryPolicy {
   static constexpr EdgeId kDeriveFromCompaction = -1;
@@ -49,10 +56,10 @@ struct ExpiryPolicy {
 
 class ExpirySweeper {
  public:
-  /// `graph` must outlive the sweeper.  Requires policy.enabled(); the
+  /// `target` must outlive the sweeper.  Requires policy.enabled(); the
   /// background thread starts immediately and stops (joined) on
   /// destruction or stop().
-  explicit ExpirySweeper(StreamingGraph& graph, ExpiryPolicy policy);
+  explicit ExpirySweeper(ExpiryTarget& target, ExpiryPolicy policy);
   ~ExpirySweeper();
 
   ExpirySweeper(const ExpirySweeper&) = delete;
@@ -67,9 +74,9 @@ class ExpirySweeper {
  private:
   void loop();
 
-  StreamingGraph& graph_;
+  ExpiryTarget& target_;
   ExpiryPolicy policy_;
-  // Registry mirrors from graph_.telemetry(); null when telemetry off.
+  // Registry mirrors from target_.telemetry(); null when telemetry off.
   Counter* m_sweeps_ = nullptr;
   Counter* m_retired_ = nullptr;
   Heartbeat* heart_ = nullptr;  ///< liveness stamp when telemetry on

@@ -1,118 +1,15 @@
 #include "stream/overlay_sampler.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "common/rng.hpp"
-
 namespace hyscale {
 
-OverlaySampler::OverlaySampler(std::shared_ptr<const GraphVersion> version,
-                               std::vector<int> fanouts, std::uint64_t seed)
-    : version_(std::move(version)), fanouts_(std::move(fanouts)), stream_(seed) {
-  if (!version_) throw std::invalid_argument("OverlaySampler: null version");
-  if (fanouts_.empty()) throw std::invalid_argument("OverlaySampler: fanouts empty");
-  for (int f : fanouts_) {
-    if (f <= 0) throw std::invalid_argument("OverlaySampler: fanouts must be positive");
-  }
-  local_of_.assign(static_cast<std::size_t>(version_->num_vertices()), 0);
-}
-
-void OverlaySampler::set_version(std::shared_ptr<const GraphVersion> version) {
-  if (!version) throw std::invalid_argument("OverlaySampler::set_version: null version");
-  version_ = std::move(version);
-  if (static_cast<std::size_t>(version_->num_vertices()) > local_of_.size()) {
-    local_of_.resize(static_cast<std::size_t>(version_->num_vertices()), 0);
-  }
-}
-
-OverlaySampler::Frontier OverlaySampler::expand(const std::vector<VertexId>& dst, int fanout) {
-  Frontier frontier;
-  LayerBlock& block = frontier.block;
-  block.num_dst = static_cast<std::int64_t>(dst.size());
-  block.src_nodes = dst;  // dst prefix convention
-  block.indptr.reserve(dst.size() + 1);
-  block.indptr.push_back(0);
-
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    local_of_[static_cast<std::size_t>(dst[i])] = static_cast<std::int64_t>(i) + 1;
-    touched_.push_back(dst[i]);
-  }
-
-  Xoshiro256 rng(splitmix64(stream_));
-  for (VertexId v : dst) {
-    // The virtual neighbor list is the version's merged live adjacency
-    // (base minus tombstones plus insertions, sorted) — element for
-    // element what a rebuilt CSR would store, so the partial
-    // Fisher-Yates below draws the same sample a NeighborSampler over
-    // the rebuild would.
-    combined_.clear();
-    version_->append_neighbors(v, combined_);
-    const auto degree = static_cast<std::int64_t>(combined_.size());
-    const std::int64_t take = std::min<std::int64_t>(fanout, degree);
-    // Partial Fisher-Yates: the first `take` entries become a uniform
-    // sample without replacement.
-    for (std::int64_t i = 0; i < take; ++i) {
-      const auto j = i + static_cast<std::int64_t>(
-                             rng.bounded(static_cast<std::uint64_t>(degree - i)));
-      std::swap(combined_[static_cast<std::size_t>(i)], combined_[static_cast<std::size_t>(j)]);
-      const VertexId u = combined_[static_cast<std::size_t>(i)];
-      std::int64_t& slot = local_of_[static_cast<std::size_t>(u)];
-      if (slot == 0) {
-        block.src_nodes.push_back(u);
-        slot = static_cast<std::int64_t>(block.src_nodes.size());
-        touched_.push_back(u);
-      }
-      block.indices.push_back(slot - 1);
-    }
-    block.indptr.push_back(static_cast<EdgeId>(block.indices.size()));
-  }
-
-  for (VertexId v : touched_) local_of_[static_cast<std::size_t>(v)] = 0;
-  touched_.clear();
-
-  // True (base + overlay) degrees for the GCN normalisation — the live
-  // graph's D(v), not the sampled degree.
-  block.src_degrees.reserve(block.src_nodes.size());
-  for (VertexId v : block.src_nodes) block.src_degrees.push_back(version_->degree(v));
-
-  frontier.nodes = block.src_nodes;
-  return frontier;
-}
-
-MiniBatch OverlaySampler::sample(const std::vector<VertexId>& seeds) {
-  if (seeds.empty()) throw std::invalid_argument("OverlaySampler::sample: empty seeds");
-  for (VertexId s : seeds) {
-    if (s < 0 || s >= version_->num_vertices())
-      throw std::invalid_argument("OverlaySampler::sample: seed out of range");
-  }
-  MiniBatch batch;
-  batch.seeds = seeds;
-  const int num_layers = static_cast<int>(fanouts_.size());
-  batch.blocks.resize(static_cast<std::size_t>(num_layers));
-
-  std::vector<VertexId> frontier = seeds;
-  // Top-down: output layer first, then inward toward the input features.
-  for (int l = num_layers - 1; l >= 0; --l) {
-    ++stream_;
-    Frontier next = expand(frontier, fanouts_[static_cast<std::size_t>(l)]);
-    batch.blocks[static_cast<std::size_t>(l)] = std::move(next.block);
-    frontier = std::move(next.nodes);
-  }
-  return batch;
-}
+// The fanout/RNG discipline itself lives in sampling/fanout_core.hpp;
+// pinning the instantiation here keeps one copy of the heavy template
+// in the library instead of one per including TU.
+template class FanoutSamplerCore<GraphVersion>;
 
 MiniBatch sample_full_overlay(const GraphVersion& version, const std::vector<VertexId>& seeds,
                               int num_layers) {
-  if (num_layers <= 0)
-    throw std::invalid_argument("sample_full_overlay: num_layers must be positive");
-  // Like sample_full: fanout >= max combined degree takes every neighbor.
-  const int fanout = static_cast<int>(std::max<EdgeId>(1, version.max_degree()));
-  // The version is borrowed for the sampler's (stack-bound) lifetime.
-  OverlaySampler sampler(
-      std::shared_ptr<const GraphVersion>(&version, [](const GraphVersion*) {}),
-      std::vector<int>(static_cast<std::size_t>(num_layers), fanout), /*seed=*/0);
-  return sampler.sample(seeds);
+  return sample_full_via<OverlaySampler>(version, seeds, num_layers, "sample_full_overlay");
 }
 
 }  // namespace hyscale

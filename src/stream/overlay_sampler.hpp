@@ -8,11 +8,13 @@
 // version's merged adjacency is element-identical to a from-scratch
 // build_csr over the live edge set, and the expansion mirrors
 // NeighborSampler (same partial Fisher-Yates, same RNG stream
-// discipline), the produced MiniBatch is BIT-IDENTICAL to
-// NeighborSampler over the rebuilt CSR for any fanout and seed — the
-// invariant the stream-vs-rebuild differential harness asserts at every
-// publish point (and, with an empty overlay, the original
-// base-equivalence the distribution tests pin down).
+// discipline — see sampling/fanout_core.hpp, where that discipline
+// lives exactly once, shared with ShardedSampler), the produced
+// MiniBatch is BIT-IDENTICAL to NeighborSampler over the rebuilt CSR
+// for any fanout and seed — the invariant the stream-vs-rebuild
+// differential harness asserts at every publish point (and, with an
+// empty overlay, the original base-equivalence the distribution tests
+// pin down).
 //
 // The sampler is single-threaded like NeighborSampler; serving workers
 // each own one and point it at the latest published version per
@@ -23,43 +25,27 @@
 #include <memory>
 #include <vector>
 
+#include "sampling/fanout_core.hpp"
 #include "sampling/minibatch.hpp"
 #include "stream/streaming_graph.hpp"
 
 namespace hyscale {
 
-class OverlaySampler {
+class OverlaySampler : public FanoutSamplerCore<GraphVersion> {
  public:
   /// `fanouts` ordered input-layer first, like NeighborSampler.
   OverlaySampler(std::shared_ptr<const GraphVersion> version, std::vector<int> fanouts,
-                 std::uint64_t seed);
+                 std::uint64_t seed)
+      : FanoutSamplerCore(std::move(version), std::move(fanouts), seed,
+                          {"OverlaySampler", "set_version", "version"}) {}
 
   /// Points the sampler at a newer version (scratch is re-sized for the
   /// grown vertex space).  Cheap when the vertex count is unchanged.
-  void set_version(std::shared_ptr<const GraphVersion> version);
+  void set_version(std::shared_ptr<const GraphVersion> version) {
+    set_view(std::move(version));
+  }
 
-  /// Samples one mini-batch for the given seed vertices against the
-  /// current version.
-  MiniBatch sample(const std::vector<VertexId>& seeds);
-
-  void reseed(std::uint64_t seed) { stream_ = seed; }
-
-  const GraphVersion& version() const { return *version_; }
-  const std::vector<int>& fanouts() const { return fanouts_; }
-
- private:
-  struct Frontier {
-    std::vector<VertexId> nodes;
-    LayerBlock block;
-  };
-  Frontier expand(const std::vector<VertexId>& dst, int fanout);
-
-  std::shared_ptr<const GraphVersion> version_;
-  std::vector<int> fanouts_;
-  std::uint64_t stream_;
-  std::vector<std::int64_t> local_of_;  ///< scratch: global -> local (+1), 0 = absent
-  std::vector<VertexId> touched_;       ///< scratch: which entries of local_of_ are set
-  std::vector<VertexId> combined_;      ///< scratch: base + overlay adjacency of one vertex
+  const GraphVersion& version() const { return view(); }
 };
 
 /// Full-neighborhood (exact) computation graph over a version; the

@@ -48,6 +48,7 @@
 #include "obs/telemetry.hpp"
 #include "runtime/feature_cache.hpp"
 #include "stream/delta_store.hpp"
+#include "stream/expiry_target.hpp"
 #include "stream/feature_store.hpp"
 
 namespace hyscale {
@@ -199,7 +200,7 @@ struct StreamStats {
   std::string to_string() const;
 };
 
-class StreamingGraph {
+class StreamingGraph : public ExpiryTarget {
  public:
   /// Copies the dataset's topology and features as the initial base.
   /// `dataset` must outlive the graph (info/labels are referenced); its
@@ -319,7 +320,7 @@ class StreamingGraph {
   /// the compaction trigger instead of stampeding rebuilds.  Returns
   /// the number of vertices retired.
   std::int64_t sweep_expired(Seconds ttl, std::int64_t max_retire,
-                             EdgeId pending_op_budget = 0);
+                             EdgeId pending_op_budget = 0) override;
 
   /// Age of the oldest accepted-but-unpublished op, 0 when everything
   /// ingested is already visible — the signal the SLO publisher closes
@@ -394,7 +395,8 @@ class StreamingGraph {
   const StreamingConfig& config() const { return config_; }
   /// The telemetry plane this graph was configured with (null = off).
   /// Background maintenance components report through it.
-  Telemetry* telemetry() const { return config_.telemetry; }
+  Telemetry* telemetry() const override { return config_.telemetry; }
+  const char* expiry_scope() const override { return "stream"; }
   StreamStats stats() const;
 
  private:

@@ -915,7 +915,7 @@ TEST(StreamingSession, LifecycleThreadsServeChurnEndToEnd) {
   expiry.ttl = 0.020;
   expiry.sweep_interval = 2e-3;
   StreamingSession session = system.stream(serving, {}, compaction, publisher, expiry);
-  ASSERT_NE(session.publisher, nullptr);
+  ASSERT_NE(session.publisher(), nullptr);
   ASSERT_NE(session.sweeper, nullptr);
   // kDeriveFromCompaction resolved against the compaction trigger.
   EXPECT_EQ(session.sweeper->policy().pending_op_budget, compaction.max_overlay_edges / 2);
@@ -946,7 +946,7 @@ TEST(StreamingSession, LifecycleThreadsServeChurnEndToEnd) {
 
   EXPECT_EQ(report.completed_requests, 40);
   EXPECT_GT(update_report.accepted_edges, 0);
-  EXPECT_GT(session.publisher->publishes(), 0);
+  EXPECT_GT(session.publisher()->publishes(), 0);
   EXPECT_GT(session.stream().stats().expired_vertices, 0);
   EXPECT_GT(session.server->last_served_version(), 0u);
   EXPECT_TRUE(session.stream().current()->validate());
